@@ -1,0 +1,323 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation — each runs
+// the corresponding experiment from internal/core and reports its
+// headline numbers as custom metrics — plus micro-benchmarks for the hot
+// paths of every substrate.
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks run experiments at Quick (~1/10) scale; `go run
+// ./cmd/mailbench -all` regenerates the full-scale numbers recorded in
+// EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dns"
+	"repro/internal/dnsbl"
+	"repro/internal/fsim"
+	"repro/internal/mailstore"
+	"repro/internal/sim"
+	"repro/internal/smtp"
+	"repro/internal/trace"
+)
+
+// benchExperiment runs a registered experiment b.N times and reports the
+// chosen metrics (metric name -> reported unit suffix).
+func benchExperiment(b *testing.B, id string, report map[string]string) {
+	b.Helper()
+	e, ok := core.Find(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	var m core.Metrics
+	var err error
+	for i := 0; i < b.N; i++ {
+		m, err = e.Run(io.Discard, core.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for key, unit := range report {
+		v, ok := m[key]
+		if !ok {
+			b.Fatalf("metric %q missing from %s", key, id)
+		}
+		b.ReportMetric(v, unit)
+	}
+}
+
+// --- Section 3: tuning ---
+
+func BenchmarkTuning(b *testing.B) {
+	benchExperiment(b, "tuning", map[string]string{
+		"peak_goodput": "peak-mails/s",
+		"goodput_500":  "at500-mails/s",
+		"goodput_1000": "at1000-mails/s",
+	})
+}
+
+// --- Figure 3: ECN bounce series ---
+
+func BenchmarkFig3ECNBounces(b *testing.B) {
+	benchExperiment(b, "fig3", map[string]string{
+		"mean_bounce":     "bounce-ratio",
+		"mean_unfinished": "unfinished-ratio",
+	})
+}
+
+// --- Figure 4: recipients per connection ---
+
+func BenchmarkFig4RecipientCDF(b *testing.B) {
+	benchExperiment(b, "fig4", map[string]string{
+		"mean_rcpts": "rcpts/conn",
+	})
+}
+
+// --- Figure 5: DNSBL latency ---
+
+func BenchmarkFig5DNSBLLatency(b *testing.B) {
+	benchExperiment(b, "fig5", map[string]string{
+		"over100_min": "minfrac>100ms",
+		"over100_max": "maxfrac>100ms",
+	})
+}
+
+// --- Figure 8: hybrid vs vanilla goodput ---
+
+func BenchmarkFig8ForkAfterTrust(b *testing.B) {
+	benchExperiment(b, "fig8", map[string]string{
+		"vanilla_0.50":      "vanilla@0.5-mails/s",
+		"hybrid_0.50":       "hybrid@0.5-mails/s",
+		"switch_ratio_0.50": "switch-ratio",
+	})
+}
+
+// --- Figures 10/11: mailbox stores ---
+
+func BenchmarkFig10StoresExt3(b *testing.B) {
+	benchExperiment(b, "fig10", map[string]string{
+		"mbox_15":                 "mbox-writes/s",
+		"mfs_15":                  "mfs-writes/s",
+		"vanilla_speedup_1_to_15": "mbox-speedup",
+		"mfs_gain_15":             "mfs-gain",
+	})
+}
+
+func BenchmarkFig11StoresReiser(b *testing.B) {
+	benchExperiment(b, "fig11", map[string]string{
+		"mfs_vs_hardlink_15": "vs-hardlink",
+		"mfs_vs_maildir_15":  "vs-maildir",
+	})
+}
+
+func BenchmarkMFSSinkholeThroughput(b *testing.B) {
+	benchExperiment(b, "mfs-sinkhole", map[string]string{
+		"mfs_gain": "gain",
+	})
+}
+
+// --- Figures 12/13: origin locality ---
+
+func BenchmarkFig12PrefixInfestation(b *testing.B) {
+	benchExperiment(b, "fig12", map[string]string{
+		"frac_gt_10":  "frac>10",
+		"frac_gt_100": "frac>100",
+	})
+}
+
+func BenchmarkFig13Interarrivals(b *testing.B) {
+	benchExperiment(b, "fig13", map[string]string{
+		"median_ip_gap":     "ip-gap-s",
+		"median_prefix_gap": "prefix-gap-s",
+	})
+}
+
+// --- Figures 14/15: DNSBL caching ---
+
+func BenchmarkFig14PrefixCachingThroughput(b *testing.B) {
+	benchExperiment(b, "fig14", map[string]string{
+		"gain_200": "gain@200",
+		"ip_200":   "ip-mails/s",
+	})
+}
+
+func BenchmarkFig15CacheHitRatios(b *testing.B) {
+	benchExperiment(b, "fig15", map[string]string{
+		"hit_ip":          "ip-hit",
+		"hit_prefix":      "prefix-hit",
+		"query_reduction": "query-cut",
+	})
+}
+
+// --- Section 8: combined ---
+
+func BenchmarkCombinedOptimizations(b *testing.B) {
+	benchExperiment(b, "combined", map[string]string{
+		"gain_spam":     "spam-gain",
+		"gain_univ":     "univ-gain",
+		"querycut_spam": "spam-query-cut",
+	})
+}
+
+// --- Ablations ---
+
+func BenchmarkAblationTrustPoint(b *testing.B) {
+	benchExperiment(b, "ablation-trustpoint", map[string]string{
+		"after-rcpt": "after-rcpt-mails/s",
+		"after-mail": "after-mail-mails/s",
+	})
+}
+
+func BenchmarkAblationVectorSend(b *testing.B) {
+	benchExperiment(b, "ablation-vectorsend", map[string]string{
+		"vector-send": "vector-mails/s",
+	})
+}
+
+func BenchmarkAblationBitmapWidth(b *testing.B) {
+	benchExperiment(b, "ablation-bitmapwidth", map[string]string{
+		"hit_25": "hit/25",
+		"hit_24": "hit/24",
+	})
+}
+
+func BenchmarkAblationTTL(b *testing.B) {
+	benchExperiment(b, "ablation-ttl", map[string]string{
+		"prefix_hit_24h0m0s": "prefix-hit-24h",
+	})
+}
+
+func BenchmarkAblationRefcount(b *testing.B) {
+	benchExperiment(b, "ablation-refcount", map[string]string{
+		"sharing_gain_15": "sharing-gain",
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: substrate hot paths.
+
+func BenchmarkMFSNWrite15Recipients(b *testing.B) {
+	store, err := mailstore.NewMFS(fsim.NewMem(costmodel.FSModel{}), "mfs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	rcpts := make([]string, 15)
+	for i := range rcpts {
+		rcpts[i] = fmt.Sprintf("u%02d", i)
+	}
+	body := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.Deliver(fmt.Sprintf("Q%016X", i), rcpts, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMboxDeliver15Recipients(b *testing.B) {
+	store := mailstore.NewMbox(fsim.NewMem(costmodel.FSModel{}))
+	defer store.Close()
+	rcpts := make([]string, 15)
+	for i := range rcpts {
+		rcpts[i] = fmt.Sprintf("u%02d", i)
+	}
+	body := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.Deliver(fmt.Sprintf("Q%016X", i), rcpts, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDNSEncodeDecode(b *testing.B) {
+	q := dns.NewQuery(7, "4.3.2.1.bl.example.org", dns.TypeA)
+	r := q.Reply()
+	r.Answers = append(r.Answers, dns.ARecord(q.Questions[0].Name, 86400, 127, 0, 0, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire, err := r.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dns.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDNSBLBitmap(b *testing.B) {
+	list := dnsbl.NewList("bl6.test")
+	sink := trace.NewSinkhole(trace.SinkholeConfig{Seed: 1, Connections: 1200, Prefixes: 100})
+	for _, ip := range sink.CBLPopulation() {
+		list.Add(ip, dnsbl.CodeSpamSrc)
+	}
+	prefixes := sink.Prefixes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := prefixes[i%len(prefixes)]
+		_ = list.Bitmap(p.Nth(0).Prefix25())
+	}
+}
+
+func BenchmarkSMTPSessionDialog(b *testing.B) {
+	cfg := smtp.Config{Hostname: "mx.test"}
+	lines := []string{
+		"HELO client.test",
+		"MAIL FROM:<s@remote.test>",
+		"RCPT TO:<a@local.test>",
+		"RCPT TO:<b@local.test>",
+		"DATA",
+	}
+	body := make([]byte, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := smtp.NewSession(cfg)
+		for _, l := range lines {
+			s.Command(l)
+		}
+		s.FinishData(body)
+		s.Command("QUIT")
+	}
+}
+
+func BenchmarkSMTPParseCommand(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := smtp.ParseCommand("RCPT TO:<user0042@dept.example.edu>"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimEngineEvents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		n := 0
+		var tick func()
+		tick = func() {
+			if n++; n < 1000 {
+				eng.After(1, tick)
+			}
+		}
+		eng.After(0, tick)
+		eng.RunUntilIdle()
+	}
+}
+
+func BenchmarkSinkholeGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := trace.NewSinkhole(trace.SinkholeConfig{
+			Seed: uint64(i + 1), Connections: 5000, Prefixes: 400,
+		})
+		if got := len(s.Generate()); got != 5000 {
+			b.Fatalf("generated %d", got)
+		}
+	}
+}

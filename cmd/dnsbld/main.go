@@ -1,0 +1,122 @@
+// Command dnsbld runs a DNSBL DNS server over UDP, serving either the
+// classic per-IP scheme (A queries on w.z.y.x.<zone>) or the paper's
+// prefix-based DNSBLv6 (AAAA bitmap queries, §7.1) — or both zones at
+// once.
+//
+// The blacklist population is either loaded from a file of dotted-quad
+// addresses (one per line, '#' comments) or synthesized from the
+// sinkhole model:
+//
+//	dnsbld -addr :5353 -zone bl.example.org -zone6 bl6.example.org -synth 2000
+//	dnsbld -addr :5353 -zone bl.example.org -load blacklist.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/dns"
+	"repro/internal/dnsbl"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		listen = flag.String("addr", "127.0.0.1:5353", "UDP listen address")
+		zone   = flag.String("zone", "bl.example.org", "classic per-IP zone (empty disables)")
+		zone6  = flag.String("zone6", "bl6.example.org", "DNSBLv6 bitmap zone (empty disables)")
+		load   = flag.String("load", "", "file of blacklisted IPv4 addresses")
+		synth  = flag.Int("synth", 0, "synthesize a blacklist population of ~N prefixes from the sinkhole model")
+		seed   = flag.Uint64("seed", 1, "seed for -synth")
+	)
+	flag.Parse()
+
+	ips, err := population(*load, *synth, *seed)
+	if err != nil {
+		log.Fatalf("dnsbld: %v", err)
+	}
+
+	v4list := dnsbl.NewList(*zone)
+	v6list := dnsbl.NewList(*zone6)
+	for _, ip := range ips {
+		v4list.Add(ip, dnsbl.CodeSpamSrc)
+		v6list.Add(ip, dnsbl.CodeSpamSrc)
+	}
+
+	handler := dns.HandlerFunc(func(q dns.Question) *dns.Message {
+		switch {
+		case *zone6 != "" && strings.HasSuffix(q.Name, *zone6):
+			return (&dnsbl.V6Handler{List: v6list}).Resolve(q)
+		case *zone != "" && strings.HasSuffix(q.Name, *zone):
+			return (&dnsbl.V4Handler{List: v4list}).Resolve(q)
+		default:
+			m := &dns.Message{Questions: []dns.Question{q}, RCode: dns.RCodeRefused}
+			return m
+		}
+	})
+
+	pc, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		log.Fatalf("dnsbld: %v", err)
+	}
+	srv := dns.NewServer(pc, handler)
+	log.Printf("dnsbld: serving %d blacklisted IPs on %s (v4 zone %q, v6 zone %q)",
+		v4list.Len(), srv.Addr(), *zone, *zone6)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(30 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			log.Printf("dnsbld: %d queries served", srv.Queries())
+		case <-sigCh:
+			log.Printf("dnsbld: shutting down after %d queries", srv.Queries())
+			srv.Close()
+			return
+		}
+	}
+}
+
+// population loads or synthesizes the blacklist contents.
+func population(load string, synth int, seed uint64) ([]addr.IPv4, error) {
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var ips []addr.IPv4
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			ip, err := addr.ParseIPv4(line)
+			if err != nil {
+				return nil, err
+			}
+			ips = append(ips, ip)
+		}
+		return ips, sc.Err()
+	}
+	if synth <= 0 {
+		synth = 500
+	}
+	s := trace.NewSinkhole(trace.SinkholeConfig{
+		Seed:        seed,
+		Connections: synth * 12,
+		Prefixes:    synth,
+	})
+	return s.CBLPopulation(), nil
+}

@@ -1,0 +1,79 @@
+// Command mailbench regenerates every table and figure of the paper's
+// evaluation from the deterministic models in this repository.
+//
+// Usage:
+//
+//	mailbench -list               # show the experiment index
+//	mailbench -run fig8           # run one experiment (full scale)
+//	mailbench -run fig8 -quick    # ~1/10-scale run for fast iteration
+//	mailbench -all                # run everything, in paper order
+//	mailbench -all -quick -o out.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mailbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mailbench", flag.ContinueOnError)
+	var (
+		list  = fs.Bool("list", false, "list experiments and exit")
+		runID = fs.String("run", "", "run a single experiment by id")
+		all   = fs.Bool("all", false, "run every experiment")
+		quick = fs.Bool("quick", false, "run at reduced scale (~1/10)")
+		seed  = fs.Uint64("seed", 1, "random seed for all generators")
+		out   = fs.String("o", "", "write output to a file instead of stdout")
+	)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = io.MultiWriter(stdout, f)
+	}
+
+	opts := core.Options{Quick: *quick, Seed: *seed}
+
+	switch {
+	case *list:
+		fmt.Fprintf(w, "%-22s %s\n", "ID", "TITLE")
+		for _, e := range core.Experiments() {
+			fmt.Fprintf(w, "%-22s %s\n", e.ID, e.Title)
+			fmt.Fprintf(w, "%-22s   paper: %s\n", "", e.Paper)
+		}
+		return nil
+	case *runID != "":
+		e, ok := core.Find(*runID)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *runID)
+		}
+		fmt.Fprintf(w, "=== %s — %s ===\npaper: %s\n\n", e.ID, e.Title, e.Paper)
+		_, err := e.Run(w, opts)
+		return err
+	case *all:
+		_, err := core.RunAll(w, opts)
+		return err
+	default:
+		fs.Usage()
+		return fmt.Errorf("one of -list, -run, or -all is required")
+	}
+}

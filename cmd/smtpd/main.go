@@ -1,0 +1,194 @@
+// Command smtpd runs the spam-aware mail server over real TCP: either
+// architecture, a populated recipient database, an optional DNSBL check,
+// a postfix-style queue pipeline, and one of the four mailbox stores.
+//
+// Example:
+//
+//	smtpd -addr :2525 -arch hybrid -store mfs -root /tmp/mail \
+//	      -domain dept.example.edu -mailboxes 400
+//
+// The server logs a stats line every few seconds and on shutdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/addr"
+	"repro/internal/delivery"
+	"repro/internal/dns"
+	"repro/internal/dnsbl"
+	"repro/internal/fsim"
+	"repro/internal/mailstore"
+	"repro/internal/pop3"
+	"repro/internal/queue"
+	"repro/internal/smtpserver"
+)
+
+func main() {
+	var (
+		listen    = flag.String("addr", "127.0.0.1:2525", "listen address")
+		archName  = flag.String("arch", "hybrid", "architecture: vanilla or hybrid")
+		storeName = flag.String("store", "mfs", "mailbox store: mbox, maildir, hardlink, mfs")
+		root      = flag.String("root", "", "mail root directory (required)")
+		domain    = flag.String("domain", "dept.example.edu", "local domain")
+		mailboxes = flag.Int("mailboxes", 400, "number of local user mailboxes (user0000…)")
+		workers   = flag.Int("workers", 100, "smtpd worker limit")
+		pop3Addr  = flag.String("pop3", "", "also serve POP3 on this address (empty disables)")
+		dnsblAddr = flag.String("dnsbl", "", "DNSBL server address (host:port); empty disables")
+		dnsblZone = flag.String("dnsbl-zone", "bl.example.org", "DNSBL zone name")
+		statsSec  = flag.Int("stats", 10, "stats period in seconds (0 disables)")
+	)
+	flag.Parse()
+
+	if *root == "" {
+		log.Fatal("smtpd: -root is required")
+	}
+	if err := os.MkdirAll(*root, 0o755); err != nil {
+		log.Fatalf("smtpd: %v", err)
+	}
+	fs := fsim.NewOS(*root)
+
+	var arch smtpserver.Architecture
+	switch *archName {
+	case "vanilla":
+		arch = smtpserver.Vanilla
+	case "hybrid":
+		arch = smtpserver.Hybrid
+	default:
+		log.Fatalf("smtpd: unknown architecture %q", *archName)
+	}
+
+	var store mailstore.Store
+	var err error
+	switch *storeName {
+	case "mbox":
+		store = mailstore.NewMbox(fs)
+	case "maildir":
+		store = mailstore.NewMaildir(fs)
+	case "hardlink":
+		store = mailstore.NewHardlink(fs)
+	case "mfs":
+		store, err = mailstore.NewMFS(fs, "mfs")
+		if err != nil {
+			log.Fatalf("smtpd: %v", err)
+		}
+	default:
+		log.Fatalf("smtpd: unknown store %q", *storeName)
+	}
+	defer store.Close()
+
+	db := access.NewDB(*domain)
+	if err := access.Populate(db, *domain, *mailboxes); err != nil {
+		log.Fatalf("smtpd: %v", err)
+	}
+	if err := db.AddAlias("postmaster@"+*domain, fmt.Sprintf("user%04d@%s", 0, *domain)); err != nil {
+		log.Fatalf("smtpd: %v", err)
+	}
+
+	agent := delivery.NewAgent(db, store)
+	qm, err := queue.NewManager(queue.Config{
+		Deliverer:   agent,
+		Spool:       fs,
+		ActiveLimit: 8,
+	})
+	if err != nil {
+		log.Fatalf("smtpd: %v", err)
+	}
+	defer qm.Close()
+
+	cfg := smtpserver.Config{
+		Hostname:     "mx." + *domain,
+		Arch:         arch,
+		MaxWorkers:   *workers,
+		ValidateRcpt: db.Valid,
+		Enqueue:      qm.Enqueue,
+	}
+	if *dnsblAddr != "" {
+		client := dnsbl.NewClient(
+			&dns.UDPTransport{Server: *dnsblAddr, Timeout: 2 * time.Second},
+			*dnsblZone, dnsbl.CachePrefix)
+		cfg.CheckClient = func(ip string) bool {
+			parsed, err := addr.ParseIPv4(ip)
+			if err != nil {
+				return false
+			}
+			res, err := client.Lookup(parsed)
+			if err != nil {
+				// Fail open: a DNSBL outage must not stop mail.
+				return false
+			}
+			return res.Listed
+		}
+	}
+
+	srv, err := smtpserver.New(cfg)
+	if err != nil {
+		log.Fatalf("smtpd: %v", err)
+	}
+
+	if *pop3Addr != "" {
+		pop, err := pop3.New(pop3.Config{Store: store, Hostname: "pop." + *domain})
+		if err != nil {
+			log.Fatalf("smtpd: %v", err)
+		}
+		ln, err := net.Listen("tcp", *pop3Addr)
+		if err != nil {
+			log.Fatalf("smtpd: pop3 listen: %v", err)
+		}
+		go pop.Serve(ln) //nolint:errcheck // exits on Close
+		defer pop.Close()
+		log.Printf("smtpd: POP3 retrieval on %s", *pop3Addr)
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(*listen) }()
+
+	log.Printf("smtpd: %s architecture, %s store, serving %s on %s",
+		arch, store.Name(), *domain, *listen)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *statsSec > 0 {
+		ticker = time.NewTicker(time.Duration(*statsSec) * time.Second)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case <-tick:
+			logStats(srv, qm, agent)
+		case err := <-done:
+			if err != nil {
+				log.Fatalf("smtpd: %v", err)
+			}
+			return
+		case <-sigCh:
+			log.Print("smtpd: shutting down")
+			if err := srv.Close(); err != nil {
+				log.Printf("smtpd: close: %v", err)
+			}
+			qm.WaitIdle(5 * time.Second)
+			logStats(srv, qm, agent)
+			return
+		}
+	}
+}
+
+func logStats(srv *smtpserver.Server, qm *queue.Manager, agent *delivery.Agent) {
+	s := srv.Stats()
+	q := qm.Stats()
+	d := agent.Stats()
+	log.Printf("conns=%d accepted=%d bounce-conns=%d handoffs=%d rcpt-550=%d | queued=%d delivered=%d deferred=%d | mailbox-writes=%d",
+		s.Connections, s.MailsAccepted, s.PreTrustClosed, s.Handoffs, s.RcptRejected,
+		q.Enqueued, q.Delivered, q.Deferred, d.RcptDeliveries)
+}

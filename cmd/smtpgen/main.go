@@ -1,0 +1,87 @@
+// Command smtpgen is the load generator: it replays a synthetic workload
+// against a running SMTP server using either of the paper's two client
+// models (Table 1).
+//
+//	smtpgen -addr 127.0.0.1:2525 -model closed -concurrency 50 -trace univ -conns 2000
+//	smtpgen -addr 127.0.0.1:2525 -model open -rate 100 -trace sinkhole -conns 5000
+//	smtpgen -addr 127.0.0.1:2525 -model closed -trace bounce -bounce 0.5 -conns 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addrFlag  = flag.String("addr", "127.0.0.1:2525", "server address")
+		model     = flag.String("model", "closed", "client model: closed (program 1) or open (program 2)")
+		traceName = flag.String("trace", "univ", "workload: univ, sinkhole, or bounce")
+		conns     = flag.Int("conns", 1000, "connections to replay")
+		conc      = flag.Int("concurrency", 20, "closed model: concurrent connection slots")
+		think     = flag.Duration("think", 0, "closed model: per-slot think time")
+		rate      = flag.Float64("rate", 50, "open model: connections per second")
+		bounce    = flag.Float64("bounce", 0.25, "bounce trace: bounce ratio")
+		domain    = flag.String("domain", "dept.example.edu", "recipient domain")
+		mailboxes = flag.Int("mailboxes", 400, "recipient mailbox count")
+		seed      = flag.Uint64("seed", 1, "trace seed")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-step timeout")
+	)
+	flag.Parse()
+
+	var tr []trace.Conn
+	switch *traceName {
+	case "univ":
+		tr = trace.NewUniv(trace.UnivConfig{
+			Seed: *seed, Connections: *conns, Domain: *domain, Mailboxes: *mailboxes,
+		}).Generate()
+	case "sinkhole":
+		prefixes := *conns / 12
+		if prefixes < 16 {
+			prefixes = 16
+		}
+		tr = trace.NewSinkhole(trace.SinkholeConfig{
+			Seed: *seed, Connections: *conns, Prefixes: prefixes,
+			RcptDomain: *domain, ValidMailboxes: *mailboxes,
+		}).Generate()
+	case "bounce":
+		tr = trace.BounceSweep(*seed, *conns, *bounce, *domain, *mailboxes)
+	default:
+		log.Fatalf("smtpgen: unknown trace %q", *traceName)
+	}
+
+	var res workload.Result
+	start := time.Now()
+	switch *model {
+	case "closed":
+		res = workload.RunClosed(workload.ClosedConfig{
+			Addr: *addrFlag, Concurrency: *conc, Think: *think, Timeout: *timeout,
+		}, tr)
+	case "open":
+		res = workload.RunOpen(workload.OpenConfig{
+			Addr: *addrFlag, Rate: *rate, Timeout: *timeout,
+		}, tr)
+	default:
+		log.Fatalf("smtpgen: unknown model %q", *model)
+	}
+
+	fmt.Printf("replayed %d connections in %v (%s model)\n", len(tr), time.Since(start).Round(time.Millisecond), *model)
+	fmt.Printf("  good mails:   %d (%.1f mails/s goodput)\n", res.GoodMails, res.Goodput())
+	fmt.Printf("  bounce conns: %d\n", res.BounceConns)
+	fmt.Printf("  unfinished:   %d\n", res.Unfinished)
+	fmt.Printf("  rejected:     %d (DNSBL)\n", res.Rejected)
+	fmt.Printf("  errors:       %d\n", res.Errors)
+	if res.Latency.Count() > 0 {
+		fmt.Printf("  latency p50/p90: %.0fms / %.0fms\n",
+			1000*res.Latency.Quantile(0.5), 1000*res.Latency.Quantile(0.9))
+	}
+	if res.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,90 @@
+// Command traceinfo generates one of the synthetic workloads and prints
+// its statistics — the quickest way to see what the generators produce
+// and how they compare with the published trace properties (Table 1,
+// Figures 3, 4, 12, 13).
+//
+//	traceinfo -trace sinkhole -conns 20000
+//	traceinfo -trace univ -conns 20000
+//	traceinfo -trace ecn -days 365
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/addr"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		traceName = flag.String("trace", "sinkhole", "trace: sinkhole, univ, or ecn")
+		conns     = flag.Int("conns", 20000, "connections to generate")
+		days      = flag.Int("days", 365, "ecn: days of daily ratios")
+		seed      = flag.Uint64("seed", 1, "trace seed")
+	)
+	flag.Parse()
+
+	switch *traceName {
+	case "ecn":
+		pts := trace.ECNSeries(*seed, *days)
+		var b, u float64
+		for _, p := range pts {
+			b += p.BounceRatio
+			u += p.UnfinishedRatio
+		}
+		n := float64(len(pts))
+		fmt.Printf("ECN series: %d days, mean bounce %.3f, mean unfinished %.3f\n",
+			len(pts), b/n, u/n)
+		return
+	case "sinkhole":
+		prefixes := *conns / 12
+		if prefixes < 16 {
+			prefixes = 16
+		}
+		s := trace.NewSinkhole(trace.SinkholeConfig{
+			Seed: *seed, Connections: *conns, Prefixes: prefixes,
+		})
+		describe(s.Generate())
+		perPrefix := make(map[addr.Prefix]int)
+		for _, ip := range s.CBLPopulation() {
+			perPrefix[ip.Prefix24()]++
+		}
+		counts := make([]int, 0, len(perPrefix))
+		for _, n := range perPrefix {
+			counts = append(counts, n)
+		}
+		fmt.Printf("blacklist population: %d IPs; /24s with >10 listed: %.0f%%, >100: %.1f%%\n",
+			len(s.CBLPopulation()),
+			100*trace.FractionAbove(counts, 10),
+			100*trace.FractionAbove(counts, 100))
+	case "univ":
+		describe(trace.NewUniv(trace.UnivConfig{Seed: *seed, Connections: *conns}).Generate())
+	default:
+		log.Fatalf("traceinfo: unknown trace %q", *traceName)
+	}
+}
+
+func describe(conns []trace.Conn) {
+	st := trace.Summarize(conns)
+	t := metrics.NewTable("statistic", "value")
+	t.AddRow("connections", st.Connections)
+	t.AddRow("unique IPs", st.UniqueIPs)
+	t.AddRow("unique /24 prefixes", st.UniquePref)
+	t.AddRow("spam connections", st.SpamConns)
+	t.AddRow("bounce connections", st.Bounces)
+	t.AddRow("unfinished connections", st.Unfinished)
+	t.AddRow("delivering connections", st.Delivering)
+	t.AddRow("bounce ratio", st.BounceRatio())
+	t.AddRow("unfinished ratio", st.UnfinishedRatio())
+	t.AddRow("mean rcpts/delivering conn", st.MeanRcpts())
+	fmt.Print(t.String())
+
+	byIP, byPrefix := trace.Interarrivals(conns)
+	if byIP.Count() > 0 && byPrefix.Count() > 0 {
+		fmt.Printf("median interarrival: %.0fs per IP vs %.0fs per /24\n",
+			byIP.Quantile(0.5), byPrefix.Quantile(0.5))
+	}
+}

@@ -1,0 +1,147 @@
+// Package access implements the mail server's local recipient and alias
+// database — the table smtpd consults to decide whether a "RCPT TO"
+// address exists (§2: "smtpd also queries the local access database to
+// find if the recipients of the mails exist or not"). The answer to that
+// query is what separates legitimate deliveries from the §4.1 bounces,
+// and in the hybrid architecture it is the trust signal that triggers
+// delegation.
+package access
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/smtp"
+)
+
+// DB is the recipient database: the set of local domains, the mailboxes
+// within them, and aliases (postfix's local_recipient_maps plus
+// alias_maps). Safe for concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	domains map[string]map[string]bool // domain -> set of local parts
+	aliases map[string]string          // canonical addr -> canonical addr
+}
+
+// NewDB returns a database serving the given local domains.
+func NewDB(localDomains ...string) *DB {
+	db := &DB{
+		domains: make(map[string]map[string]bool),
+		aliases: make(map[string]string),
+	}
+	for _, d := range localDomains {
+		db.domains[strings.ToLower(d)] = make(map[string]bool)
+	}
+	return db
+}
+
+func canonical(addr string) string { return strings.ToLower(strings.TrimSpace(addr)) }
+
+// AddDomain registers an additional local domain.
+func (db *DB) AddDomain(domain string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	d := strings.ToLower(domain)
+	if _, ok := db.domains[d]; !ok {
+		db.domains[d] = make(map[string]bool)
+	}
+}
+
+// AddUser registers a mailbox. The address's domain must be local.
+func (db *DB) AddUser(addr string) error {
+	a := canonical(addr)
+	if err := smtp.ValidateAddress(a); err != nil {
+		return fmt.Errorf("access: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	users, ok := db.domains[smtp.Domain(a)]
+	if !ok {
+		return fmt.Errorf("access: %q is not a local domain", smtp.Domain(a))
+	}
+	users[smtp.LocalPart(a)] = true
+	return nil
+}
+
+// AddAlias maps from to to. The target must already be a valid recipient
+// (possibly itself an alias); chains are resolved at lookup with a depth
+// bound.
+func (db *DB) AddAlias(from, to string) error {
+	f, t := canonical(from), canonical(to)
+	for _, a := range []string{f, t} {
+		if err := smtp.ValidateAddress(a); err != nil {
+			return fmt.Errorf("access: %w", err)
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.domains[smtp.Domain(f)]; !ok {
+		return fmt.Errorf("access: alias source domain %q not local", smtp.Domain(f))
+	}
+	db.aliases[f] = t
+	return nil
+}
+
+// maxAliasDepth bounds alias chains; postfix similarly caps expansion to
+// break loops.
+const maxAliasDepth = 8
+
+// Resolve canonicalizes addr, follows aliases, and reports whether the
+// final target is an existing local mailbox. The returned address is the
+// delivery target (the mailbox name is its local part).
+func (db *DB) Resolve(addr string) (string, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	a := canonical(addr)
+	for i := 0; i <= maxAliasDepth; i++ {
+		if users, ok := db.domains[smtp.Domain(a)]; ok && users[smtp.LocalPart(a)] {
+			return a, true
+		}
+		next, ok := db.aliases[a]
+		if !ok {
+			return "", false
+		}
+		a = next
+	}
+	return "", false // alias loop or over-deep chain
+}
+
+// Valid reports whether addr resolves to an existing local mailbox — the
+// smtpd RCPT check.
+func (db *DB) Valid(addr string) bool {
+	_, ok := db.Resolve(addr)
+	return ok
+}
+
+// IsLocalDomain reports whether the domain is served locally.
+func (db *DB) IsLocalDomain(domain string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.domains[strings.ToLower(domain)]
+	return ok
+}
+
+// Users returns the number of mailboxes across all local domains.
+func (db *DB) Users() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, users := range db.domains {
+		n += len(users)
+	}
+	return n
+}
+
+// Populate registers n mailboxes named user0000…user<n-1> under domain,
+// the shape the workload generators and examples use (the paper's Univ
+// server hosts "over 400 mailboxes").
+func Populate(db *DB, domain string, n int) error {
+	db.AddDomain(domain)
+	for i := 0; i < n; i++ {
+		if err := db.AddUser(fmt.Sprintf("user%04d@%s", i, domain)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// quick runs one experiment at Quick scale and returns its metrics.
+func quick(t *testing.T, id string) Metrics {
+	t.Helper()
+	e, ok := Find(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	var buf bytes.Buffer
+	m, err := e.Run(&buf, Options{Quick: true})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if buf.Len() == 0 {
+		t.Fatalf("%s produced no output", id)
+	}
+	return m
+}
+
+func within(t *testing.T, m Metrics, key string, lo, hi float64) {
+	t.Helper()
+	v, ok := m[key]
+	if !ok {
+		t.Fatalf("metric %q missing (have %v)", key, keys(m))
+	}
+	if v < lo || v > hi {
+		t.Errorf("metric %s = %v, want in [%v, %v]", key, v, lo, hi)
+	}
+}
+
+func keys(m Metrics) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 15 {
+		t.Fatalf("registry has %d experiments, want ≥15", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, want := range []string{
+		"table1", "fig1", "fig3", "fig4", "fig5", "tuning", "fig8",
+		"fig10", "fig11", "mfs-sinkhole", "fig12", "fig13", "fig14",
+		"fig15", "combined",
+	} {
+		if !seen[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find(nope) succeeded")
+	}
+	if len(IDs()) != len(exps) {
+		t.Error("IDs() length mismatch")
+	}
+}
+
+func TestTable1AndFig1(t *testing.T) {
+	quick(t, "table1")
+	m := quick(t, "fig1")
+	if m["Sendmail"] <= m["Postfix"] {
+		t.Error("Figure 1: sendmail should lead postfix")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	m := quick(t, "fig3")
+	within(t, m, "mean_bounce", 0.20, 0.25)
+	within(t, m, "mean_unfinished", 0.05, 0.15)
+	if m["bounce_drift"] <= 0 {
+		t.Error("bounce ratio should drift upward across the year")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	m := quick(t, "fig4")
+	within(t, m, "mean_rcpts", 6, 8.5)
+	within(t, m, "frac_5_to_15", 0.5, 0.85)
+	within(t, m, "max_rcpts", 15, 20)
+}
+
+func TestFig5Shape(t *testing.T) {
+	m := quick(t, "fig5")
+	within(t, m, "over100_min", 0.13, 0.21)
+	within(t, m, "over100_max", 0.44, 0.56)
+}
+
+func TestTuningShape(t *testing.T) {
+	m := quick(t, "tuning")
+	within(t, m, "peak_goodput", 160, 200)
+	// The optimum sits in the 100–500 plateau; 50 is starved and 1000
+	// degrades (§3).
+	if m["goodput_50"] > 0.75*m["peak_goodput"] {
+		t.Errorf("50 workers too fast: %v vs peak %v", m["goodput_50"], m["peak_goodput"])
+	}
+	if m["goodput_1000"] > 0.9*m["peak_goodput"] {
+		t.Errorf("1000 workers should degrade: %v vs peak %v", m["goodput_1000"], m["peak_goodput"])
+	}
+	if m["goodput_500"] < 0.95*m["peak_goodput"] {
+		t.Errorf("500 workers should sit near the peak: %v vs %v", m["goodput_500"], m["peak_goodput"])
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	m := quick(t, "fig8")
+	// Vanilla declines steadily and has lost most of its goodput by 0.9.
+	if m["vanilla_0.90"] > 0.55*m["vanilla_0.00"] {
+		t.Errorf("vanilla at 0.9 = %v, want well below %v", m["vanilla_0.90"], m["vanilla_0.00"])
+	}
+	if !(m["vanilla_0.50"] < m["vanilla_0.25"] && m["vanilla_0.75"] < m["vanilla_0.50"]) {
+		t.Error("vanilla should decline monotonically with bounce ratio")
+	}
+	// Hybrid stays nearly flat until 0.75 (paper: until 0.9).
+	if m["hybrid_0.75"] < 0.9*m["hybrid_0.00"] {
+		t.Errorf("hybrid at 0.75 = %v, want ≥90%% of %v", m["hybrid_0.75"], m["hybrid_0.00"])
+	}
+	// Both start from the same point.
+	ratio := m["hybrid_0.00"] / m["vanilla_0.00"]
+	if ratio < 0.95 || ratio > 1.1 {
+		t.Errorf("b=0 parity broken: hybrid/vanilla = %v", ratio)
+	}
+	// Context switches cut by ≈2× or more under a bounce-heavy mix.
+	if m["switch_ratio_0.50"] < 1.8 {
+		t.Errorf("switch ratio at 0.5 = %v, want ≥1.8 (paper ≈2×)", m["switch_ratio_0.50"])
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	m := quick(t, "fig10")
+	within(t, m, "vanilla_speedup_1_to_15", 4, 9) // paper 7.2
+	within(t, m, "mfs_gain_15", 0.2, 0.6)         // paper +39%
+	// Maildir collapses on Ext3; hardlink is between maildir and mbox.
+	if !(m["maildir_15"] < m["hardlink_15"] && m["hardlink_15"] < m["mbox_15"]) {
+		t.Errorf("ext3 ordering broken: maildir %v hardlink %v mbox %v",
+			m["maildir_15"], m["hardlink_15"], m["mbox_15"])
+	}
+	if m["mfs_15"] <= m["mbox_15"] {
+		t.Error("MFS must beat vanilla at 15 recipients")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	m := quick(t, "fig11")
+	// Reiser ordering at 15 rcpts: MFS > hardlink > vanilla > maildir.
+	if !(m["mfs_15"] > m["hardlink_15"] &&
+		m["hardlink_15"] > m["mbox_15"] &&
+		m["mbox_15"] > m["maildir_15"]) {
+		t.Errorf("reiser ordering broken: mfs %v hardlink %v mbox %v maildir %v",
+			m["mfs_15"], m["hardlink_15"], m["mbox_15"], m["maildir_15"])
+	}
+	within(t, m, "mfs_vs_maildir_15", 1.0, 4.0) // paper +212%
+}
+
+func TestMFSSinkholeShape(t *testing.T) {
+	m := quick(t, "mfs-sinkhole")
+	within(t, m, "mfs_gain", 0.08, 0.40) // paper +20%
+}
+
+func TestFig12Shape(t *testing.T) {
+	m := quick(t, "fig12")
+	within(t, m, "frac_gt_10", 0.33, 0.47)   // paper 40%
+	within(t, m, "frac_gt_100", 0.015, 0.05) // paper ≈3%
+}
+
+func TestFig13Shape(t *testing.T) {
+	m := quick(t, "fig13")
+	if m["median_prefix_gap"] >= m["median_ip_gap"] {
+		t.Errorf("prefix gap %v should undercut IP gap %v",
+			m["median_prefix_gap"], m["median_ip_gap"])
+	}
+	if m["mean_prefix_gap"] >= m["mean_ip_gap"] {
+		t.Error("mean gaps ordering broken")
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	m := quick(t, "fig14")
+	// Equal at low rates; a clear gap at 200 conn/s (paper +10.8%).
+	within(t, m, "gain_80", -0.02, 0.02)
+	within(t, m, "gain_120", -0.02, 0.02)
+	if m["gain_200"] < 0.04 {
+		t.Errorf("gain at 200 = %v, want ≥4%%", m["gain_200"])
+	}
+	if m["gain_200"] <= m["gain_170"] {
+		t.Error("gap should widen with rate")
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	m := quick(t, "fig15")
+	within(t, m, "hit_ip", 0.66, 0.80)     // paper 73.8%
+	within(t, m, "hit_prefix", 0.77, 0.89) // paper 83.9%
+	within(t, m, "query_reduction", 0.25, 0.50)
+	if m["hit_none"] != 0 {
+		t.Error("no-cache policy must have zero hits")
+	}
+}
+
+func TestCombinedShape(t *testing.T) {
+	m := quick(t, "combined")
+	within(t, m, "gain_spam", 0.30, 0.60)     // paper +40%
+	within(t, m, "querycut_spam", 0.30, 0.50) // paper −39%
+	within(t, m, "gain_univ", 0.10, 0.30)     // paper +18%
+	within(t, m, "querycut_univ", 0.10, 0.30) // paper −20%
+}
+
+func TestAblations(t *testing.T) {
+	tp := quick(t, "ablation-trustpoint")
+	if tp["after-mail"] >= tp["after-rcpt"] {
+		t.Errorf("delegating before validation should lose: after-mail %v vs after-rcpt %v",
+			tp["after-mail"], tp["after-rcpt"])
+	}
+	bw := quick(t, "ablation-bitmapwidth")
+	if !(bw["hit_24"] >= bw["hit_25"] && bw["hit_25"] >= bw["hit_26"]) {
+		t.Error("wider prefixes should cache at least as well")
+	}
+	ttl := quick(t, "ablation-ttl")
+	if ttl["prefix_hit_24h0m0s"] <= ttl["ip_hit_24h0m0s"] {
+		t.Error("prefix caching should win at the default TTL")
+	}
+	quick(t, "ablation-vectorsend")
+	quick(t, "ablation-refcount")
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep is slow")
+	}
+	var buf bytes.Buffer
+	all, err := RunAll(&buf, Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Experiments()) {
+		t.Fatalf("RunAll returned %d results, want %d", len(all), len(Experiments()))
+	}
+	out := buf.String()
+	for _, e := range Experiments() {
+		if !strings.Contains(out, "=== "+e.ID) {
+			t.Errorf("output missing section for %s", e.ID)
+		}
+	}
+}
+
+func TestOptionsScale(t *testing.T) {
+	o := Options{Quick: true}
+	if o.scale(1000, 50) != 100 {
+		t.Error("Quick should divide by 10")
+	}
+	if o.scale(100, 50) != 50 {
+		t.Error("floor not applied")
+	}
+	full := Options{}
+	if full.scale(1000, 50) != 1000 {
+		t.Error("full scale should pass through")
+	}
+	if (Options{}).seed() != 1 || (Options{Seed: 9}).seed() != 9 {
+		t.Error("seed defaulting wrong")
+	}
+}
+
+var _ io.Writer = (*bytes.Buffer)(nil)

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/addr"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Measurement testbed, software, and traces",
+		Paper: "Table 1: testbed configuration and trace inventory",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Distribution of mail servers in the Internet (Jan 2007)",
+		Paper: "Figure 1: sendmail leads, then postfix, MS Exim, Postini, …",
+		Run:   runFig1,
+	})
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Daily bounce and unfinished-transaction ratios (ECN, 2007)",
+		Paper: "Figure 3: bounces 20–25% with a slight upward drift; unfinished 5–15%",
+		Run:   runFig3,
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "CDF of recipients per mail in the sinkhole trace",
+		Paper: "Figure 4: 'rcpt to' count commonly between 5–15; trace mean ≈7",
+		Run:   runFig4,
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "CDF of blacklisted IPs per /24 prefix",
+		Paper: "Figure 12: 40% of prefixes hold >10 blacklisted IPs; ≈3% hold >100",
+		Run:   runFig12,
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Interarrival times per IP vs per /24 prefix",
+		Paper: "Figure 13: same-/24 interarrivals markedly shorter than same-IP",
+		Run:   runFig13,
+	})
+}
+
+func runTable1(w io.Writer, opts Options) (Metrics, error) {
+	t := metrics.NewTable("item", "value")
+	t.AddRow("server/client machine", "Intel Xeon 3.0 GHz, 2 GB RAM, U320 10K SCSI (modelled)")
+	t.AddRow("os / filesystem", "Linux 2.6.20, Ext3 journal (cost model; Reiser alternative)")
+	t.AddRow("network", "gigabit switch, 30 ms emulated delay each way")
+	t.AddRow("server software", "spam-aware mail server (this repository), vanilla + hybrid")
+	t.AddRow("client program 1", "closed-system replayer (internal/workload.RunClosed)")
+	t.AddRow("client program 2", "open-system replayer (internal/workload.RunOpen)")
+	t.AddRow("spam trace", fmt.Sprintf("synthetic sinkhole: %d conns, %d IPs, %d /24s",
+		trace.SinkholeConnections, trace.SinkholeIPs, trace.SinkholePrefixes))
+	t.AddRow("univ trace", fmt.Sprintf("synthetic departmental: %d conns, %.0f%% spam",
+		trace.UnivConnections, 100*trace.UnivSpamRatio))
+	fmt.Fprint(w, t.String())
+	return Metrics{"rows": float64(8)}, nil
+}
+
+// fig1Data is the January-2007 MTA fingerprint distribution read off the
+// paper's Figure 1 (percent of ~400,000 fingerprinted company domains).
+var fig1Data = []struct {
+	Server string
+	Pct    float64
+}{
+	{"Sendmail", 12.3},
+	{"Postfix", 8.6},
+	{"MS Exchange", 7.4},
+	{"Postini", 6.7},
+	{"Exim", 5.0},
+	{"MXLogic", 4.1},
+	{"Qmail", 3.8},
+	{"CommuniGate", 3.2},
+	{"Cisco/IronPort", 2.6},
+	{"Barracuda", 2.2},
+}
+
+func runFig1(w io.Writer, opts Options) (Metrics, error) {
+	t := metrics.NewTable("mail server", "% of domains")
+	for _, d := range fig1Data {
+		t.AddRow(d.Server, d.Pct)
+	}
+	fmt.Fprint(w, t.String())
+	m := Metrics{}
+	for _, d := range fig1Data {
+		m[d.Server] = d.Pct
+	}
+	return m, nil
+}
+
+func runFig3(w io.Writer, opts Options) (Metrics, error) {
+	days := opts.scale(390, 60)
+	pts := trace.ECNSeries(opts.seed(), days)
+	t := metrics.NewTable("day", "bounce ratio", "unfinished ratio")
+	var bSum, uSum, bEarly, bLate float64
+	for i, p := range pts {
+		if i%30 == 0 {
+			t.AddRow(p.Day, p.BounceRatio, p.UnfinishedRatio)
+		}
+		bSum += p.BounceRatio
+		uSum += p.UnfinishedRatio
+		if i < len(pts)/4 {
+			bEarly += p.BounceRatio
+		}
+		if i >= 3*len(pts)/4 {
+			bLate += p.BounceRatio
+		}
+	}
+	fmt.Fprint(w, t.String())
+	n := float64(len(pts))
+	q := n / 4
+	m := Metrics{
+		"mean_bounce":     bSum / n,
+		"mean_unfinished": uSum / n,
+		"bounce_drift":    bLate/q - bEarly/q,
+	}
+	fmt.Fprintf(w, "\nmean bounce %.3f, mean unfinished %.3f, year drift %+.4f\n",
+		m["mean_bounce"], m["mean_unfinished"], m["bounce_drift"])
+	return m, nil
+}
+
+// sinkholeFor builds the scaled sinkhole generator shared by the trace
+// experiments.
+func sinkholeFor(opts Options) *trace.Sinkhole {
+	return trace.NewSinkhole(trace.SinkholeConfig{
+		Seed:        opts.seed(),
+		Connections: opts.scale(trace.SinkholeConnections, 8000),
+		Prefixes:    opts.scale(trace.SinkholePrefixes, 700),
+	})
+}
+
+func runFig4(w io.Writer, opts Options) (Metrics, error) {
+	conns := sinkholeFor(opts).Generate()
+	sample := trace.RcptSample(conns)
+	t := metrics.NewTable("recipients ≤", "CDF")
+	for _, x := range []float64{1, 2, 3, 5, 7, 10, 12, 15, 20} {
+		t.AddRow(int(x), sample.FractionBelow(x))
+	}
+	fmt.Fprint(w, t.String())
+	m := Metrics{
+		"mean_rcpts":   sample.Mean(),
+		"frac_5_to_15": sample.FractionBelow(15) - sample.FractionBelow(4),
+		"median_rcpts": sample.Quantile(0.5),
+		"max_rcpts":    sample.Max(),
+		"delivering":   float64(sample.Count()),
+	}
+	fmt.Fprintf(w, "\nmean %.2f rcpts/conn (paper ≈7); %.0f%% in [5,15]\n",
+		m["mean_rcpts"], 100*m["frac_5_to_15"])
+	return m, nil
+}
+
+func runFig12(w io.Writer, opts Options) (Metrics, error) {
+	s := sinkholeFor(opts)
+	perPrefix := make(map[addr.Prefix]int)
+	for _, ip := range s.CBLPopulation() {
+		perPrefix[ip.Prefix24()]++
+	}
+	counts := make([]int, 0, len(perPrefix))
+	for _, n := range perPrefix {
+		counts = append(counts, n)
+	}
+	t := metrics.NewTable("blacklisted IPs per /24 >", "fraction of prefixes")
+	for _, x := range []int{1, 5, 10, 30, 60, 100, 180} {
+		t.AddRow(x, trace.FractionAbove(counts, x))
+	}
+	fmt.Fprint(w, t.String())
+	m := Metrics{
+		"frac_gt_10":  trace.FractionAbove(counts, 10),
+		"frac_gt_100": trace.FractionAbove(counts, 100),
+		"prefixes":    float64(len(counts)),
+	}
+	fmt.Fprintf(w, "\n%.0f%% of prefixes >10 IPs (paper 40%%); %.1f%% >100 (paper ≈3%%)\n",
+		100*m["frac_gt_10"], 100*m["frac_gt_100"])
+	return m, nil
+}
+
+func runFig13(w io.Writer, opts Options) (Metrics, error) {
+	conns := sinkholeFor(opts).Generate()
+	byIP, byPrefix := trace.Interarrivals(conns)
+	t := metrics.NewTable("quantile", "same-IP gap (s)", "same-/24 gap (s)")
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.9} {
+		t.AddRow(q, byIP.Quantile(q), byPrefix.Quantile(q))
+	}
+	fmt.Fprint(w, t.String())
+	m := Metrics{
+		"median_ip_gap":     byIP.Quantile(0.5),
+		"median_prefix_gap": byPrefix.Quantile(0.5),
+		"mean_ip_gap":       byIP.Mean(),
+		"mean_prefix_gap":   byPrefix.Mean(),
+	}
+	fmt.Fprintf(w, "\nmedian gap: %.0fs per IP vs %.0fs per /24\n",
+		m["median_ip_gap"], m["median_prefix_gap"])
+	return m, nil
+}

@@ -1,0 +1,91 @@
+// Package delivery implements the local delivery agent of the paper's
+// Figure 2 (postfix's local(8)): it takes items from the queue manager,
+// resolves every recipient through the access database (aliases
+// included), deduplicates the target mailboxes, and writes the mail
+// through a mailstore.Store — one call per mail, so a multi-recipient
+// mail reaches an MFS store as a single NWrite (§6.1).
+package delivery
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/access"
+	"repro/internal/mailstore"
+	"repro/internal/queue"
+	"repro/internal/smtp"
+)
+
+// Agent is a queue.Deliverer writing into a mailbox store.
+type Agent struct {
+	db    *access.DB
+	store mailstore.Store
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+var _ queue.Deliverer = (*Agent)(nil)
+
+// Stats counts delivery outcomes.
+type Stats struct {
+	// Mails is the number of queue items processed successfully.
+	Mails int64
+	// RcptDeliveries is the number of (mail, mailbox) pairs written.
+	RcptDeliveries int64
+	// DroppedRcpts counts recipients that no longer resolved at delivery
+	// time (e.g. removed between RCPT and delivery).
+	DroppedRcpts int64
+}
+
+// NewAgent returns a delivery agent writing through store, resolving
+// recipients against db.
+func NewAgent(db *access.DB, store mailstore.Store) *Agent {
+	return &Agent{db: db, store: store}
+}
+
+// Deliver implements queue.Deliverer.
+func (a *Agent) Deliver(item *queue.Item) error {
+	// Resolve to mailbox names (local parts of canonical addresses),
+	// deduplicating: two aliases of one user get a single copy, like
+	// postfix's duplicate elimination.
+	seen := make(map[string]bool, len(item.Rcpts))
+	mailboxes := make([]string, 0, len(item.Rcpts))
+	dropped := int64(0)
+	for _, rcpt := range item.Rcpts {
+		canonical, ok := a.db.Resolve(rcpt)
+		if !ok {
+			dropped++
+			continue
+		}
+		box := smtp.LocalPart(canonical)
+		if !seen[box] {
+			seen[box] = true
+			mailboxes = append(mailboxes, box)
+		}
+	}
+	if len(mailboxes) == 0 {
+		// Nothing deliverable; succeed so the queue drops the item
+		// instead of retrying a permanent condition.
+		a.mu.Lock()
+		a.stats.DroppedRcpts += dropped
+		a.mu.Unlock()
+		return nil
+	}
+	if err := a.store.Deliver(item.ID, mailboxes, item.Data); err != nil {
+		return fmt.Errorf("delivery: %s: %w", item.ID, err)
+	}
+	a.mu.Lock()
+	a.stats.Mails++
+	a.stats.RcptDeliveries += int64(len(mailboxes))
+	a.stats.DroppedRcpts += dropped
+	a.mu.Unlock()
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (a *Agent) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}

@@ -1,0 +1,128 @@
+package delivery
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/costmodel"
+	"repro/internal/fsim"
+	"repro/internal/mailstore"
+	"repro/internal/queue"
+)
+
+func newEnv(t *testing.T) (*access.DB, mailstore.Store, *Agent) {
+	t.Helper()
+	db := access.NewDB("dept.test")
+	for _, u := range []string{"alice@dept.test", "bob@dept.test"} {
+		if err := db.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store, err := mailstore.NewMFS(fsim.NewMem(costmodel.FSModel{}), "mfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, store, NewAgent(db, store)
+}
+
+func TestDeliverSingle(t *testing.T) {
+	_, store, agent := newEnv(t)
+	item := &queue.Item{ID: "m1", Sender: "s@x.test", Rcpts: []string{"alice@dept.test"}, Data: []byte("hi")}
+	if err := agent.Deliver(item); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Read("alice", "m1")
+	if err != nil || string(got) != "hi" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	st := agent.Stats()
+	if st.Mails != 1 || st.RcptDeliveries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDeliverMultiRecipient(t *testing.T) {
+	_, store, agent := newEnv(t)
+	item := &queue.Item{ID: "m1", Rcpts: []string{"alice@dept.test", "bob@dept.test"}, Data: []byte("x")}
+	if err := agent.Deliver(item); err != nil {
+		t.Fatal(err)
+	}
+	for _, box := range []string{"alice", "bob"} {
+		if _, err := store.Read(box, "m1"); err != nil {
+			t.Fatalf("%s: %v", box, err)
+		}
+	}
+}
+
+func TestAliasesDeduplicated(t *testing.T) {
+	db, store, agent := newEnv(t)
+	db.AddAlias("postmaster@dept.test", "alice@dept.test")
+	item := &queue.Item{
+		ID:    "m1",
+		Rcpts: []string{"alice@dept.test", "postmaster@dept.test"},
+		Data:  []byte("x"),
+	}
+	if err := agent.Deliver(item); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := store.List("alice")
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("alice got %v mails (%v), want exactly 1", ids, err)
+	}
+	if agent.Stats().RcptDeliveries != 1 {
+		t.Fatalf("stats = %+v", agent.Stats())
+	}
+}
+
+func TestUnresolvableRecipientsDropped(t *testing.T) {
+	_, store, agent := newEnv(t)
+	item := &queue.Item{
+		ID:    "m1",
+		Rcpts: []string{"ghost@dept.test", "alice@dept.test"},
+		Data:  []byte("x"),
+	}
+	if err := agent.Deliver(item); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Read("alice", "m1"); err != nil {
+		t.Fatal(err)
+	}
+	st := agent.Stats()
+	if st.DroppedRcpts != 1 || st.RcptDeliveries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAllRecipientsUnresolvableSucceeds(t *testing.T) {
+	// A permanently undeliverable mail must not bounce around the
+	// deferred queue forever.
+	_, _, agent := newEnv(t)
+	item := &queue.Item{ID: "m1", Rcpts: []string{"ghost@dept.test"}, Data: []byte("x")}
+	if err := agent.Deliver(item); err != nil {
+		t.Fatal(err)
+	}
+	st := agent.Stats()
+	if st.Mails != 0 || st.DroppedRcpts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDeliverThroughQueue(t *testing.T) {
+	_, store, agent := newEnv(t)
+	m, err := queue.NewManager(queue.Config{Deliverer: agent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	id, err := m.Enqueue("s@x.test", []string{"bob@dept.test"}, []byte("queued"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.WaitIdle(2_000_000_000) {
+		t.Fatal("queue never idle")
+	}
+	got, err := store.Read("bob", id)
+	if err != nil || string(got) != "queued" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+}

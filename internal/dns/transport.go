@@ -1,0 +1,304 @@
+package dns
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler answers DNS questions. Implementations must be safe for
+// concurrent use; the UDP server calls Resolve from its read loop.
+type Handler interface {
+	// Resolve answers a single question. Returning a nil message means
+	// SERVFAIL.
+	Resolve(q Question) *Message
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(q Question) *Message
+
+// Resolve implements Handler.
+func (f HandlerFunc) Resolve(q Question) *Message { return f(q) }
+
+// Transport issues one DNS query and returns the response. The two
+// implementations are UDPTransport (real sockets) and MemTransport
+// (direct handler invocation for deterministic tests).
+type Transport interface {
+	Query(m *Message) (*Message, error)
+}
+
+// ErrTimeout is returned when a query receives no answer in time.
+var ErrTimeout = errors.New("dns: query timed out")
+
+// ---------------------------------------------------------------------------
+// UDP server
+
+// Server serves DNS over a net.PacketConn.
+type Server struct {
+	conn    net.PacketConn
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+
+	// Queries counts requests served, for tests and reports.
+	queries int64
+}
+
+// NewServer starts serving on conn; it owns conn and closes it on Close.
+// The read loop runs until Close.
+func NewServer(conn net.PacketConn, handler Handler) *Server {
+	s := &Server{conn: conn, handler: handler, done: make(chan struct{})}
+	go s.loop()
+	return s
+}
+
+// Addr returns the server's listening address.
+func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// Queries returns the number of queries served.
+func (s *Server) Queries() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queries
+}
+
+// Close stops the server and waits for the read loop to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.conn.Close()
+	<-s.done
+	return err
+}
+
+func (s *Server) loop() {
+	defer close(s.done)
+	buf := make([]byte, 4096)
+	for {
+		n, from, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		query, err := Decode(buf[:n])
+		if err != nil || query.Response || len(query.Questions) != 1 {
+			continue // drop garbage, as real servers do
+		}
+		s.mu.Lock()
+		s.queries++
+		s.mu.Unlock()
+		resp := s.handler.Resolve(query.Questions[0])
+		if resp == nil {
+			resp = query.Reply()
+			resp.RCode = RCodeServFail
+		}
+		resp.ID = query.ID
+		resp.Response = true
+		out, err := resp.Encode()
+		if err != nil {
+			continue
+		}
+		if _, err := s.conn.WriteTo(out, from); err != nil {
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// UDP client transport
+
+// UDPTransport queries a fixed server address over UDP with a timeout and
+// ID validation.
+type UDPTransport struct {
+	// Server is the DNSBL server's address, e.g. "127.0.0.1:5353".
+	Server string
+	// Timeout bounds each query; zero means 2s.
+	Timeout time.Duration
+}
+
+var _ Transport = (*UDPTransport)(nil)
+
+// Query implements Transport.
+func (t *UDPTransport) Query(m *Message) (*Message, error) {
+	timeout := t.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := net.Dial("udp", t.Server)
+	if err != nil {
+		return nil, fmt.Errorf("dns: dial %s: %w", t.Server, err)
+	}
+	defer conn.Close()
+	out, err := m.Encode()
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(out); err != nil {
+		return nil, fmt.Errorf("dns: send: %w", err)
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return nil, ErrTimeout
+			}
+			return nil, fmt.Errorf("dns: recv: %w", err)
+		}
+		resp, err := Decode(buf[:n])
+		if err != nil {
+			continue
+		}
+		if resp.ID != m.ID || !resp.Response {
+			continue // stray or spoof-candidate packet; keep waiting
+		}
+		return resp, nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// In-memory transport
+
+// MemTransport invokes a Handler directly — no sockets, no goroutines —
+// and optionally delays via a caller-supplied latency hook so tests can
+// model slow blacklists deterministically.
+type MemTransport struct {
+	Handler Handler
+	// Latency, if non-nil, is invoked per query with the question; the
+	// transport sleeps for the returned duration (real time).
+	Latency func(q Question) time.Duration
+
+	mu      sync.Mutex
+	queries int64
+}
+
+var _ Transport = (*MemTransport)(nil)
+
+// Queries returns the number of queries issued through the transport.
+func (t *MemTransport) Queries() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.queries
+}
+
+// Query implements Transport.
+func (t *MemTransport) Query(m *Message) (*Message, error) {
+	if len(m.Questions) != 1 {
+		return nil, fmt.Errorf("dns: MemTransport requires exactly one question")
+	}
+	t.mu.Lock()
+	t.queries++
+	t.mu.Unlock()
+	if t.Latency != nil {
+		if d := t.Latency(m.Questions[0]); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	resp := t.Handler.Resolve(m.Questions[0])
+	if resp == nil {
+		resp = m.Reply()
+		resp.RCode = RCodeServFail
+	}
+	resp.ID = m.ID
+	resp.Response = true
+	return resp, nil
+}
+
+// ---------------------------------------------------------------------------
+// TTL cache
+
+// Cache is a TTL-bound answer cache keyed by (name, qtype). Time is
+// injected so the simulator can drive it with virtual time and the paper's
+// 24-hour DNSBL TTL (§7.2) costs nothing to test.
+type Cache struct {
+	mu      sync.Mutex
+	now     func() time.Time
+	entries map[cacheKey]cacheEntry
+
+	hits   int64
+	misses int64
+}
+
+type cacheKey struct {
+	name  string
+	qtype Type
+}
+
+type cacheEntry struct {
+	msg     *Message
+	expires time.Time
+}
+
+// NewCache returns a cache reading time from now (defaults to time.Now).
+func NewCache(now func() time.Time) *Cache {
+	if now == nil {
+		now = time.Now
+	}
+	return &Cache{now: now, entries: make(map[cacheKey]cacheEntry)}
+}
+
+// Get returns the cached response for (name, qtype) if still fresh.
+func (c *Cache) Get(name string, qtype Type) (*Message, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := cacheKey{name: name, qtype: qtype}
+	e, ok := c.entries[k]
+	if !ok || c.now().After(e.expires) {
+		if ok {
+			delete(c.entries, k)
+		}
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return e.msg, true
+}
+
+// Put stores a response under (name, qtype) for ttl.
+func (c *Cache) Put(name string, qtype Type, msg *Message, ttl time.Duration) {
+	if ttl <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[cacheKey{name: name, qtype: qtype}] = cacheEntry{
+		msg:     msg,
+		expires: c.now().Add(ttl),
+	}
+}
+
+// Len returns the number of cached entries, including expired ones not
+// yet evicted.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns (hits, misses).
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// HitRatio returns hits/(hits+misses), or 0 with no traffic.
+func (c *Cache) HitRatio() float64 {
+	h, m := c.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

@@ -1,0 +1,6 @@
+package dnsbl
+
+import "repro/internal/sim"
+
+// newRNG returns a fixed-seed random stream for tests.
+func newRNG() *sim.RNG { return sim.NewRNG(12345) }

@@ -1,0 +1,161 @@
+package dnsbl
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// LatencyCDF is an empirical lookup-latency distribution for one DNSBL,
+// as piecewise-linear CDF points over milliseconds.
+type LatencyCDF struct {
+	// Zone is the DNSBL's zone name.
+	Zone string
+	// Points are (latency ms, cumulative fraction) pairs.
+	Points []struct{ X, Frac float64 }
+}
+
+// FractionAbove returns the fraction of queries slower than ms.
+func (l LatencyCDF) FractionAbove(ms float64) float64 {
+	pts := l.Points
+	if len(pts) == 0 {
+		return 0
+	}
+	if ms <= pts[0].X {
+		return 1 - pts[0].Frac
+	}
+	if ms >= pts[len(pts)-1].X {
+		return 0
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].X >= ms })
+	p0, p1 := pts[i-1], pts[i]
+	if p1.X == p0.X {
+		return 1 - p1.Frac
+	}
+	t := (ms - p0.X) / (p1.X - p0.X)
+	return 1 - (p0.Frac + t*(p1.Frac-p0.Frac))
+}
+
+// Sampler returns a deterministic sampler over the distribution.
+func (l LatencyCDF) Sampler() *sim.CDFSampler { return sim.NewCDFSampler(l.Points) }
+
+func pts(pairs ...float64) []struct{ X, Frac float64 } {
+	var out []struct{ X, Frac float64 }
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, struct{ X, Frac float64 }{pairs[i], pairs[i+1]})
+	}
+	return out
+}
+
+// Figure5 holds the latency distributions of the six DNSBLs the paper
+// measured with its 19,492 sinkhole IPs (Figure 5: between 16% and 50%
+// of queries took more than 100 ms). The curves are reconstructed from
+// the figure; FractionAbove(100) spans that published range.
+var Figure5 = []LatencyCDF{
+	{Zone: "cbl.abuseat.org", Points: pts(0, 0, 10, 0.35, 30, 0.60, 60, 0.78, 100, 0.84, 150, 0.92, 250, 1)},
+	{Zone: "sbl-xbl.spamhaus.org", Points: pts(0, 0, 10, 0.40, 30, 0.65, 100, 0.80, 200, 0.95, 250, 1)},
+	{Zone: "bl.spamcop.net", Points: pts(0, 0, 15, 0.30, 40, 0.55, 100, 0.72, 200, 0.90, 250, 1)},
+	{Zone: "list.dsbl.org", Points: pts(0, 0, 20, 0.30, 50, 0.55, 100, 0.75, 150, 0.85, 250, 1)},
+	{Zone: "dnsbl.sorbs.net", Points: pts(0, 0, 25, 0.25, 60, 0.50, 100, 0.68, 180, 0.85, 250, 1)},
+	{Zone: "dul.dnsbl.sorbs.net", Points: pts(0, 0, 40, 0.15, 80, 0.35, 100, 0.50, 150, 0.70, 250, 1)},
+}
+
+// DefaultLatency is the distribution the mail-server simulations use for
+// cache-miss lookups (the CBL curve — the list the paper's Figure 12
+// analysis uses).
+var DefaultLatency = Figure5[0]
+
+// CacheHitLatency is the local-cache response time charged on a hit.
+const CacheHitLatency = 100 * time.Microsecond
+
+// SimCache emulates DNSBL resolver caching under virtual time: the
+// simulation asks it, per connection, what the lookup costs and whether
+// an upstream query was sent. This mirrors the paper's own method — §7.2
+// "we emulated DNS caching and consequently the DNSBL query time for each
+// mail received".
+type SimCache struct {
+	policy  CachePolicy
+	ttl     time.Duration
+	sampler *sim.CDFSampler
+	rng     *sim.RNG
+
+	expiry map[string]time.Duration // cache key -> virtual expiry
+
+	hits    int64
+	misses  int64
+	latency []time.Duration
+}
+
+// NewSimCache returns a virtual-time cache emulator. The sampler draws
+// miss latencies in milliseconds (use a LatencyCDF.Sampler()).
+func NewSimCache(policy CachePolicy, ttl time.Duration, sampler *sim.CDFSampler, rng *sim.RNG) *SimCache {
+	return &SimCache{
+		policy:  policy,
+		ttl:     ttl,
+		sampler: sampler,
+		rng:     rng,
+		expiry:  make(map[string]time.Duration),
+	}
+}
+
+// Lookup returns the lookup latency for a connection from ipKey/prefixKey
+// arriving at virtual time now, and whether an upstream DNS query was
+// issued. Keys are precomputed strings so the emulator is agnostic to the
+// address representation.
+func (s *SimCache) Lookup(now time.Duration, ipKey, prefixKey string) (time.Duration, bool) {
+	var key string
+	switch s.policy {
+	case CacheIP:
+		key = ipKey
+	case CachePrefix:
+		key = prefixKey
+	case CacheNone:
+		key = ""
+	}
+	if key != "" {
+		if exp, ok := s.expiry[key]; ok && exp > now {
+			s.hits++
+			s.latency = append(s.latency, CacheHitLatency)
+			return CacheHitLatency, false
+		}
+	}
+	s.misses++
+	d := time.Duration(s.sampler.Sample(s.rng) * float64(time.Millisecond))
+	s.latency = append(s.latency, d)
+	if key != "" {
+		s.expiry[key] = now + d + s.ttl
+	}
+	return d, true
+}
+
+// Hits returns the number of cache hits.
+func (s *SimCache) Hits() int64 { return s.hits }
+
+// Misses returns the number of upstream queries (cache misses).
+func (s *SimCache) Misses() int64 { return s.misses }
+
+// HitRatio returns hits/(hits+misses).
+func (s *SimCache) HitRatio() float64 {
+	total := s.hits + s.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.hits) / float64(total)
+}
+
+// MissRatio returns the fraction of lookups that went upstream — the
+// "number of DNS queries issued" metric of §7.2 (26.22% under IP caching
+// vs 16.11% under prefix caching on the sinkhole trace).
+func (s *SimCache) MissRatio() float64 {
+	total := s.hits + s.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.misses) / float64(total)
+}
+
+// Latencies returns every lookup's latency in call order.
+func (s *SimCache) Latencies() []time.Duration {
+	return append([]time.Duration(nil), s.latency...)
+}

@@ -1,0 +1,75 @@
+package dnsbl
+
+import (
+	"repro/internal/addr"
+	"repro/internal/dns"
+)
+
+// AnswerTTL is the TTL attached to DNSBL answers; the paper's evaluation
+// uses 24 hours because blacklists update infrequently (§7.2).
+const AnswerTTL = 24 * 60 * 60 // seconds
+
+// V4Handler answers classic per-IP DNSBL queries over a List:
+// an A query for w.z.y.x.<zone> returns 127.0.0.<code> when x.y.z.w is
+// listed and NXDOMAIN otherwise (§4.3). Listed answers also carry a TXT
+// record describing the listing, as real DNSBLs do.
+type V4Handler struct {
+	List *List
+}
+
+var _ dns.Handler = (*V4Handler)(nil)
+
+// Resolve implements dns.Handler.
+func (h *V4Handler) Resolve(q dns.Question) *dns.Message {
+	m := &dns.Message{Questions: []dns.Question{q}, Authoritative: true}
+	if q.Type != dns.TypeA && q.Type != dns.TypeTXT {
+		m.RCode = dns.RCodeNotImp
+		return m
+	}
+	ip, err := addr.ParseReversedName(q.Name, h.List.Zone())
+	if err != nil {
+		m.RCode = dns.RCodeNXDomain
+		return m
+	}
+	code, listed := h.List.Lookup(ip)
+	if !listed {
+		// Empty answer section — the "not listed" signal (§4.3).
+		m.RCode = dns.RCodeNXDomain
+		return m
+	}
+	if q.Type == dns.TypeA {
+		m.Answers = append(m.Answers, dns.ARecord(q.Name, AnswerTTL, 127, 0, 0, byte(code)))
+	}
+	m.Answers = append(m.Answers,
+		dns.TXTRecord(q.Name, AnswerTTL, "listed by "+h.List.Zone()))
+	return m
+}
+
+// V6Handler answers prefix-based DNSBLv6 queries (§7.1): an AAAA query
+// for h.z.y.x.<zone> — h selecting which /25 half of the /24 — returns a
+// single AAAA record whose 16 bytes are the blacklist bitmap of that /25.
+// Every syntactically valid query gets an answer (possibly the zero
+// bitmap), so a mail server can always cache the result for the whole
+// neighbourhood.
+type V6Handler struct {
+	List *List
+}
+
+var _ dns.Handler = (*V6Handler)(nil)
+
+// Resolve implements dns.Handler.
+func (h *V6Handler) Resolve(q dns.Question) *dns.Message {
+	m := &dns.Message{Questions: []dns.Question{q}, Authoritative: true}
+	if q.Type != dns.TypeAAAA {
+		m.RCode = dns.RCodeNotImp
+		return m
+	}
+	prefix, err := addr.ParseV6Name(q.Name, h.List.Zone())
+	if err != nil {
+		m.RCode = dns.RCodeNXDomain
+		return m
+	}
+	bm := h.List.Bitmap(prefix)
+	m.Answers = append(m.Answers, dns.AAAARecord(q.Name, AnswerTTL, [16]byte(bm)))
+	return m
+}

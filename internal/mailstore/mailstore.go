@@ -1,0 +1,516 @@
+// Package mailstore defines the mailbox-storage interface the delivery
+// agent writes through, with the four implementations compared in the
+// paper's Figures 10 and 11:
+//
+//   - Mbox: the vanilla postfix format — one file per mailbox, a
+//     multi-recipient mail is appended once per recipient (N duplicate
+//     writes).
+//   - Maildir: one file per mail per recipient (N file creations).
+//   - Hardlink: maildir that stores one copy and hard-links the other
+//     N−1 names to it.
+//   - MFS: the paper's single-copy record-oriented file system — one data
+//     write plus N pointer records (see internal/mfs).
+//
+// All four run over fsim.FS, so the same code is exercised on real files
+// (tests, the runnable server) and on the cost-metered simulated
+// filesystem (the benchmarks).
+package mailstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/fsim"
+	"repro/internal/mfs"
+)
+
+// ErrNotFound is returned when a mailbox or mail-id is absent.
+var ErrNotFound = errors.New("mailstore: not found")
+
+// Store is the delivery-side interface to a mailbox format.
+type Store interface {
+	// Deliver writes one mail to every recipient mailbox. Recipients must
+	// be non-empty and free of duplicates.
+	Deliver(id string, recipients []string, body []byte) error
+	// List returns the mail-ids in a mailbox in delivery order.
+	List(mailbox string) ([]string, error)
+	// Read returns the body of one mail.
+	Read(mailbox, id string) ([]byte, error)
+	// Delete removes one mail from one mailbox.
+	Delete(mailbox, id string) error
+	// Name identifies the format in reports ("mbox", "maildir",
+	// "hardlink", "mfs").
+	Name() string
+	// Close releases resources.
+	Close() error
+}
+
+func validateDelivery(id string, recipients []string) error {
+	if id == "" {
+		return fmt.Errorf("mailstore: empty mail-id")
+	}
+	if len(recipients) == 0 {
+		return fmt.Errorf("mailstore: no recipients")
+	}
+	seen := make(map[string]bool, len(recipients))
+	for _, r := range recipients {
+		if r == "" {
+			return fmt.Errorf("mailstore: empty recipient")
+		}
+		if strings.ContainsAny(r, "/\x00") {
+			return fmt.Errorf("mailstore: recipient %q contains path separators", r)
+		}
+		if seen[r] {
+			return fmt.Errorf("mailstore: duplicate recipient %q", r)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Mbox
+
+// Mbox is the one-file-per-mailbox format vanilla postfix delivers into.
+// Records are framed as [u16 idLen][id][u32 bodyLen][body] rather than
+// "From " separator lines so that bodies need no escaping; the I/O
+// pattern — one append per recipient, full body duplicated — is identical
+// to classic mbox, which is what the benchmarks measure.
+type Mbox struct {
+	mu sync.Mutex
+	fs fsim.FS
+}
+
+var _ Store = (*Mbox)(nil)
+
+// NewMbox returns an mbox store over fs.
+func NewMbox(fs fsim.FS) *Mbox { return &Mbox{fs: fs} }
+
+func (m *Mbox) Name() string { return "mbox" }
+func (m *Mbox) Close() error { return nil }
+
+func (m *Mbox) boxPath(mailbox string) string { return "mbox/" + mailbox }
+
+func (m *Mbox) Deliver(id string, recipients []string, body []byte) error {
+	if err := validateDelivery(id, recipients); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	frame := makeMboxFrame(id, body)
+	for _, rcpt := range recipients {
+		f, err := m.fs.OpenAppend(m.boxPath(rcpt))
+		if err != nil {
+			return err
+		}
+		// The whole body is written once per recipient — the duplicated
+		// disk I/O the paper's §4.2 identifies.
+		if _, err := f.Write(frame); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func makeMboxFrame(id string, body []byte) []byte {
+	buf := make([]byte, 0, 2+len(id)+4+len(body))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(id)))
+	buf = append(buf, id...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	return buf
+}
+
+// scanMbox walks the frames of a mailbox file, invoking fn for each; fn
+// returning false stops the walk.
+func (m *Mbox) scanMbox(mailbox string, fn func(id string, body []byte) bool) error {
+	f, err := m.fs.OpenRead(m.boxPath(mailbox))
+	if err != nil {
+		if errors.Is(err, fsim.ErrNotExist) {
+			return fmt.Errorf("mailstore: mailbox %s: %w", mailbox, ErrNotFound)
+		}
+		return err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return err
+	}
+	data := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+			return err
+		}
+	}
+	pos := 0
+	for pos < len(data) {
+		if len(data)-pos < 2 {
+			return fmt.Errorf("mailstore: corrupt mbox %s at %d", mailbox, pos)
+		}
+		idLen := int(binary.LittleEndian.Uint16(data[pos:]))
+		pos += 2
+		if len(data)-pos < idLen+4 {
+			return fmt.Errorf("mailstore: corrupt mbox %s at %d", mailbox, pos)
+		}
+		id := string(data[pos : pos+idLen])
+		pos += idLen
+		bodyLen := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		if len(data)-pos < bodyLen {
+			return fmt.Errorf("mailstore: corrupt mbox %s at %d", mailbox, pos)
+		}
+		body := data[pos : pos+bodyLen]
+		pos += bodyLen
+		if !fn(id, body) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (m *Mbox) List(mailbox string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var ids []string
+	err := m.scanMbox(mailbox, func(id string, _ []byte) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return ids, err
+}
+
+func (m *Mbox) Read(mailbox, id string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var found []byte
+	ok := false
+	err := m.scanMbox(mailbox, func(gotID string, body []byte) bool {
+		if gotID == id {
+			found = append([]byte(nil), body...)
+			ok = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("mailstore: mail %s in %s: %w", id, mailbox, ErrNotFound)
+	}
+	return found, nil
+}
+
+// Delete rewrites the mailbox without the given mail — the full-file
+// rewrite is exactly why mbox deletion is expensive in practice.
+func (m *Mbox) Delete(mailbox, id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	type rec struct {
+		id   string
+		body []byte
+	}
+	var keep []rec
+	found := false
+	err := m.scanMbox(mailbox, func(gotID string, body []byte) bool {
+		if gotID == id && !found {
+			found = true
+			return true
+		}
+		keep = append(keep, rec{id: gotID, body: append([]byte(nil), body...)})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("mailstore: mail %s in %s: %w", id, mailbox, ErrNotFound)
+	}
+	f, err := m.fs.Create(m.boxPath(mailbox))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, r := range keep {
+		if _, err := f.Write(makeMboxFrame(r.id, r.body)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Maildir
+
+// Maildir stores one file per mail per recipient under
+// maildir/<user>/<seq>-<id>. The sequence prefix preserves delivery order.
+type Maildir struct {
+	mu  sync.Mutex
+	fs  fsim.FS
+	seq uint64
+}
+
+var _ Store = (*Maildir)(nil)
+
+// NewMaildir returns a maildir store over fs.
+func NewMaildir(fs fsim.FS) *Maildir {
+	m := &Maildir{fs: fs}
+	// Resume the sequence past any existing files so re-opened stores
+	// keep order monotone.
+	for _, name := range fs.List("maildir/") {
+		var seq uint64
+		base := name[strings.LastIndex(name, "/")+1:]
+		if i := strings.IndexByte(base, '-'); i > 0 {
+			fmt.Sscanf(base[:i], "%016x", &seq)
+			if seq >= m.seq {
+				m.seq = seq + 1
+			}
+		}
+	}
+	return m
+}
+
+func (m *Maildir) Name() string { return "maildir" }
+func (m *Maildir) Close() error { return nil }
+
+func (m *Maildir) mailPath(mailbox string, seq uint64, id string) string {
+	return fmt.Sprintf("maildir/%s/%016x-%s", mailbox, seq, id)
+}
+
+func (m *Maildir) Deliver(id string, recipients []string, body []byte) error {
+	if err := validateDelivery(id, recipients); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seq := m.seq
+	m.seq++
+	for _, rcpt := range recipients {
+		// One small-file creation per recipient — the op mix that makes
+		// maildir collapse on Ext3 (Fig 10).
+		f, err := m.fs.Create(m.mailPath(rcpt, seq, id))
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(body); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// findMail locates the stored path of a mail within a mailbox.
+func (m *Maildir) findMail(mailbox, id string) (string, error) {
+	prefix := "maildir/" + mailbox + "/"
+	for _, name := range m.fs.List(prefix) {
+		base := name[strings.LastIndex(name, "/")+1:]
+		if i := strings.IndexByte(base, '-'); i > 0 && base[i+1:] == id {
+			return name, nil
+		}
+	}
+	return "", fmt.Errorf("mailstore: mail %s in %s: %w", id, mailbox, ErrNotFound)
+}
+
+func (m *Maildir) List(mailbox string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := "maildir/" + mailbox + "/"
+	names := m.fs.List(prefix)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("mailstore: mailbox %s: %w", mailbox, ErrNotFound)
+	}
+	sort.Strings(names) // sequence prefix sorts into delivery order
+	ids := make([]string, 0, len(names))
+	for _, name := range names {
+		base := name[strings.LastIndex(name, "/")+1:]
+		if i := strings.IndexByte(base, '-'); i > 0 {
+			ids = append(ids, base[i+1:])
+		}
+	}
+	return ids, nil
+}
+
+func (m *Maildir) Read(mailbox, id string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	path, err := m.findMail(mailbox, id)
+	if err != nil {
+		return nil, err
+	}
+	return readAll(m.fs, path)
+}
+
+func (m *Maildir) Delete(mailbox, id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	path, err := m.findMail(mailbox, id)
+	if err != nil {
+		return err
+	}
+	return m.fs.Remove(path)
+}
+
+// ---------------------------------------------------------------------------
+// Hardlink
+
+// Hardlink is the optimized maildir of the paper's Figure 10: the mail is
+// written once into the first recipient's directory and the remaining
+// recipients get hard links to it. Deleting any name leaves the other
+// links intact (link-count semantics).
+type Hardlink struct {
+	Maildir
+}
+
+var _ Store = (*Hardlink)(nil)
+
+// NewHardlink returns a hardlink-maildir store over fs.
+func NewHardlink(fs fsim.FS) *Hardlink {
+	return &Hardlink{Maildir: *NewMaildir(fs)}
+}
+
+func (h *Hardlink) Name() string { return "hardlink" }
+
+func (h *Hardlink) Deliver(id string, recipients []string, body []byte) error {
+	if err := validateDelivery(id, recipients); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	seq := h.seq
+	h.seq++
+	first := h.mailPath(recipients[0], seq, id)
+	f, err := h.fs.Create(first)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(body); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, rcpt := range recipients[1:] {
+		// A link instead of a copy: one inode, N directory entries.
+		if err := h.fs.Link(first, h.mailPath(rcpt, seq, id)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// MFS adapter
+
+// MFS adapts the paper's single-copy file system (internal/mfs) to the
+// Store interface.
+type MFS struct {
+	store *mfs.Store
+}
+
+var _ Store = (*MFS)(nil)
+
+// NewMFS returns an MFS-backed store rooted at dir of fs.
+func NewMFS(fs fsim.FS, dir string) (*MFS, error) {
+	s, err := mfs.New(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	return &MFS{store: s}, nil
+}
+
+func (m *MFS) Name() string { return "mfs" }
+func (m *MFS) Close() error { return m.store.Close() }
+
+// Underlying exposes the wrapped mfs.Store for callers that need the
+// record-level API (Seek, Compact, Stats).
+func (m *MFS) Underlying() *mfs.Store { return m.store }
+
+func (m *MFS) Deliver(id string, recipients []string, body []byte) error {
+	if err := validateDelivery(id, recipients); err != nil {
+		return err
+	}
+	boxes := make([]*mfs.Mailbox, len(recipients))
+	for i, rcpt := range recipients {
+		mb, err := m.store.Open(rcpt)
+		if err != nil {
+			return err
+		}
+		boxes[i] = mb
+	}
+	return m.store.NWrite(boxes, id, body)
+}
+
+func (m *MFS) List(mailbox string) ([]string, error) {
+	mb, err := m.store.Open(mailbox)
+	if err != nil {
+		return nil, err
+	}
+	ids := mb.IDs()
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("mailstore: mailbox %s: %w", mailbox, ErrNotFound)
+	}
+	return ids, nil
+}
+
+func (m *MFS) Read(mailbox, id string) ([]byte, error) {
+	mb, err := m.store.Open(mailbox)
+	if err != nil {
+		return nil, err
+	}
+	mail, err := mb.ReadID(id)
+	if err != nil {
+		if errors.Is(err, mfs.ErrNotFound) {
+			return nil, fmt.Errorf("mailstore: mail %s in %s: %w", id, mailbox, ErrNotFound)
+		}
+		return nil, err
+	}
+	return mail.Body, nil
+}
+
+func (m *MFS) Delete(mailbox, id string) error {
+	mb, err := m.store.Open(mailbox)
+	if err != nil {
+		return err
+	}
+	if err := mb.Delete(id); err != nil {
+		if errors.Is(err, mfs.ErrNotFound) {
+			return fmt.Errorf("mailstore: mail %s in %s: %w", id, mailbox, ErrNotFound)
+		}
+		return err
+	}
+	return nil
+}
+
+// readAll reads a whole file from fs.
+func readAll(fs fsim.FS, name string) ([]byte, error) {
+	f, err := fs.OpenRead(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+			return nil, err
+		}
+	}
+	return buf, nil
+}

@@ -1,0 +1,383 @@
+package mailstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/costmodel"
+	"repro/internal/fsim"
+)
+
+// newStores returns a fresh instance of each of the four formats over an
+// in-memory filesystem, plus the fs for inspection.
+func newStores(t *testing.T) map[string]struct {
+	fs    *fsim.Mem
+	store Store
+} {
+	t.Helper()
+	out := make(map[string]struct {
+		fs    *fsim.Mem
+		store Store
+	})
+	for _, name := range []string{"mbox", "maildir", "hardlink", "mfs"} {
+		fs := fsim.NewMem(costmodel.FSModel{})
+		var s Store
+		switch name {
+		case "mbox":
+			s = NewMbox(fs)
+		case "maildir":
+			s = NewMaildir(fs)
+		case "hardlink":
+			s = NewHardlink(fs)
+		case "mfs":
+			var err error
+			s, err = NewMFS(fs, "mfs")
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s.Name() != name {
+			t.Fatalf("store name = %q, want %q", s.Name(), name)
+		}
+		out[name] = struct {
+			fs    *fsim.Mem
+			store Store
+		}{fs, s}
+	}
+	return out
+}
+
+func TestDeliverAndReadBack(t *testing.T) {
+	for name, env := range newStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer env.store.Close()
+			body := []byte("Subject: hi\r\n\r\nbody text")
+			if err := env.store.Deliver("m1", []string{"alice"}, body); err != nil {
+				t.Fatal(err)
+			}
+			got, err := env.store.Read("alice", "m1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(body) {
+				t.Fatalf("read %q, want %q", got, body)
+			}
+		})
+	}
+}
+
+func TestMultiRecipientAllReceive(t *testing.T) {
+	for name, env := range newStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer env.store.Close()
+			rcpts := []string{"u1", "u2", "u3", "u4", "u5"}
+			body := []byte("spam to many")
+			if err := env.store.Deliver("m1", rcpts, body); err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rcpts {
+				got, err := env.store.Read(r, "m1")
+				if err != nil || string(got) != string(body) {
+					t.Fatalf("%s: read = %q, %v", r, got, err)
+				}
+			}
+		})
+	}
+}
+
+func TestListOrder(t *testing.T) {
+	for name, env := range newStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer env.store.Close()
+			for i := 0; i < 12; i++ {
+				id := fmt.Sprintf("m%02d", i)
+				if err := env.store.Deliver(id, []string{"bob"}, []byte(id)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ids, err := env.store.List("bob")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) != 12 {
+				t.Fatalf("list len = %d, want 12", len(ids))
+			}
+			for i, id := range ids {
+				if want := fmt.Sprintf("m%02d", i); id != want {
+					t.Fatalf("order broken at %d: %s != %s", i, id, want)
+				}
+			}
+		})
+	}
+}
+
+func TestDelete(t *testing.T) {
+	for name, env := range newStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer env.store.Close()
+			env.store.Deliver("m1", []string{"a", "b"}, []byte("one"))
+			env.store.Deliver("m2", []string{"a"}, []byte("two"))
+			if err := env.store.Delete("a", "m1"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := env.store.Read("a", "m1"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("deleted mail still readable: %v", err)
+			}
+			// Other recipient unaffected.
+			if got, err := env.store.Read("b", "m1"); err != nil || string(got) != "one" {
+				t.Fatalf("b's copy damaged: %q %v", got, err)
+			}
+			// Remaining mail unaffected.
+			if got, err := env.store.Read("a", "m2"); err != nil || string(got) != "two" {
+				t.Fatalf("m2 damaged: %q %v", got, err)
+			}
+			if err := env.store.Delete("a", "m1"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("double delete: %v", err)
+			}
+		})
+	}
+}
+
+func TestMissingMailboxAndMail(t *testing.T) {
+	for name, env := range newStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer env.store.Close()
+			if _, err := env.store.List("ghost"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("List(ghost) = %v", err)
+			}
+			env.store.Deliver("m1", []string{"real"}, []byte("x"))
+			if _, err := env.store.Read("real", "ghost-id"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Read(ghost-id) = %v", err)
+			}
+		})
+	}
+}
+
+func TestDeliverValidation(t *testing.T) {
+	for name, env := range newStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer env.store.Close()
+			cases := []struct {
+				id    string
+				rcpts []string
+			}{
+				{"", []string{"a"}},
+				{"m", nil},
+				{"m", []string{""}},
+				{"m", []string{"a", "a"}},
+				{"m", []string{"../evil"}},
+			}
+			for _, c := range cases {
+				if err := env.store.Deliver(c.id, c.rcpts, []byte("x")); err == nil {
+					t.Errorf("Deliver(%q, %v) accepted", c.id, c.rcpts)
+				}
+			}
+		})
+	}
+}
+
+func TestEmptyBody(t *testing.T) {
+	for name, env := range newStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer env.store.Close()
+			if err := env.store.Deliver("m", []string{"a", "b"}, nil); err != nil {
+				t.Fatal(err)
+			}
+			got, err := env.store.Read("b", "m")
+			if err != nil || len(got) != 0 {
+				t.Fatalf("empty body read = %q, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestMboxDuplicatesBytesPerRecipient(t *testing.T) {
+	env := newStores(t)["mbox"]
+	body := make([]byte, 1000)
+	env.store.Deliver("m", []string{"a", "b", "c"}, body)
+	// Three mailbox files, each over 1000 bytes: 3 full copies.
+	var total int64
+	for _, f := range env.fs.List("mbox/") {
+		sz, _ := env.fs.Size(f)
+		total += sz
+	}
+	if total < 3000 {
+		t.Fatalf("mbox total bytes = %d, want >= 3000 (duplicated copies)", total)
+	}
+}
+
+func TestMFSStoresSingleCopy(t *testing.T) {
+	env := newStores(t)["mfs"]
+	body := make([]byte, 1000)
+	env.store.Deliver("m", []string{"a", "b", "c"}, body)
+	var total int64
+	for _, f := range env.fs.List("") {
+		sz, _ := env.fs.Size(f)
+		total += sz
+	}
+	// One body copy plus key records: far less than three copies.
+	if total >= 2000 {
+		t.Fatalf("mfs total bytes = %d, want < 2000 (single copy)", total)
+	}
+}
+
+func TestHardlinkSharesInode(t *testing.T) {
+	env := newStores(t)["hardlink"]
+	body := make([]byte, 1000)
+	env.store.Deliver("m", []string{"a", "b", "c"}, body)
+	// Three names exist but removing one leaves the others readable.
+	if err := env.store.Delete("a", "m"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := env.store.Read("c", "m")
+	if err != nil || len(got) != 1000 {
+		t.Fatalf("after unlink: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestMaildirSequenceResumesAfterReopen(t *testing.T) {
+	fs := fsim.NewMem(costmodel.FSModel{})
+	s := NewMaildir(fs)
+	s.Deliver("m0", []string{"a"}, []byte("x"))
+	s.Deliver("m1", []string{"a"}, []byte("x"))
+	s.Close()
+	s2 := NewMaildir(fs)
+	s2.Deliver("m2", []string{"a"}, []byte("x"))
+	ids, err := s2.List("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"m0", "m1", "m2"}
+	for i, id := range ids {
+		if id != want[i] {
+			t.Fatalf("order after reopen = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestMboxDeletePreservesOrder(t *testing.T) {
+	env := newStores(t)["mbox"]
+	for i := 0; i < 5; i++ {
+		env.store.Deliver(fmt.Sprintf("m%d", i), []string{"a"}, []byte("x"))
+	}
+	env.store.Delete("a", "m2")
+	ids, _ := env.store.List("a")
+	want := []string{"m0", "m1", "m3", "m4"}
+	if len(ids) != 4 {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestEquivalenceProperty(t *testing.T) {
+	// Property: all four stores expose identical mailbox contents after
+	// an arbitrary delivery plan.
+	users := []string{"u0", "u1", "u2", "u3"}
+	f := func(plan []byte) bool {
+		stores := []Store{
+			NewMbox(fsim.NewMem(costmodel.FSModel{})),
+			NewMaildir(fsim.NewMem(costmodel.FSModel{})),
+			NewHardlink(fsim.NewMem(costmodel.FSModel{})),
+		}
+		mfsStore, err := NewMFS(fsim.NewMem(costmodel.FSModel{}), "mfs")
+		if err != nil {
+			return false
+		}
+		stores = append(stores, mfsStore)
+		defer func() {
+			for _, s := range stores {
+				s.Close()
+			}
+		}()
+		for step, p := range plan {
+			n := int(p)%len(users) + 1
+			rcpts := make([]string, 0, n)
+			for i := 0; i < n; i++ {
+				rcpts = append(rcpts, users[(int(p)+i)%len(users)])
+			}
+			id := fmt.Sprintf("m%d", step)
+			body := []byte(fmt.Sprintf("body-%d", step))
+			for _, s := range stores {
+				if err := s.Deliver(id, rcpts, body); err != nil {
+					return false
+				}
+			}
+		}
+		for _, u := range users {
+			ref, refErr := stores[0].List(u)
+			for _, s := range stores[1:] {
+				got, err := s.List(u)
+				if (err == nil) != (refErr == nil) {
+					return false
+				}
+				if len(got) != len(ref) {
+					return false
+				}
+				for i := range ref {
+					if got[i] != ref[i] {
+						return false
+					}
+					b0, _ := stores[0].Read(u, ref[i])
+					b1, _ := s.Read(u, got[i])
+					if string(b0) != string(b1) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostOrderingOnExt3(t *testing.T) {
+	// The Figure 10 relationships at 15 recipients on the Ext3
+	// personality: maildir ≫ hardlink > mbox > mfs in disk time.
+	deliver := func(s Store, fs *fsim.Mem) {
+		body := make([]byte, 4096)
+		for i := 0; i < 20; i++ {
+			rcpts := make([]string, 15)
+			for j := range rcpts {
+				rcpts[j] = fmt.Sprintf("u%02d", j)
+			}
+			if err := s.Deliver(fmt.Sprintf("m%d", i), rcpts, body); err != nil {
+				panic(err)
+			}
+		}
+	}
+	elapsed := map[string]float64{}
+	for _, name := range []string{"mbox", "maildir", "hardlink", "mfs"} {
+		fs := fsim.NewMem(costmodel.Ext3)
+		var s Store
+		switch name {
+		case "mbox":
+			s = NewMbox(fs)
+		case "maildir":
+			s = NewMaildir(fs)
+		case "hardlink":
+			s = NewHardlink(fs)
+		case "mfs":
+			s, _ = NewMFS(fs, "mfs")
+		}
+		deliver(s, fs)
+		s.Close()
+		elapsed[name] = fs.Elapsed().Seconds()
+	}
+	if !(elapsed["maildir"] > elapsed["hardlink"]) {
+		t.Errorf("maildir (%v) should cost more than hardlink (%v)", elapsed["maildir"], elapsed["hardlink"])
+	}
+	if !(elapsed["hardlink"] > elapsed["mbox"]) {
+		t.Errorf("hardlink (%v) should cost more than mbox (%v) on ext3", elapsed["hardlink"], elapsed["mbox"])
+	}
+	if !(elapsed["mbox"] > elapsed["mfs"]) {
+		t.Errorf("mbox (%v) should cost more than mfs (%v)", elapsed["mbox"], elapsed["mfs"])
+	}
+}

@@ -1,0 +1,400 @@
+// Package metrics provides the measurement primitives used throughout the
+// repository: counters, histograms with both fixed buckets and exact
+// samples, CDF extraction, percentile queries, and throughput meters.
+//
+// The benchmark harness renders every table and figure of the paper from
+// these types, so they favour determinism and exactness over constant
+// memory: an exact-sample histogram retains every observation unless
+// configured with a cap.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+// The zero value is ready to use.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Add increments the counter by delta, which must be non-negative.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: negative delta passed to Counter.Add")
+	}
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Gauge is a settable instantaneous value safe for concurrent use.
+// The zero value is ready to use.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set records the current value of the gauge.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Value returns the last value passed to Set, or 0.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Sample is an exact-sample reservoir of float64 observations. It retains
+// every observation (no reservoir sampling) so quantiles and CDFs are
+// exact; this is appropriate for the trace sizes used in the paper
+// (≤ a few million points). The zero value is ready to use.
+type Sample struct {
+	mu     sync.Mutex
+	xs     []float64
+	sorted bool
+	sum    float64
+}
+
+// NewSample returns a Sample with capacity hint n.
+func NewSample(n int) *Sample {
+	return &Sample{xs: make([]float64, 0, n)}
+}
+
+// Observe records a single observation.
+func (s *Sample) Observe(x float64) {
+	s.mu.Lock()
+	s.xs = append(s.xs, x)
+	s.sum += x
+	s.sorted = false
+	s.mu.Unlock()
+}
+
+// ObserveDuration records a duration observation in seconds.
+func (s *Sample) ObserveDuration(d time.Duration) { s.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (s *Sample) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.xs)
+}
+
+// Sum returns the sum of all observations.
+func (s *Sample) Sum() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sum
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.xs))
+}
+
+// ensureSorted must be called with s.mu held.
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using linear interpolation
+// between closest ranks. It returns 0 for an empty sample.
+func (s *Sample) Quantile(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[len(s.xs)-1]
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 { return s.Quantile(0) }
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 { return s.Quantile(1) }
+
+// FractionBelow returns the fraction of observations strictly less than or
+// equal to x, i.e. the empirical CDF evaluated at x.
+func (s *Sample) FractionBelow(x float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	// Index of first element > x.
+	i := sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(s.xs))
+}
+
+// CDFPoint is one (x, cumulative fraction) point of an empirical CDF.
+type CDFPoint struct {
+	X    float64
+	Frac float64
+}
+
+// CDF returns the empirical CDF evaluated at n evenly spaced points
+// spanning [min, max]. An empty sample yields nil.
+func (s *Sample) CDF(n int) []CDFPoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.xs) == 0 || n <= 0 {
+		return nil
+	}
+	s.ensureSorted()
+	lo, hi := s.xs[0], s.xs[len(s.xs)-1]
+	pts := make([]CDFPoint, 0, n)
+	for i := 0; i < n; i++ {
+		var x float64
+		if n == 1 {
+			x = hi
+		} else {
+			x = lo + (hi-lo)*float64(i)/float64(n-1)
+		}
+		j := sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
+		pts = append(pts, CDFPoint{X: x, Frac: float64(j) / float64(len(s.xs))})
+	}
+	return pts
+}
+
+// CDFAt returns the empirical CDF evaluated at each x in xs.
+func (s *Sample) CDFAt(xs []float64) []CDFPoint {
+	pts := make([]CDFPoint, 0, len(xs))
+	for _, x := range xs {
+		pts = append(pts, CDFPoint{X: x, Frac: s.FractionBelow(x)})
+	}
+	return pts
+}
+
+// Histogram is a fixed-bucket histogram. Buckets are defined by their
+// upper bounds; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds
+	counts []int64   // len(bounds)+1, last is +Inf bucket
+	total  int64
+	sum    float64
+}
+
+// NewHistogram returns a histogram with the given sorted upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("metrics: histogram bounds must be sorted")
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// LinearBounds returns n bucket bounds start, start+width, … suitable for
+// NewHistogram.
+func LinearBounds(start, width float64, n int) []float64 {
+	bs := make([]float64, n)
+	for i := range bs {
+		bs[i] = start + width*float64(i)
+	}
+	return bs
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i]++
+	h.total++
+	h.sum += x
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the mean of all observations (exact, not bucketed).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Buckets returns (upper bound, count) pairs including the +Inf bucket.
+func (h *Histogram) Buckets() ([]float64, []int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bs := make([]float64, len(h.bounds)+1)
+	copy(bs, h.bounds)
+	bs[len(bs)-1] = math.Inf(1)
+	cs := make([]int64, len(h.counts))
+	copy(cs, h.counts)
+	return bs, cs
+}
+
+// Throughput tracks a count of events over an explicitly managed window of
+// (virtual or real) time and reports events/second. It is driven by the
+// caller's clock so it works identically under simulation.
+type Throughput struct {
+	mu    sync.Mutex
+	n     int64
+	start time.Duration
+	end   time.Duration
+}
+
+// NewThroughput returns a meter whose window starts at the given instant
+// (expressed as an offset on the caller's clock).
+func NewThroughput(start time.Duration) *Throughput {
+	return &Throughput{start: start, end: start}
+}
+
+// Record adds n events observed at instant now.
+func (t *Throughput) Record(now time.Duration, n int64) {
+	t.mu.Lock()
+	t.n += n
+	if now > t.end {
+		t.end = now
+	}
+	t.mu.Unlock()
+}
+
+// Count returns the number of recorded events.
+func (t *Throughput) Count() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// PerSecond returns events/second over [start, max(end, asOf)].
+func (t *Throughput) PerSecond(asOf time.Duration) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.end
+	if asOf > end {
+		end = asOf
+	}
+	window := (end - t.start).Seconds()
+	if window <= 0 {
+		return 0
+	}
+	return float64(t.n) / window
+}
+
+// Table renders aligned text tables; the benchmark harness uses it to
+// print paper-style rows.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without a decimal point,
+// otherwise three significant decimals.
+func FormatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,237 @@
+package mfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Compact rewrites the mailbox's key and data files, dropping tombstones
+// and the dead space of deleted local mails. Shared pointer records are
+// preserved untouched (their payloads live in the shared store).
+func (mb *Mailbox) Compact() error {
+	mb.store.mu.Lock()
+	defer mb.store.mu.Unlock()
+	if mb.closed {
+		return ErrClosed
+	}
+	s := mb.store
+
+	// Load surviving local payloads before truncating.
+	type liveMail struct {
+		rec  *keyRecord
+		body []byte // nil for shared pointers
+	}
+	live := make([]liveMail, 0, len(mb.entries))
+	for _, rec := range mb.entries {
+		lm := liveMail{rec: rec}
+		if rec.Ref != SharedRef {
+			body, err := readDataRecord(mb.data, rec.Offset)
+			if err != nil {
+				return fmt.Errorf("mfs: compact %s: %w", mb.name, err)
+			}
+			lm.body = body
+		}
+		live = append(live, lm)
+	}
+
+	// Rewrite both files from scratch.
+	if err := mb.key.Close(); err != nil {
+		return err
+	}
+	if err := mb.data.Close(); err != nil {
+		return err
+	}
+	var err error
+	if mb.data, err = s.fs.Create(s.path("boxes/" + mb.name + ".data")); err != nil {
+		return fmt.Errorf("mfs: compact %s: %w", mb.name, err)
+	}
+	if mb.key, err = s.fs.Create(s.path("boxes/" + mb.name + ".key")); err != nil {
+		return fmt.Errorf("mfs: compact %s: %w", mb.name, err)
+	}
+	for _, lm := range live {
+		if lm.body != nil {
+			off, err := appendDataRecord(mb.data, lm.body)
+			if err != nil {
+				return err
+			}
+			lm.rec.Offset = off
+		}
+		refPos, err := appendKeyRecord(mb.key, *lm.rec)
+		if err != nil {
+			return err
+		}
+		lm.rec.refPos = refPos
+	}
+	return nil
+}
+
+// CompactShared rewrites the shared store, reclaiming the space of
+// records whose reference count reached zero, and rewrites every mailbox
+// key file under the store so the pointer offsets stay valid. Mailboxes
+// not currently open are rewritten on disk; open mailboxes are updated in
+// memory as well.
+func (s *Store) CompactShared() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+
+	// Read surviving shared payloads.
+	type survivor struct {
+		rec  *keyRecord
+		body []byte
+	}
+	ids := make([]string, 0, len(s.shared))
+	for id := range s.shared {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic layout across runs
+	survivors := make([]survivor, 0, len(ids))
+	for _, id := range ids {
+		rec := s.shared[id]
+		body, err := readDataRecord(s.shData, rec.Offset)
+		if err != nil {
+			return fmt.Errorf("mfs: compact shared: %w", err)
+		}
+		survivors = append(survivors, survivor{rec: rec, body: body})
+	}
+
+	// Rewrite shared data and key files.
+	if err := s.shKey.Close(); err != nil {
+		return err
+	}
+	if err := s.shData.Close(); err != nil {
+		return err
+	}
+	var err error
+	if s.shData, err = s.fs.Create(s.path("shmailbox.data")); err != nil {
+		return fmt.Errorf("mfs: compact shared: %w", err)
+	}
+	if s.shKey, err = s.fs.Create(s.path("shmailbox.key")); err != nil {
+		return fmt.Errorf("mfs: compact shared: %w", err)
+	}
+	newOffset := make(map[string]int64, len(survivors))
+	for _, sv := range survivors {
+		off, err := appendDataRecord(s.shData, sv.body)
+		if err != nil {
+			return err
+		}
+		sv.rec.Offset = off
+		newOffset[sv.rec.ID] = off
+		refPos, err := appendKeyRecord(s.shKey, *sv.rec)
+		if err != nil {
+			return err
+		}
+		sv.rec.refPos = refPos
+	}
+
+	// Patch pointer offsets in every mailbox key file.
+	for _, name := range s.fs.List(s.path("boxes/")) {
+		if !strings.HasSuffix(name, ".key") {
+			continue
+		}
+		boxName := strings.TrimSuffix(name[strings.LastIndex(name, "/")+1:], ".key")
+		if mb, ok := s.open[boxName]; ok {
+			if err := s.patchOpenMailbox(mb, newOffset); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := s.patchClosedKeyFile(name, newOffset); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// patchOpenMailbox rewrites an open mailbox's key file with updated shared
+// offsets, keeping the in-memory index coherent.
+func (s *Store) patchOpenMailbox(mb *Mailbox, newOffset map[string]int64) error {
+	if err := mb.key.Close(); err != nil {
+		return err
+	}
+	var err error
+	if mb.key, err = s.fs.Create(s.path("boxes/" + mb.name + ".key")); err != nil {
+		return fmt.Errorf("mfs: compact shared: reopen %s: %w", mb.name, err)
+	}
+	for _, rec := range mb.entries {
+		if rec.Ref == SharedRef {
+			if off, ok := newOffset[rec.ID]; ok {
+				rec.Offset = off
+			}
+		}
+		refPos, err := appendKeyRecord(mb.key, *rec)
+		if err != nil {
+			return err
+		}
+		rec.refPos = refPos
+	}
+	return nil
+}
+
+// patchClosedKeyFile rewrites a non-open mailbox key file, resolving
+// tombstones and updating shared offsets.
+func (s *Store) patchClosedKeyFile(name string, newOffset map[string]int64) error {
+	f, err := s.fs.OpenRead(name)
+	if err != nil {
+		return err
+	}
+	recs, err := readKeyRecords(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	// Resolve tombstones the same way Open does.
+	liveIdx := make(map[string]int)
+	var live []keyRecord
+	for _, r := range recs {
+		if r.Type == recTombstone {
+			if j, ok := liveIdx[r.ID]; ok {
+				live = append(live[:j], live[j+1:]...)
+				delete(liveIdx, r.ID)
+				for i := j; i < len(live); i++ {
+					liveIdx[live[i].ID] = i
+				}
+			}
+			continue
+		}
+		liveIdx[r.ID] = len(live)
+		live = append(live, r)
+	}
+	out, err := s.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	for i := range live {
+		if live[i].Ref == SharedRef {
+			if off, ok := newOffset[live[i].ID]; ok {
+				live[i].Offset = off
+			}
+		}
+		if _, err := appendKeyRecord(out, live[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a store's on-disk footprint for reports and tests.
+type Stats struct {
+	SharedRecords int // live single copies in the shared store
+	SharedRefs    int // mailbox pointers those copies serve
+	OpenMailboxes int
+}
+
+// Stats returns current store statistics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{SharedRecords: len(s.shared), OpenMailboxes: len(s.open)}
+	for _, r := range s.shared {
+		st.SharedRefs += int(r.Ref)
+	}
+	return st
+}

@@ -1,0 +1,469 @@
+package mfs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/fsim"
+)
+
+// Store is an MFS instance rooted at a directory of the underlying
+// filesystem. It owns the hidden shared mailbox and hands out Mailbox
+// handles. Store is safe for concurrent use.
+type Store struct {
+	mu  sync.Mutex
+	fs  fsim.FS
+	dir string
+
+	shKey  fsim.File
+	shData fsim.File
+	// shared index: mail-id -> live shared record.
+	shared map[string]*keyRecord
+
+	open   map[string]*Mailbox
+	closed bool
+}
+
+// Mail is one mail record read back from a mailbox.
+type Mail struct {
+	ID   string
+	Body []byte
+}
+
+// New opens (creating if necessary) an MFS store under dir in fs. The
+// shared mailbox's key file is scanned once to rebuild the shared index.
+func New(fs fsim.FS, dir string) (*Store, error) {
+	s := &Store{
+		fs:     fs,
+		dir:    dir,
+		shared: make(map[string]*keyRecord),
+		open:   make(map[string]*Mailbox),
+	}
+	var err error
+	if s.shKey, err = fs.OpenAppend(s.path("shmailbox.key")); err != nil {
+		return nil, fmt.Errorf("mfs: open shared key file: %w", err)
+	}
+	if s.shData, err = fs.OpenAppend(s.path("shmailbox.data")); err != nil {
+		s.shKey.Close()
+		return nil, fmt.Errorf("mfs: open shared data file: %w", err)
+	}
+	recs, err := readKeyRecords(s.shKey)
+	if err != nil {
+		s.shKey.Close()
+		s.shData.Close()
+		return nil, err
+	}
+	for i := range recs {
+		r := &recs[i]
+		switch {
+		case r.Type == recTombstone:
+			delete(s.shared, r.ID)
+		case r.Ref > 0:
+			s.shared[r.ID] = r
+		default:
+			// Ref 0: fully released, awaiting compaction.
+			delete(s.shared, r.ID)
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) path(name string) string {
+	if s.dir == "" {
+		return name
+	}
+	return s.dir + "/" + name
+}
+
+// Close closes the store and every mailbox opened through it.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.closed = true
+	for _, mb := range s.open {
+		mb.closeLocked()
+	}
+	if err := s.shKey.Close(); err != nil {
+		s.shData.Close()
+		return err
+	}
+	return s.shData.Close()
+}
+
+// Mailbox is an open MFS mailbox: a key file, a data file, an in-memory
+// index rebuilt at open, and a record-granularity seek pointer — the
+// mail_file of the paper's API.
+type Mailbox struct {
+	store *Store
+	name  string
+	key   fsim.File
+	data  fsim.File
+
+	// entries holds live records in arrival order; index maps id to its
+	// position in entries. A deletion removes from both.
+	entries []*keyRecord
+	index   map[string]int
+
+	cursor int
+	closed bool
+}
+
+// Open opens mailbox name, creating its key and data files if they do not
+// exist — the paper's mail_open. Repeated opens return the same handle.
+func (s *Store) Open(name string) (*Mailbox, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if name == "" {
+		return nil, fmt.Errorf("mfs: empty mailbox name")
+	}
+	if mb, ok := s.open[name]; ok {
+		return mb, nil
+	}
+	mb := &Mailbox{store: s, name: name, index: make(map[string]int)}
+	var err error
+	if mb.key, err = s.fs.OpenAppend(s.path("boxes/" + name + ".key")); err != nil {
+		return nil, fmt.Errorf("mfs: open mailbox %s: %w", name, err)
+	}
+	if mb.data, err = s.fs.OpenAppend(s.path("boxes/" + name + ".data")); err != nil {
+		mb.key.Close()
+		return nil, fmt.Errorf("mfs: open mailbox %s: %w", name, err)
+	}
+	recs, err := readKeyRecords(mb.key)
+	if err != nil {
+		mb.key.Close()
+		mb.data.Close()
+		return nil, err
+	}
+	for i := range recs {
+		r := &recs[i]
+		if r.Type == recTombstone {
+			if j, ok := mb.index[r.ID]; ok {
+				mb.removeAt(j)
+			}
+			continue
+		}
+		mb.index[r.ID] = len(mb.entries)
+		mb.entries = append(mb.entries, r)
+	}
+	s.open[name] = mb
+	return mb, nil
+}
+
+// removeAt drops entry j keeping order; index positions after j shift.
+func (mb *Mailbox) removeAt(j int) {
+	id := mb.entries[j].ID
+	mb.entries = append(mb.entries[:j], mb.entries[j+1:]...)
+	delete(mb.index, id)
+	for i := j; i < len(mb.entries); i++ {
+		mb.index[mb.entries[i].ID] = i
+	}
+	if mb.cursor > j {
+		mb.cursor--
+	}
+}
+
+// Name returns the mailbox name.
+func (mb *Mailbox) Name() string { return mb.name }
+
+// Len returns the number of live mails in the mailbox.
+func (mb *Mailbox) Len() int {
+	mb.store.mu.Lock()
+	defer mb.store.mu.Unlock()
+	return len(mb.entries)
+}
+
+// Whence values for Seek, mirroring io.Seek* but at mail granularity.
+const (
+	SeekStart   = io.SeekStart
+	SeekCurrent = io.SeekCurrent
+	SeekEnd     = io.SeekEnd
+)
+
+// Seek moves the read cursor by offset mails relative to whence — the
+// paper's mail_seek, which "operates at the granularity of a mail instead
+// of a byte". The resulting position is clamped to [0, Len].
+func (mb *Mailbox) Seek(offset int, whence int) (int, error) {
+	mb.store.mu.Lock()
+	defer mb.store.mu.Unlock()
+	if mb.closed {
+		return 0, ErrClosed
+	}
+	var base int
+	switch whence {
+	case SeekStart:
+		base = 0
+	case SeekCurrent:
+		base = mb.cursor
+	case SeekEnd:
+		base = len(mb.entries)
+	default:
+		return 0, fmt.Errorf("mfs: bad whence %d", whence)
+	}
+	pos := base + offset
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > len(mb.entries) {
+		pos = len(mb.entries)
+	}
+	mb.cursor = pos
+	return pos, nil
+}
+
+// ReadNext reads the mail under the cursor and advances it — the paper's
+// mail_read. It returns io.EOF past the last mail.
+func (mb *Mailbox) ReadNext() (Mail, error) {
+	mb.store.mu.Lock()
+	defer mb.store.mu.Unlock()
+	if mb.closed {
+		return Mail{}, ErrClosed
+	}
+	if mb.cursor >= len(mb.entries) {
+		return Mail{}, io.EOF
+	}
+	rec := mb.entries[mb.cursor]
+	body, err := mb.readRecordLocked(rec)
+	if err != nil {
+		return Mail{}, err
+	}
+	mb.cursor++
+	return Mail{ID: rec.ID, Body: body}, nil
+}
+
+// ReadID reads the mail with the given id regardless of cursor position.
+func (mb *Mailbox) ReadID(id string) (Mail, error) {
+	mb.store.mu.Lock()
+	defer mb.store.mu.Unlock()
+	if mb.closed {
+		return Mail{}, ErrClosed
+	}
+	j, ok := mb.index[id]
+	if !ok {
+		return Mail{}, fmt.Errorf("mfs: read %q: %w", id, ErrNotFound)
+	}
+	body, err := mb.readRecordLocked(mb.entries[j])
+	if err != nil {
+		return Mail{}, err
+	}
+	return Mail{ID: id, Body: body}, nil
+}
+
+// readRecordLocked resolves a key record to its payload, following the
+// SharedRef indirection into the shared store.
+func (mb *Mailbox) readRecordLocked(rec *keyRecord) ([]byte, error) {
+	if rec.Ref == SharedRef {
+		return readDataRecord(mb.store.shData, rec.Offset)
+	}
+	return readDataRecord(mb.data, rec.Offset)
+}
+
+// IDs returns the live mail-ids in arrival order.
+func (mb *Mailbox) IDs() []string {
+	mb.store.mu.Lock()
+	defer mb.store.mu.Unlock()
+	ids := make([]string, len(mb.entries))
+	for i, r := range mb.entries {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// Contains reports whether the mailbox holds the given mail-id.
+func (mb *Mailbox) Contains(id string) bool {
+	mb.store.mu.Lock()
+	defer mb.store.mu.Unlock()
+	_, ok := mb.index[id]
+	return ok
+}
+
+// Delete removes the mail with the given id — the paper's mail_delete.
+// A locally stored mail's space is reclaimed by Compact; a shared mail's
+// reference count is decremented in place and its payload dies with the
+// last reference.
+func (mb *Mailbox) Delete(id string) error {
+	mb.store.mu.Lock()
+	defer mb.store.mu.Unlock()
+	if mb.closed {
+		return ErrClosed
+	}
+	j, ok := mb.index[id]
+	if !ok {
+		return fmt.Errorf("mfs: delete %q: %w", id, ErrNotFound)
+	}
+	rec := mb.entries[j]
+	if rec.Ref == SharedRef {
+		if sh, ok := mb.store.shared[id]; ok {
+			sh.Ref--
+			if err := updateRef(mb.store.shKey, sh.refPos, sh.Ref); err != nil {
+				return err
+			}
+			if sh.Ref <= 0 {
+				delete(mb.store.shared, id)
+			}
+		}
+	}
+	if _, err := appendKeyRecord(mb.key, keyRecord{Type: recTombstone, ID: id}); err != nil {
+		return err
+	}
+	mb.removeAt(j)
+	return nil
+}
+
+// Close closes the mailbox — the paper's mail_close.
+func (mb *Mailbox) Close() error {
+	mb.store.mu.Lock()
+	defer mb.store.mu.Unlock()
+	if mb.closed {
+		return ErrClosed
+	}
+	delete(mb.store.open, mb.name)
+	return mb.closeLocked()
+}
+
+func (mb *Mailbox) closeLocked() error {
+	if mb.closed {
+		return nil
+	}
+	mb.closed = true
+	err := mb.key.Close()
+	if err2 := mb.data.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// NWrite writes one mail to n mailboxes — the paper's mail_nwrite and the
+// heart of MFS. With a single destination the payload goes into that
+// mailbox's own data file. With several destinations the payload is
+// written once to the shared store with reference count n, and each
+// mailbox receives an (id, offset, SharedRef) pointer record.
+//
+// If the mail-id already exists in the shared store, the data write is
+// skipped (§6.2); the payload must then be byte-length-identical to the
+// stored record, otherwise the call is treated as a collision attack
+// (§6.4) and fails with ErrIDCollision. A destination that already holds
+// the id fails with ErrDuplicate before anything is written.
+func (s *Store) NWrite(boxes []*Mailbox, id string, body []byte) error {
+	if len(boxes) == 0 {
+		return fmt.Errorf("mfs: NWrite with no mailboxes")
+	}
+	if id == "" {
+		return fmt.Errorf("mfs: NWrite with empty mail-id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	seen := make(map[string]bool, len(boxes))
+	for _, mb := range boxes {
+		if mb.closed {
+			return ErrClosed
+		}
+		if mb.store != s {
+			return fmt.Errorf("mfs: mailbox %s belongs to a different store", mb.name)
+		}
+		if seen[mb.name] {
+			return fmt.Errorf("mfs: duplicate destination %s", mb.name)
+		}
+		seen[mb.name] = true
+		if _, dup := mb.index[id]; dup {
+			return fmt.Errorf("mfs: NWrite %q to %s: %w", id, mb.name, ErrDuplicate)
+		}
+	}
+
+	if len(boxes) == 1 {
+		mb := boxes[0]
+		// A single-recipient id colliding with a shared record is the
+		// §6.4 guessing attack: accepting it would alias another user's
+		// mail into this mailbox on later reads.
+		if _, exists := s.shared[id]; exists {
+			return fmt.Errorf("mfs: NWrite %q: %w", id, ErrIDCollision)
+		}
+		off, err := appendDataRecord(mb.data, body)
+		if err != nil {
+			return err
+		}
+		rec := keyRecord{Type: recEntry, ID: id, Offset: off, Ref: 1}
+		if rec.refPos, err = appendKeyRecord(mb.key, rec); err != nil {
+			return err
+		}
+		mb.addEntry(rec)
+		return nil
+	}
+
+	// Multi-recipient: single copy in the shared store.
+	sh, exists := s.shared[id]
+	if exists {
+		// Dedup path: skip the data write, but verify the payload is the
+		// same length as the stored record — a cheap integrity check that
+		// flags the collision attack.
+		n, err := dataRecordLen(s.shData, sh.Offset)
+		if err != nil {
+			return err
+		}
+		if n != len(body) {
+			return fmt.Errorf("mfs: NWrite %q: stored %dB vs offered %dB: %w",
+				id, n, len(body), ErrIDCollision)
+		}
+		sh.Ref += int32(len(boxes))
+		if err := updateRef(s.shKey, sh.refPos, sh.Ref); err != nil {
+			return err
+		}
+	} else {
+		off, err := appendDataRecord(s.shData, body)
+		if err != nil {
+			return err
+		}
+		rec := keyRecord{Type: recEntry, ID: id, Offset: off, Ref: int32(len(boxes))}
+		if rec.refPos, err = appendKeyRecord(s.shKey, rec); err != nil {
+			return err
+		}
+		s.shared[id] = &rec
+		sh = &rec
+	}
+
+	for _, mb := range boxes {
+		rec := keyRecord{Type: recEntry, ID: id, Offset: sh.Offset, Ref: SharedRef}
+		refPos, err := appendKeyRecord(mb.key, rec)
+		if err != nil {
+			return err
+		}
+		rec.refPos = refPos
+		mb.addEntry(rec)
+	}
+	return nil
+}
+
+func (mb *Mailbox) addEntry(rec keyRecord) {
+	r := rec
+	mb.index[r.ID] = len(mb.entries)
+	mb.entries = append(mb.entries, &r)
+}
+
+// SharedCount returns the number of live records in the shared store —
+// each is a single stored copy of a multi-recipient mail.
+func (s *Store) SharedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.shared)
+}
+
+// SharedRefTotal returns the sum of live shared reference counts, i.e.
+// the number of mailbox pointers the single copies are standing in for.
+func (s *Store) SharedRefTotal() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, r := range s.shared {
+		total += int(r.Ref)
+	}
+	return total
+}

@@ -1,0 +1,407 @@
+// Package pop3 implements the retrieval side of the mail system: a POP3
+// (RFC 1939) server reading from any mailstore.Store. The paper's §6.1
+// observes that mail servers, POP and IMAP servers all access mailboxes
+// "in units of mails" — which is exactly why MFS is record-oriented; this
+// server is the consumer that observation is about, and it runs unchanged
+// over every store in internal/mailstore, MFS included.
+//
+// The command set is the RFC 1939 minimal profile plus UIDL: USER, PASS,
+// STAT, LIST, UIDL, RETR, DELE, NOOP, RSET, QUIT. Deletions are staged
+// during the session and applied at QUIT (the UPDATE state), per the RFC.
+package pop3
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/mailstore"
+	"repro/internal/metrics"
+	"repro/internal/smtp"
+)
+
+// Authenticator decides whether a USER/PASS pair may open a mailbox. The
+// mailbox name is the user name.
+type Authenticator func(user, pass string) bool
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store is the mailbox store to serve; required.
+	Store mailstore.Store
+	// Auth validates credentials; nil accepts every user that has a
+	// mailbox (lab configuration).
+	Auth Authenticator
+	// Hostname appears in the greeting banner.
+	Hostname string
+	// IdleTimeout bounds each wait for a client command (default 60s).
+	IdleTimeout time.Duration
+}
+
+// Stats counts server activity.
+type Stats struct {
+	Sessions  int64
+	Retrieved int64
+	Deleted   int64
+	AuthFails int64
+}
+
+// Server is a POP3 server. Create with New, start with Serve, stop with
+// Close.
+type Server struct {
+	cfg Config
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+
+	sessions  metrics.Counter
+	retrieved metrics.Counter
+	deleted   metrics.Counter
+	authFails metrics.Counter
+}
+
+// New returns an unstarted server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("pop3: Store is required")
+	}
+	if cfg.Hostname == "" {
+		cfg.Hostname = "mail.example.org"
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 60 * time.Second
+	}
+	return &Server{cfg: cfg, conns: make(map[net.Conn]bool)}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Sessions:  s.sessions.Value(),
+		Retrieved: s.retrieved.Value(),
+		Deleted:   s.deleted.Value(),
+		AuthFails: s.authFails.Value(),
+	}
+}
+
+// Serve accepts connections until Close. It blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("pop3: server closed")
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		return errors.New("pop3: already serving")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("pop3: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[nc] = true
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(nc)
+	}
+}
+
+// Close stops accepting, force-closes open sessions, and waits.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("pop3: already closed")
+	}
+	s.closed = true
+	ln := s.ln
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) untrack(nc net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+}
+
+// session holds one connection's state.
+type session struct {
+	srv  *Server
+	nc   net.Conn
+	c    *smtp.Conn // reuses the SMTP line/dot codec: POP3 shares both
+	user string
+	// authed marks the transition from AUTHORIZATION to TRANSACTION.
+	authed bool
+	// ids is the mailbox listing frozen at PASS time (RFC 1939 locks the
+	// maildrop for the session).
+	ids []string
+	// deleted marks messages staged for deletion (1-based index).
+	deleted map[int]bool
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer s.untrack(nc)
+	defer nc.Close()
+	s.sessions.Inc()
+	sess := &session{srv: s, nc: nc, c: smtp.NewConn(nc), deleted: make(map[int]bool)}
+	if err := sess.ok("POP3 server ready on " + s.cfg.Hostname); err != nil {
+		return
+	}
+	for {
+		if err := nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+			return
+		}
+		line, err := sess.c.ReadLine()
+		if err != nil {
+			return
+		}
+		verb, arg := splitCommand(line)
+		quit, err := sess.dispatch(verb, arg)
+		if err != nil || quit {
+			return
+		}
+	}
+}
+
+func splitCommand(line string) (verb, arg string) {
+	verb = line
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		verb, arg = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	return strings.ToUpper(verb), arg
+}
+
+func (s *session) ok(text string) error   { return s.c.WriteLine("+OK " + text) }
+func (s *session) errr(text string) error { return s.c.WriteLine("-ERR " + text) }
+
+// dispatch handles one command; quit reports session end.
+func (s *session) dispatch(verb, arg string) (quit bool, err error) {
+	switch verb {
+	case "QUIT":
+		return true, s.quit()
+	case "NOOP":
+		return false, s.ok("")
+	case "USER":
+		return false, s.cmdUser(arg)
+	case "PASS":
+		return false, s.cmdPass(arg)
+	case "STAT":
+		return false, s.inTransaction(func() error { return s.cmdStat() })
+	case "LIST":
+		return false, s.inTransaction(func() error { return s.cmdList(arg) })
+	case "UIDL":
+		return false, s.inTransaction(func() error { return s.cmdUidl(arg) })
+	case "RETR":
+		return false, s.inTransaction(func() error { return s.cmdRetr(arg) })
+	case "DELE":
+		return false, s.inTransaction(func() error { return s.cmdDele(arg) })
+	case "RSET":
+		return false, s.inTransaction(func() error {
+			s.deleted = make(map[int]bool)
+			return s.ok("reset")
+		})
+	default:
+		return false, s.errr("unknown command")
+	}
+}
+
+func (s *session) inTransaction(fn func() error) error {
+	if !s.authed {
+		return s.errr("log in first")
+	}
+	return fn()
+}
+
+func (s *session) cmdUser(arg string) error {
+	if s.authed {
+		return s.errr("already authenticated")
+	}
+	if arg == "" {
+		return s.errr("USER requires a name")
+	}
+	s.user = arg
+	return s.ok("user accepted, send PASS")
+}
+
+func (s *session) cmdPass(arg string) error {
+	if s.authed {
+		return s.errr("already authenticated")
+	}
+	if s.user == "" {
+		return s.errr("send USER first")
+	}
+	if s.srv.cfg.Auth != nil && !s.srv.cfg.Auth(s.user, arg) {
+		s.srv.authFails.Inc()
+		s.user = ""
+		return s.errr("authentication failed")
+	}
+	ids, err := s.srv.cfg.Store.List(s.user)
+	if err != nil {
+		if errors.Is(err, mailstore.ErrNotFound) {
+			// An empty maildrop is not an error: new users simply have
+			// no mail yet.
+			ids = nil
+		} else {
+			return s.errr("maildrop unavailable")
+		}
+	}
+	s.ids = ids
+	s.authed = true
+	return s.ok(fmt.Sprintf("maildrop has %d messages", len(ids)))
+}
+
+// live returns the undeleted message numbers in order.
+func (s *session) live() []int {
+	var out []int
+	for i := range s.ids {
+		if !s.deleted[i+1] {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// message resolves a 1-based message number argument.
+func (s *session) message(arg string) (int, string, error) {
+	n, err := strconv.Atoi(arg)
+	if err != nil || n < 1 || n > len(s.ids) {
+		return 0, "", fmt.Errorf("no such message")
+	}
+	if s.deleted[n] {
+		return 0, "", fmt.Errorf("message deleted")
+	}
+	return n, s.ids[n-1], nil
+}
+
+func (s *session) sizes() (map[int]int, int, error) {
+	out := make(map[int]int)
+	total := 0
+	for _, n := range s.live() {
+		body, err := s.srv.cfg.Store.Read(s.user, s.ids[n-1])
+		if err != nil {
+			return nil, 0, err
+		}
+		out[n] = len(body)
+		total += len(body)
+	}
+	return out, total, nil
+}
+
+func (s *session) cmdStat() error {
+	sizes, total, err := s.sizes()
+	if err != nil {
+		return s.errr("maildrop unavailable")
+	}
+	return s.ok(fmt.Sprintf("%d %d", len(sizes), total))
+}
+
+func (s *session) cmdList(arg string) error {
+	sizes, total, err := s.sizes()
+	if err != nil {
+		return s.errr("maildrop unavailable")
+	}
+	if arg != "" {
+		n, _, err := s.message(arg)
+		if err != nil {
+			return s.errr(err.Error())
+		}
+		return s.ok(fmt.Sprintf("%d %d", n, sizes[n]))
+	}
+	if err := s.ok(fmt.Sprintf("%d messages (%d octets)", len(sizes), total)); err != nil {
+		return err
+	}
+	for _, n := range s.live() {
+		if err := s.c.WriteLine(fmt.Sprintf("%d %d", n, sizes[n])); err != nil {
+			return err
+		}
+	}
+	return s.c.WriteLine(".")
+}
+
+func (s *session) cmdUidl(arg string) error {
+	if arg != "" {
+		n, id, err := s.message(arg)
+		if err != nil {
+			return s.errr(err.Error())
+		}
+		return s.ok(fmt.Sprintf("%d %s", n, id))
+	}
+	if err := s.ok("unique-id listing"); err != nil {
+		return err
+	}
+	for _, n := range s.live() {
+		if err := s.c.WriteLine(fmt.Sprintf("%d %s", n, s.ids[n-1])); err != nil {
+			return err
+		}
+	}
+	return s.c.WriteLine(".")
+}
+
+func (s *session) cmdRetr(arg string) error {
+	_, id, err := s.message(arg)
+	if err != nil {
+		return s.errr(err.Error())
+	}
+	body, err := s.srv.cfg.Store.Read(s.user, id)
+	if err != nil {
+		return s.errr("message unavailable")
+	}
+	if err := s.ok(fmt.Sprintf("%d octets", len(body))); err != nil {
+		return err
+	}
+	s.srv.retrieved.Inc()
+	// The SMTP dot codec is exactly POP3's multi-line response framing.
+	return s.c.WriteData(body)
+}
+
+func (s *session) cmdDele(arg string) error {
+	n, _, err := s.message(arg)
+	if err != nil {
+		return s.errr(err.Error())
+	}
+	s.deleted[n] = true
+	return s.ok(fmt.Sprintf("message %d deleted", n))
+}
+
+// quit enters the UPDATE state: staged deletions are applied against the
+// store (one mfs.Delete / mbox rewrite per message) and the session ends.
+func (s *session) quit() error {
+	if s.authed {
+		for n := range s.deleted {
+			if err := s.srv.cfg.Store.Delete(s.user, s.ids[n-1]); err == nil {
+				s.srv.deleted.Inc()
+			}
+		}
+	}
+	return s.ok("bye")
+}

@@ -1,0 +1,277 @@
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/fsim"
+)
+
+// collector is a Deliverer recording items, with an optional failure
+// script keyed by (id, attempt).
+type collector struct {
+	mu        sync.Mutex
+	delivered []*Item
+	failUntil map[string]int // id -> fail attempts below this
+}
+
+func (c *collector) Deliver(item *Item) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failUntil != nil && item.Attempts < c.failUntil[item.ID] {
+		return errors.New("transient failure")
+	}
+	cp := *item
+	c.delivered = append(c.delivered, &cp)
+	return nil
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.delivered)
+}
+
+func TestEnqueueDeliver(t *testing.T) {
+	col := &collector{}
+	m, err := NewManager(Config{Deliverer: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	id, err := m.Enqueue("s@a.test", []string{"r@b.test"}, []byte("body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == "" {
+		t.Fatal("empty queue id")
+	}
+	if !m.WaitIdle(2 * time.Second) {
+		t.Fatal("queue never idle")
+	}
+	if col.count() != 1 {
+		t.Fatalf("delivered = %d", col.count())
+	}
+	st := m.Stats()
+	if st.Enqueued != 1 || st.Delivered != 1 || st.Dead != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueueIDsUnique(t *testing.T) {
+	col := &collector{}
+	m, _ := NewManager(Config{Deliverer: col})
+	defer m.Close()
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id, err := m.Enqueue("s@a.test", []string{"r@b.test"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+	if id := m.NewID(); seen[id] {
+		t.Fatal("NewID collided with Enqueue ids")
+	}
+}
+
+func TestRetryThenSucceed(t *testing.T) {
+	col := &collector{failUntil: map[string]int{}}
+	m, _ := NewManager(Config{
+		Deliverer:   col,
+		RetryDelay:  5 * time.Millisecond,
+		MaxAttempts: 5,
+	})
+	defer m.Close()
+	// Every mail fails its first two attempts.
+	col.mu.Lock()
+	col.failUntil["Q0000000000000001"] = 3
+	col.mu.Unlock()
+	m.Enqueue("s@a.test", []string{"r@b.test"}, nil)
+	if !m.WaitIdle(5 * time.Second) {
+		t.Fatal("queue never idle")
+	}
+	if col.count() != 1 {
+		t.Fatalf("delivered = %d", col.count())
+	}
+	st := m.Stats()
+	if st.Deferred != 2 || st.Delivered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if col.delivered[0].Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", col.delivered[0].Attempts)
+	}
+}
+
+func TestDeadAfterMaxAttempts(t *testing.T) {
+	failing := DelivererFunc(func(item *Item) error { return errors.New("permanent") })
+	m, _ := NewManager(Config{
+		Deliverer:   failing,
+		RetryDelay:  2 * time.Millisecond,
+		MaxAttempts: 3,
+	})
+	defer m.Close()
+	m.Enqueue("s@a.test", []string{"r@b.test"}, nil)
+	if !m.WaitIdle(5 * time.Second) {
+		t.Fatal("queue never idle")
+	}
+	st := m.Stats()
+	if st.Dead != 1 || st.Delivered != 0 || st.Deferred != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIntakeLimitBackpressure(t *testing.T) {
+	block := make(chan struct{})
+	slow := DelivererFunc(func(item *Item) error { <-block; return nil })
+	m, _ := NewManager(Config{Deliverer: slow, ActiveLimit: 1, IntakeLimit: 2})
+	defer func() {
+		close(block)
+		m.Close()
+	}()
+	// Fill: 1 in flight + 2 queued; the next must fail fast.
+	sawFull := false
+	for i := 0; i < 10; i++ {
+		_, err := m.Enqueue("s@a.test", []string{"r@b.test"}, nil)
+		if errors.Is(err, ErrQueueFull) {
+			sawFull = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawFull {
+		t.Fatal("intake limit never hit")
+	}
+}
+
+func TestSpoolLifecycle(t *testing.T) {
+	fs := fsim.NewMem(costmodel.FSModel{})
+	gate := make(chan struct{})
+	col := &collector{}
+	gated := DelivererFunc(func(item *Item) error {
+		<-gate
+		return col.Deliver(item)
+	})
+	m, _ := NewManager(Config{Deliverer: gated, Spool: fs})
+	defer m.Close()
+	id, err := m.Enqueue("s@a.test", []string{"r1@b.test", "r2@b.test"}, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While undelivered, the spool file exists with envelope + body.
+	waitFor(t, func() bool { return fs.Exists("queue/incoming/" + id) })
+	sz, _ := fs.Size("queue/incoming/" + id)
+	if sz == 0 {
+		t.Fatal("spool file empty")
+	}
+	close(gate)
+	if !m.WaitIdle(2 * time.Second) {
+		t.Fatal("queue never idle")
+	}
+	waitFor(t, func() bool { return !fs.Exists("queue/incoming/" + id) })
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestEnqueueValidation(t *testing.T) {
+	m, _ := NewManager(Config{Deliverer: &collector{}})
+	defer m.Close()
+	if _, err := m.Enqueue("s@a.test", nil, nil); err == nil {
+		t.Fatal("no recipients accepted")
+	}
+}
+
+func TestNewManagerRequiresDeliverer(t *testing.T) {
+	if _, err := NewManager(Config{}); err == nil {
+		t.Fatal("nil deliverer accepted")
+	}
+}
+
+func TestCloseRejectsEnqueue(t *testing.T) {
+	m, _ := NewManager(Config{Deliverer: &collector{}})
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Enqueue("s@a.test", []string{"r@b.test"}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("enqueue after close = %v", err)
+	}
+	if err := m.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+func TestCloseCancelsDeferred(t *testing.T) {
+	failing := DelivererFunc(func(item *Item) error { return errors.New("x") })
+	m, _ := NewManager(Config{Deliverer: failing, RetryDelay: time.Hour, MaxAttempts: 5})
+	m.Enqueue("s@a.test", []string{"r@b.test"}, nil)
+	waitFor(t, func() bool { return m.Stats().Waiting == 1 })
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Waiting != 0 {
+		t.Fatal("deferred timer survived close")
+	}
+}
+
+func TestConcurrentEnqueue(t *testing.T) {
+	col := &collector{}
+	m, _ := NewManager(Config{Deliverer: col, ActiveLimit: 8, IntakeLimit: 4096})
+	defer m.Close()
+	var wg sync.WaitGroup
+	const producers, each = 8, 50
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := m.Enqueue("s@a.test",
+					[]string{fmt.Sprintf("r%d-%d@b.test", p, i)}, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if !m.WaitIdle(5 * time.Second) {
+		t.Fatal("queue never idle")
+	}
+	if col.count() != producers*each {
+		t.Fatalf("delivered = %d, want %d", col.count(), producers*each)
+	}
+}
+
+func TestItemDataIsolated(t *testing.T) {
+	var got []byte
+	col := DelivererFunc(func(item *Item) error {
+		got = item.Data
+		return nil
+	})
+	m, _ := NewManager(Config{Deliverer: col})
+	defer m.Close()
+	buf := []byte("original")
+	m.Enqueue("s@a.test", []string{"r@b.test"}, buf)
+	m.WaitIdle(2 * time.Second)
+	buf[0] = 'X' // caller mutates after enqueue
+	if string(got) != "original" {
+		t.Fatalf("queued data aliased caller buffer: %q", got)
+	}
+}

@@ -1,0 +1,72 @@
+package simmail
+
+// Calibration report: prints the three cost-sensitive curves (the §3
+// tuning sweep, Figure 8, Figure 14) and the Figure 15 cache replay so
+// the constants in internal/costmodel can be re-tuned if the model
+// changes. Reporting only — the pass/fail assertions live in
+// internal/core's shape tests.
+//
+//	go test ./internal/simmail/ -run TestCalibScan -v -calib
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dnsbl"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+var calib = flag.Bool("calib", false, "run the calibration scan")
+
+func TestCalibScan(t *testing.T) {
+	if !*calib {
+		t.Skip("calibration scan disabled (pass -calib)")
+	}
+	fmt.Println("== tuning: univ trace, closed 1000 slots ==")
+	univ := trace.NewUniv(trace.UnivConfig{Seed: 1, Connections: 15000}).Generate()
+	for _, w := range []int{50, 100, 200, 500, 700, 1000} {
+		res := RunClosed(Config{Arch: ArchVanilla, Workers: w, Seed: 2}, univ, 1000, 0)
+		fmt.Printf("workers=%4d goodput=%6.1f cpu=%.2f disk=%.2f switches=%d lat=%v\n",
+			w, res.Goodput, res.CPUUtil, res.DiskUtil, res.Switches, res.MeanLatency)
+	}
+
+	fmt.Println("== fig8: bounce sweep, vanilla 500 vs hybrid 700 sockets ==")
+	for _, b := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.95} {
+		conns := trace.BounceSweep(3, 12000, b, "d.test", 400)
+		v := RunClosed(Config{Arch: ArchVanilla, Workers: 500, Seed: 2}, conns, 700, 0)
+		h := RunClosed(Config{Arch: ArchHybrid, Workers: 500, Sockets: 700, Seed: 2}, conns, 700, 0)
+		fmt.Printf("b=%.2f vanilla=%6.1f (sw %7d cpu %.2f disk %.2f) hybrid=%6.1f (sw %7d cpu %.2f)\n",
+			b, v.Goodput, v.Switches, v.CPUUtil, v.DiskUtil, h.Goodput, h.Switches, h.CPUUtil)
+	}
+
+	fmt.Println("== fig14: sinkhole, open system, ip vs prefix ==")
+	sink := trace.NewSinkhole(trace.SinkholeConfig{Seed: 5, Connections: 40000, Prefixes: 3470,
+		Duration: trace.SinkholeDuration / trace.SinkholeConnections * 40000})
+	conns := sink.Generate()
+	for _, rate := range []float64{40, 120, 150, 170, 180, 190, 200} {
+		ip := RunOpen(Config{Arch: ArchVanilla, Workers: 256, Seed: 2, DiscardDelivery: true,
+			CleanupCPU: time.Millisecond,
+			DNSBL:      &DNSBLConfig{Policy: dnsbl.CacheIP}}, conns, rate)
+		pf := RunOpen(Config{Arch: ArchVanilla, Workers: 256, Seed: 2, DiscardDelivery: true,
+			CleanupCPU: time.Millisecond,
+			DNSBL:      &DNSBLConfig{Policy: dnsbl.CachePrefix}}, conns, rate)
+		fmt.Printf("rate=%3.0f ip=%6.1f (miss %.3f cpu %.2f) prefix=%6.1f (miss %.3f cpu %.2f) gain=%.1f%%\n",
+			rate, ip.Goodput, 1-ip.DNSHitRatio, ip.CPUUtil,
+			pf.Goodput, 1-pf.DNSHitRatio, pf.CPUUtil,
+			100*(pf.Goodput-ip.Goodput)/ip.Goodput)
+	}
+
+	fmt.Println("== fig15: full-scale sinkhole, cache replay with trace timestamps ==")
+	full := trace.NewSinkhole(trace.SinkholeConfig{Seed: 7})
+	fc := full.Generate()
+	for _, pol := range []dnsbl.CachePolicy{dnsbl.CacheIP, dnsbl.CachePrefix} {
+		c := dnsbl.NewSimCache(pol, 24*time.Hour, dnsbl.DefaultLatency.Sampler(), sim.NewRNG(99))
+		for i := range fc {
+			c.Lookup(fc[i].At, fc[i].ClientIP.String(), fc[i].ClientIP.Prefix25().String())
+		}
+		fmt.Printf("policy=%-6s miss=%.4f hit=%.4f\n", pol, c.MissRatio(), c.HitRatio())
+	}
+}

@@ -1,0 +1,73 @@
+package simmail
+
+import (
+	"repro/internal/costmodel"
+	"repro/internal/sim"
+)
+
+// pool models the smtpd process pool: a fixed set of worker process ids
+// that serve one connection at a time. Processes are forked lazily (the
+// master pays ForkCost once per process, after which postfix recycles
+// them — §2) and requests queue FIFO when all are busy, like connections
+// waiting for a free smtpd.
+type pool struct {
+	eng    *sim.Engine
+	cpu    *sim.CPU
+	limit  int
+	free   []int
+	next   int // next never-forked process id
+	queue  []func(procID int)
+	inUse  int
+	master int // owner id of the master process
+}
+
+func newPool(eng *sim.Engine, cpu *sim.CPU, limit int) *pool {
+	return &pool{eng: eng, cpu: cpu, limit: limit, next: 1, master: 0}
+}
+
+// acquire hands a free process to fn, forking a new one (at the
+// master's expense) if the pool has not reached its limit, or queueing
+// the request otherwise.
+func (p *pool) acquire(fn func(procID int)) {
+	if len(p.free) > 0 {
+		id := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		p.inUse++
+		fn(id)
+		return
+	}
+	if p.next <= p.limit {
+		id := p.next
+		p.next++
+		p.inUse++
+		// The master forks the new smtpd; the fork burst belongs to the
+		// master's schedule.
+		p.cpu.Run(p.master, costmodel.ForkCost, func() { fn(id) })
+		return
+	}
+	p.queue = append(p.queue, fn)
+}
+
+// release returns a process to the pool, immediately dispatching the
+// oldest queued request if any.
+func (p *pool) release(id int) {
+	p.inUse--
+	if len(p.queue) > 0 {
+		fn := p.queue[0]
+		p.queue = p.queue[1:]
+		p.inUse++
+		fn(id)
+		return
+	}
+	p.free = append(p.free, id)
+}
+
+// busy returns the number of in-use processes.
+func (p *pool) busy() int { return p.inUse }
+
+// forked returns the number of processes created so far — the resident
+// smtpd population whose footprint scales the context-switch penalty.
+func (p *pool) forked() int { return p.next - 1 }
+
+// waiting returns the number of queued acquisitions.
+func (p *pool) waiting() int { return len(p.queue) }

@@ -1,0 +1,170 @@
+package smtp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Client speaks the client side of SMTP over any stream — the engine of
+// the paper's two load generators ("Client program 1" and "Client
+// program 2" in Table 1).
+type Client struct {
+	conn   *Conn
+	raw    io.Closer
+	banner Reply
+}
+
+// UnexpectedReplyError reports a server reply outside the expected class.
+type UnexpectedReplyError struct {
+	Op    string
+	Reply Reply
+}
+
+func (e *UnexpectedReplyError) Error() string {
+	return fmt.Sprintf("smtp: %s: unexpected reply %s", e.Op, e.Reply)
+}
+
+// NewClient wraps an established stream and reads the server banner.
+func NewClient(rw io.ReadWriteCloser) (*Client, error) {
+	c := &Client{conn: NewConn(rw), raw: rw}
+	banner, err := c.conn.ReadReply()
+	if err != nil {
+		rw.Close()
+		return nil, fmt.Errorf("smtp: reading banner: %w", err)
+	}
+	if banner.Code != 220 {
+		rw.Close()
+		return nil, &UnexpectedReplyError{Op: "banner", Reply: banner}
+	}
+	c.banner = banner
+	return c, nil
+}
+
+// Dial connects to addr over TCP with a timeout and reads the banner.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("smtp: dial %s: %w", addr, err)
+	}
+	return NewClient(nc)
+}
+
+// Banner returns the server's 220 greeting.
+func (c *Client) Banner() Reply { return c.banner }
+
+// cmd sends a command and checks the reply against wantCode (0 = any
+// positive).
+func (c *Client) cmd(op, line string, wantCode int) (Reply, error) {
+	if err := c.conn.WriteLine(line); err != nil {
+		return Reply{}, fmt.Errorf("smtp: %s: %w", op, err)
+	}
+	r, err := c.conn.ReadReply()
+	if err != nil {
+		return Reply{}, fmt.Errorf("smtp: %s: %w", op, err)
+	}
+	if wantCode != 0 && r.Code != wantCode {
+		return r, &UnexpectedReplyError{Op: op, Reply: r}
+	}
+	if wantCode == 0 && !r.IsPositive() {
+		return r, &UnexpectedReplyError{Op: op, Reply: r}
+	}
+	return r, nil
+}
+
+// Helo sends HELO.
+func (c *Client) Helo(name string) error {
+	_, err := c.cmd("HELO", "HELO "+name, 250)
+	return err
+}
+
+// Mail sends MAIL FROM. An empty sender sends the null reverse-path <>.
+func (c *Client) Mail(sender string) error {
+	_, err := c.cmd("MAIL", fmt.Sprintf("MAIL FROM:<%s>", sender), 250)
+	return err
+}
+
+// Rcpt sends RCPT TO and returns the server reply; a 550 reply (bounce)
+// is returned as the reply with a nil error so callers can count bounces
+// without error plumbing.
+func (c *Client) Rcpt(addr string) (Reply, error) {
+	r, err := c.cmd("RCPT", fmt.Sprintf("RCPT TO:<%s>", addr), 0)
+	var unexpected *UnexpectedReplyError
+	if err != nil && errors.As(err, &unexpected) && unexpected.Reply.Code == 550 {
+		return unexpected.Reply, nil
+	}
+	return r, err
+}
+
+// Data sends the message body through DATA and the terminating dot.
+func (c *Client) Data(body []byte) error {
+	if _, err := c.cmd("DATA", "DATA", 354); err != nil {
+		return err
+	}
+	if err := c.conn.WriteData(body); err != nil {
+		return fmt.Errorf("smtp: sending data: %w", err)
+	}
+	r, err := c.conn.ReadReply()
+	if err != nil {
+		return fmt.Errorf("smtp: data reply: %w", err)
+	}
+	if r.Code != 250 {
+		return &UnexpectedReplyError{Op: "DATA body", Reply: r}
+	}
+	return nil
+}
+
+// Reset sends RSET.
+func (c *Client) Reset() error {
+	_, err := c.cmd("RSET", "RSET", 250)
+	return err
+}
+
+// Quit sends QUIT and closes the connection.
+func (c *Client) Quit() error {
+	_, errCmd := c.cmd("QUIT", "QUIT", 221)
+	errClose := c.raw.Close()
+	if errCmd != nil {
+		return errCmd
+	}
+	return errClose
+}
+
+// Abort closes the connection without QUIT — the "unfinished SMTP
+// transaction" behaviour of §4.1.
+func (c *Client) Abort() error { return c.raw.Close() }
+
+// Send performs one whole mail transaction (MAIL, RCPTs, DATA). It
+// returns the number of accepted recipients; if none are accepted the
+// DATA phase is skipped, mirroring what real clients (and spammers
+// probing with random guesses) experience.
+func (c *Client) Send(sender string, rcpts []string, body []byte) (accepted int, err error) {
+	if err := c.Mail(sender); err != nil {
+		return 0, err
+	}
+	for _, rcpt := range rcpts {
+		r, err := c.Rcpt(rcpt)
+		if err != nil {
+			return accepted, err
+		}
+		if r.Code == 250 {
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		// Clear the failed transaction so the connection is reusable.
+		if err := c.Reset(); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	if err := c.Data(body); err != nil {
+		return accepted, err
+	}
+	return accepted, nil
+}

@@ -1,0 +1,223 @@
+package smtp
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// serveSession drives a full SMTP session over conn using the shared
+// state machine — the same loop both server architectures run. It sends
+// completed envelopes to envs.
+func serveSession(conn net.Conn, cfg Config, envs chan<- Envelope) {
+	defer conn.Close()
+	c := NewConn(conn)
+	s := NewSession(cfg)
+	if err := c.WriteReply(s.Greeting()); err != nil {
+		return
+	}
+	for {
+		line, err := c.ReadLine()
+		if err != nil {
+			if err == ErrLineTooLong {
+				if c.WriteReply(ReplyLineTooLong) == nil {
+					continue
+				}
+			}
+			return
+		}
+		reply, action := s.Command(line)
+		switch action {
+		case ActionData:
+			if err := c.WriteReply(reply); err != nil {
+				return
+			}
+			body, err := c.ReadData(s.MaxMessageBytes())
+			if err != nil {
+				if errors.Is(err, ErrMessageTooBig) {
+					if c.WriteReply(s.AbortData()) == nil {
+						continue
+					}
+				}
+				return
+			}
+			env, done := s.FinishData(body)
+			if envs != nil {
+				envs <- env
+			}
+			if err := c.WriteReply(done); err != nil {
+				return
+			}
+		case ActionQuit:
+			c.WriteReply(reply)
+			return
+		default:
+			if err := c.WriteReply(reply); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// startTestServer returns a client connected to an in-process session.
+func startTestServer(t *testing.T, cfg Config) (*Client, <-chan Envelope, *sync.WaitGroup) {
+	t.Helper()
+	serverConn, clientConn := net.Pipe()
+	envs := make(chan Envelope, 16)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serveSession(serverConn, cfg, envs)
+	}()
+	client, err := NewClient(clientConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, envs, &wg
+}
+
+func validCfg() Config {
+	return Config{
+		Hostname: "mx.test",
+		ValidateRcpt: func(addr string) bool {
+			return strings.HasSuffix(strings.ToLower(addr), "@valid.test")
+		},
+	}
+}
+
+func TestClientFullTransaction(t *testing.T) {
+	client, envs, wg := startTestServer(t, validCfg())
+	if got := client.Banner().Code; got != 220 {
+		t.Fatalf("banner = %d", got)
+	}
+	if err := client.Helo("load.test"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := client.Send("sender@remote.test",
+		[]string{"a@valid.test", "b@valid.test"},
+		[]byte("Subject: t\r\n\r\n.dot line\r\nbody\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("accepted = %d, want 2", n)
+	}
+	env := <-envs
+	if env.Sender != "sender@remote.test" || len(env.Rcpts) != 2 {
+		t.Fatalf("envelope = %+v", env)
+	}
+	if string(env.Data) != "Subject: t\r\n\r\n.dot line\r\nbody\r\n" {
+		t.Fatalf("data = %q", env.Data)
+	}
+	if err := client.Quit(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+func TestClientAllRecipientsBounce(t *testing.T) {
+	client, envs, wg := startTestServer(t, validCfg())
+	client.Helo("h")
+	n, err := client.Send("s@r.test", []string{"x@nowhere.test", "y@nowhere.test"}, []byte("body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("accepted = %d, want 0", n)
+	}
+	select {
+	case env := <-envs:
+		t.Fatalf("bounce-only transaction delivered: %+v", env)
+	default:
+	}
+	client.Quit()
+	wg.Wait()
+}
+
+func TestClientPartialBounce(t *testing.T) {
+	client, envs, wg := startTestServer(t, validCfg())
+	client.Helo("h")
+	n, err := client.Send("s@r.test",
+		[]string{"ghost@nowhere.test", "real@valid.test"}, []byte("body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("accepted = %d, want 1", n)
+	}
+	env := <-envs
+	if len(env.Rcpts) != 1 || env.Rcpts[0] != "real@valid.test" {
+		t.Fatalf("envelope rcpts = %v", env.Rcpts)
+	}
+	client.Quit()
+	wg.Wait()
+}
+
+func TestClientAbortMidSession(t *testing.T) {
+	// §4.1's "unfinished SMTP transaction": connect, HELO, hang up.
+	client, envs, wg := startTestServer(t, validCfg())
+	client.Helo("h")
+	if err := client.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	select {
+	case env := <-envs:
+		t.Fatalf("aborted session delivered: %+v", env)
+	default:
+	}
+}
+
+func TestClientMultipleMailsOneConnection(t *testing.T) {
+	client, envs, wg := startTestServer(t, validCfg())
+	client.Helo("h")
+	for i := 0; i < 3; i++ {
+		if _, err := client.Send("s@r.test", []string{"a@valid.test"}, []byte("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client.Quit()
+	wg.Wait()
+	close := 0
+	for len(envs) > 0 {
+		<-envs
+		close++
+	}
+	if close != 3 {
+		t.Fatalf("delivered = %d, want 3", close)
+	}
+}
+
+func TestClientOversizeMessage(t *testing.T) {
+	cfg := validCfg()
+	cfg.MaxMessageBytes = 64
+	client, _, wg := startTestServer(t, cfg)
+	client.Helo("h")
+	client.Mail("s@r.test")
+	client.Rcpt("a@valid.test")
+	err := client.Data(make([]byte, 1000))
+	var unexpected *UnexpectedReplyError
+	if !errors.As(err, &unexpected) || unexpected.Reply.Code != 552 {
+		t.Fatalf("oversize err = %v, want 552", err)
+	}
+	// Connection still usable afterwards.
+	if err := client.Helo("again"); err != nil {
+		t.Fatal(err)
+	}
+	client.Quit()
+	wg.Wait()
+}
+
+func TestClientRejectsBadBanner(t *testing.T) {
+	serverConn, clientConn := net.Pipe()
+	go func() {
+		NewConn(serverConn).WriteReply(Reply{554, "go away"})
+		serverConn.Close()
+	}()
+	if _, err := NewClient(clientConn); err == nil {
+		t.Fatal("554 banner accepted")
+	}
+}

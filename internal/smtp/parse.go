@@ -1,0 +1,150 @@
+package smtp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Verb is an SMTP command verb.
+type Verb string
+
+// The verbs the server understands.
+const (
+	VerbHELO Verb = "HELO"
+	VerbEHLO Verb = "EHLO"
+	VerbMAIL Verb = "MAIL"
+	VerbRCPT Verb = "RCPT"
+	VerbDATA Verb = "DATA"
+	VerbRSET Verb = "RSET"
+	VerbNOOP Verb = "NOOP"
+	VerbVRFY Verb = "VRFY"
+	VerbQUIT Verb = "QUIT"
+)
+
+// Command is one parsed SMTP command line.
+type Command struct {
+	Verb Verb
+	// Arg is the raw argument text after the verb.
+	Arg string
+	// Addr is the parsed mailbox for MAIL/RCPT/VRFY.
+	Addr string
+}
+
+// ErrSyntax reports an unparseable command argument.
+type ErrSyntax struct{ Line string }
+
+func (e *ErrSyntax) Error() string { return fmt.Sprintf("smtp: syntax error in %q", e.Line) }
+
+// ErrUnknownVerb reports an unrecognized command verb.
+type ErrUnknownVerb struct{ VerbText string }
+
+func (e *ErrUnknownVerb) Error() string { return fmt.Sprintf("smtp: unknown command %q", e.VerbText) }
+
+// ParseCommand parses one command line (without CRLF).
+func ParseCommand(line string) (Command, error) {
+	trimmed := strings.TrimRight(line, " \t")
+	verbText := trimmed
+	arg := ""
+	if i := strings.IndexByte(trimmed, ' '); i >= 0 {
+		verbText, arg = trimmed[:i], strings.TrimSpace(trimmed[i+1:])
+	}
+	verb := Verb(strings.ToUpper(verbText))
+	cmd := Command{Verb: verb, Arg: arg}
+	switch verb {
+	case VerbHELO, VerbEHLO:
+		if arg == "" {
+			return cmd, &ErrSyntax{Line: line}
+		}
+		return cmd, nil
+	case VerbMAIL:
+		addr, err := parsePath(arg, "FROM")
+		if err != nil {
+			return cmd, err
+		}
+		cmd.Addr = addr
+		return cmd, nil
+	case VerbRCPT:
+		addr, err := parsePath(arg, "TO")
+		if err != nil {
+			return cmd, err
+		}
+		if cmd.Addr = addr; addr == "" {
+			// RCPT TO:<> is never valid (null path is sender-only).
+			return cmd, &ErrSyntax{Line: line}
+		}
+		return cmd, nil
+	case VerbVRFY:
+		if arg == "" {
+			return cmd, &ErrSyntax{Line: line}
+		}
+		cmd.Addr = strings.Trim(arg, "<>")
+		return cmd, nil
+	case VerbDATA, VerbRSET, VerbNOOP, VerbQUIT:
+		return cmd, nil
+	default:
+		return cmd, &ErrUnknownVerb{VerbText: verbText}
+	}
+}
+
+// parsePath parses "FROM:<addr> [params]" / "TO:<addr> [params]". The
+// null reverse-path <> (bounce sender) parses to "".
+func parsePath(arg, keyword string) (string, error) {
+	upper := strings.ToUpper(arg)
+	prefix := keyword + ":"
+	if !strings.HasPrefix(upper, prefix) {
+		return "", &ErrSyntax{Line: arg}
+	}
+	rest := strings.TrimSpace(arg[len(prefix):])
+	// Strip optional ESMTP parameters after the path.
+	path := rest
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		path = rest[:i]
+	}
+	if !strings.HasPrefix(path, "<") || !strings.HasSuffix(path, ">") {
+		return "", &ErrSyntax{Line: arg}
+	}
+	addr := path[1 : len(path)-1]
+	// Drop RFC 5321 source routes ("@relay:user@dom").
+	if i := strings.LastIndexByte(addr, ':'); i >= 0 && strings.HasPrefix(addr, "@") {
+		addr = addr[i+1:]
+	}
+	if addr == "" {
+		return "", nil
+	}
+	if err := ValidateAddress(addr); err != nil {
+		return "", err
+	}
+	return addr, nil
+}
+
+// ValidateAddress applies the minimal mailbox syntax check the server
+// needs: exactly one "@", non-empty local part and domain, no whitespace
+// or control bytes.
+func ValidateAddress(addr string) error {
+	at := strings.IndexByte(addr, '@')
+	if at <= 0 || at == len(addr)-1 || strings.IndexByte(addr[at+1:], '@') >= 0 {
+		return &ErrSyntax{Line: addr}
+	}
+	for i := 0; i < len(addr); i++ {
+		if c := addr[i]; c <= ' ' || c == 127 {
+			return &ErrSyntax{Line: addr}
+		}
+	}
+	return nil
+}
+
+// LocalPart returns the mailbox name before the "@".
+func LocalPart(addr string) string {
+	if i := strings.IndexByte(addr, '@'); i >= 0 {
+		return addr[:i]
+	}
+	return addr
+}
+
+// Domain returns the domain after the "@", lowercased.
+func Domain(addr string) string {
+	if i := strings.IndexByte(addr, '@'); i >= 0 {
+		return strings.ToLower(addr[i+1:])
+	}
+	return ""
+}

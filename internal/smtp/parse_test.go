@@ -1,0 +1,119 @@
+package smtp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseCommandVerbs(t *testing.T) {
+	cases := []struct {
+		line string
+		verb Verb
+		addr string
+		ok   bool
+	}{
+		{"HELO client.example", VerbHELO, "", true},
+		{"helo client.example", VerbHELO, "", true},
+		{"EHLO [192.0.2.1]", VerbEHLO, "", true},
+		{"HELO", VerbHELO, "", false},
+		{"MAIL FROM:<a@b.c>", VerbMAIL, "a@b.c", true},
+		{"mail from:<a@b.c>", VerbMAIL, "a@b.c", true},
+		{"MAIL FROM:<>", VerbMAIL, "", true}, // null reverse-path
+		{"MAIL FROM:<a@b.c> SIZE=1000", VerbMAIL, "a@b.c", true},
+		{"MAIL FROM:a@b.c", VerbMAIL, "", false},
+		{"MAIL TO:<a@b.c>", VerbMAIL, "", false},
+		{"RCPT TO:<u@d.com>", VerbRCPT, "u@d.com", true},
+		{"RCPT TO:<@relay.example:u@d.com>", VerbRCPT, "u@d.com", true},
+		{"RCPT TO:<>", VerbRCPT, "", false}, // null forward-path invalid
+		{"RCPT FROM:<u@d.com>", VerbRCPT, "", false},
+		{"DATA", VerbDATA, "", true},
+		{"QUIT", VerbQUIT, "", true},
+		{"RSET", VerbRSET, "", true},
+		{"NOOP", VerbNOOP, "", true},
+		{"VRFY user", VerbVRFY, "user", true},
+		{"VRFY <u@d.com>", VerbVRFY, "u@d.com", true},
+		{"VRFY", VerbVRFY, "", false},
+		{"BOGUS arg", Verb("BOGUS"), "", false},
+		{"", Verb(""), "", false},
+	}
+	for _, c := range cases {
+		cmd, err := ParseCommand(c.line)
+		if c.ok {
+			if err != nil {
+				t.Errorf("ParseCommand(%q) = %v", c.line, err)
+				continue
+			}
+			if cmd.Verb != c.verb || cmd.Addr != c.addr {
+				t.Errorf("ParseCommand(%q) = %+v, want verb %s addr %q", c.line, cmd, c.verb, c.addr)
+			}
+		} else if err == nil {
+			t.Errorf("ParseCommand(%q) accepted", c.line)
+		}
+	}
+}
+
+func TestParseUnknownVerbErrorType(t *testing.T) {
+	_, err := ParseCommand("FROBNICATE now")
+	var unknown *ErrUnknownVerb
+	if !errors.As(err, &unknown) || unknown.VerbText != "FROBNICATE" {
+		t.Fatalf("err = %v, want ErrUnknownVerb", err)
+	}
+	_, err = ParseCommand("MAIL oops")
+	var syn *ErrSyntax
+	if !errors.As(err, &syn) {
+		t.Fatalf("err = %v, want ErrSyntax", err)
+	}
+}
+
+func TestValidateAddress(t *testing.T) {
+	good := []string{"a@b.c", "user.name@sub.domain.org", "x@y"}
+	for _, a := range good {
+		if err := ValidateAddress(a); err != nil {
+			t.Errorf("ValidateAddress(%q) = %v", a, err)
+		}
+	}
+	bad := []string{"", "nodomain", "@d.com", "u@", "a@b@c", "a b@c.d", "a@b\x01c"}
+	for _, a := range bad {
+		if err := ValidateAddress(a); err == nil {
+			t.Errorf("ValidateAddress(%q) accepted", a)
+		}
+	}
+}
+
+func TestLocalPartDomain(t *testing.T) {
+	if LocalPart("user@Dom.COM") != "user" {
+		t.Error("LocalPart failed")
+	}
+	if Domain("user@Dom.COM") != "dom.com" {
+		t.Error("Domain should lowercase")
+	}
+	if LocalPart("bare") != "bare" || Domain("bare") != "" {
+		t.Error("address without @ mishandled")
+	}
+}
+
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(line string) bool {
+		ParseCommand(line) //nolint:errcheck // only checking for panics
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsedAddressAlwaysValidProperty(t *testing.T) {
+	// Property: any address ParseCommand returns passes ValidateAddress
+	// (or is the empty null path for MAIL).
+	f := func(s string) bool {
+		cmd, err := ParseCommand("MAIL FROM:<" + s + ">")
+		if err != nil {
+			return true
+		}
+		return cmd.Addr == "" || ValidateAddress(cmd.Addr) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+// Package smtp implements the SMTP protocol layer shared by both mail
+// server architectures: reply formatting, command parsing, a line/dot
+// codec with limits, the per-connection session state machine, and a
+// client for the load generators.
+//
+// The subset implemented is the one the paper's workloads exercise —
+// HELO/EHLO, MAIL, RCPT (multi-recipient), DATA with dot-stuffing, RSET,
+// NOOP, VRFY, QUIT — with the postfix-compatible reply codes, notably
+// "550 User unknown" for the bounce mails of §4.1.
+package smtp
+
+import "fmt"
+
+// Reply is one SMTP server response.
+type Reply struct {
+	Code int
+	Text string
+}
+
+// String renders the reply as a single-line response without CRLF.
+func (r Reply) String() string { return fmt.Sprintf("%d %s", r.Code, r.Text) }
+
+// IsPositive reports whether the reply is a 2xx or 3xx success code.
+func (r Reply) IsPositive() bool { return r.Code >= 200 && r.Code < 400 }
+
+// Standard replies used by the server. Texts follow postfix's wording
+// where the paper quotes it ("550 User unknown").
+var (
+	ReplyBye            = Reply{221, "Bye"}
+	ReplyOK             = Reply{250, "Ok"}
+	ReplyStartData      = Reply{354, "End data with <CR><LF>.<CR><LF>"}
+	ReplyShutdown       = Reply{421, "Service not available, closing transmission channel"}
+	ReplyTooManyRcpts   = Reply{452, "Too many recipients"}
+	ReplyInsufficient   = Reply{452, "Insufficient system storage"}
+	ReplyLineTooLong    = Reply{500, "Line too long"}
+	ReplyUnknownCommand = Reply{500, "Command unrecognized"}
+	ReplySyntax         = Reply{501, "Syntax error in parameters or arguments"}
+	ReplyBadSequence    = Reply{503, "Bad sequence of commands"}
+	ReplyNeedHelo       = Reply{503, "Send HELO/EHLO first"}
+	ReplyUserUnknown    = Reply{550, "User unknown"}
+	ReplyBlacklisted    = Reply{554, "Service unavailable; client host blocked using DNSBL"}
+	ReplyTooBig         = Reply{552, "Message size exceeds fixed limit"}
+)
+
+// Banner returns the 220 greeting for a hostname.
+func Banner(hostname string) Reply {
+	return Reply{220, hostname + " ESMTP ready"}
+}
+
+// HeloReply returns the 250 response to HELO.
+func HeloReply(hostname string) Reply {
+	return Reply{250, hostname}
+}

@@ -1,0 +1,245 @@
+package smtp
+
+import (
+	"errors"
+	"strings"
+)
+
+// State is the SMTP session state.
+type State int
+
+// Session states.
+const (
+	// StateStart awaits HELO/EHLO.
+	StateStart State = iota + 1
+	// StateGreeted awaits MAIL FROM.
+	StateGreeted
+	// StateMail has a sender and awaits RCPT TO.
+	StateMail
+	// StateRcpt has at least one accepted recipient; DATA is allowed.
+	StateRcpt
+	// StateQuit is terminal.
+	StateQuit
+)
+
+// Action tells the connection driver what to do after a command's reply
+// has been sent.
+type Action int
+
+// Actions returned by Session.Command.
+const (
+	// ActionNone continues reading commands.
+	ActionNone Action = iota + 1
+	// ActionData switches to reading the dot-terminated message body;
+	// pass it to Session.FinishData.
+	ActionData
+	// ActionQuit closes the connection after the reply.
+	ActionQuit
+)
+
+// Config parameterizes a session. The zero value works for tests; servers
+// set the hostname and the recipient validator (the access-database hook
+// smtpd queries, §2).
+type Config struct {
+	// Hostname appears in the banner and HELO reply.
+	Hostname string
+	// ValidateRcpt reports whether a recipient mailbox exists. nil
+	// accepts everything.
+	ValidateRcpt func(addr string) bool
+	// MaxRcpts caps accepted recipients per mail (0 = postfix default 50).
+	MaxRcpts int
+	// MaxMessageBytes caps the DATA payload (0 = MaxMessageBytes).
+	MaxMessageBytes int
+}
+
+// Envelope is one completed mail transaction.
+type Envelope struct {
+	Helo   string
+	Sender string
+	Rcpts  []string
+	Data   []byte
+}
+
+// Session is the per-connection SMTP state machine. Both architectures
+// drive the same machine: the vanilla server runs it inside a worker for
+// the whole dialog, the hybrid master runs it in the event loop until the
+// first valid RCPT and then hands it to a worker (§5.3 transfers exactly
+// the state this struct holds: client identity, sender, recipients).
+type Session struct {
+	cfg   Config
+	state State
+
+	helo   string
+	sender string
+	// senderSet distinguishes MAIL FROM:<> (bounce sender) from no MAIL.
+	senderSet bool
+	rcpts     []string
+
+	rejectedRcpts int
+	mailsDone     int
+}
+
+// NewSession returns a session awaiting HELO.
+func NewSession(cfg Config) *Session {
+	if cfg.Hostname == "" {
+		cfg.Hostname = "mail.example.org"
+	}
+	if cfg.MaxRcpts == 0 {
+		cfg.MaxRcpts = 50
+	}
+	if cfg.MaxMessageBytes == 0 {
+		cfg.MaxMessageBytes = MaxMessageBytes
+	}
+	return &Session{cfg: cfg, state: StateStart}
+}
+
+// Greeting returns the 220 banner to send on accept.
+func (s *Session) Greeting() Reply { return Banner(s.cfg.Hostname) }
+
+// State returns the current protocol state.
+func (s *Session) State() State { return s.state }
+
+// Helo returns the client's HELO/EHLO name.
+func (s *Session) Helo() string { return s.helo }
+
+// Sender returns the MAIL FROM address ("" for the null sender).
+func (s *Session) Sender() string { return s.sender }
+
+// Rcpts returns the accepted recipients so far.
+func (s *Session) Rcpts() []string { return append([]string(nil), s.rcpts...) }
+
+// HasValidRcpt reports whether at least one recipient has been accepted —
+// the fork-after-trust delegation trigger (§5.1: "if even a single
+// recipient address is confirmed to be valid, the master process
+// delegates the connection").
+func (s *Session) HasValidRcpt() bool { return len(s.rcpts) > 0 }
+
+// RejectedRcpts returns the number of 550-rejected recipients — the
+// bounce signal of §4.1.
+func (s *Session) RejectedRcpts() int { return s.rejectedRcpts }
+
+// MailsCompleted returns the number of completed DATA transactions.
+func (s *Session) MailsCompleted() int { return s.mailsDone }
+
+// MaxMessageBytes returns the configured DATA cap for Conn.ReadData.
+func (s *Session) MaxMessageBytes() int { return s.cfg.MaxMessageBytes }
+
+// Command feeds one raw command line to the state machine and returns the
+// reply to send plus the driver action.
+func (s *Session) Command(line string) (Reply, Action) {
+	if s.state == StateQuit {
+		return ReplyBadSequence, ActionQuit
+	}
+	cmd, err := ParseCommand(line)
+	if err != nil {
+		var unknownErr *ErrUnknownVerb
+		if errors.As(err, &unknownErr) {
+			return ReplyUnknownCommand, ActionNone
+		}
+		return ReplySyntax, ActionNone
+	}
+	switch cmd.Verb {
+	case VerbQUIT:
+		s.state = StateQuit
+		return ReplyBye, ActionQuit
+	case VerbNOOP:
+		return ReplyOK, ActionNone
+	case VerbRSET:
+		s.resetMail()
+		if s.state != StateStart {
+			s.state = StateGreeted
+		}
+		return ReplyOK, ActionNone
+	case VerbVRFY:
+		// Postfix answers 252 without disclosing mailbox existence;
+		// mirroring that avoids turning VRFY into a harvesting oracle.
+		return Reply{252, "Cannot VRFY user, but will accept message and attempt delivery"}, ActionNone
+	case VerbHELO, VerbEHLO:
+		s.helo = cmd.Arg
+		s.resetMail()
+		s.state = StateGreeted
+		return HeloReply(s.cfg.Hostname), ActionNone
+	case VerbMAIL:
+		if s.state == StateStart {
+			return ReplyNeedHelo, ActionNone
+		}
+		if s.state != StateGreeted {
+			return ReplyBadSequence, ActionNone
+		}
+		s.sender = cmd.Addr
+		s.senderSet = true
+		s.state = StateMail
+		return ReplyOK, ActionNone
+	case VerbRCPT:
+		if s.state != StateMail && s.state != StateRcpt {
+			return ReplyBadSequence, ActionNone
+		}
+		if len(s.rcpts) >= s.cfg.MaxRcpts {
+			return ReplyTooManyRcpts, ActionNone
+		}
+		if s.cfg.ValidateRcpt != nil && !s.cfg.ValidateRcpt(cmd.Addr) {
+			// "550 User unknown" — the bounce of §4.1. State is
+			// unchanged; the client may try other recipients.
+			s.rejectedRcpts++
+			return ReplyUserUnknown, ActionNone
+		}
+		if s.hasRcpt(cmd.Addr) {
+			// Accepted duplicate collapses silently, as postfix does.
+			return ReplyOK, ActionNone
+		}
+		s.rcpts = append(s.rcpts, cmd.Addr)
+		s.state = StateRcpt
+		return ReplyOK, ActionNone
+	case VerbDATA:
+		if s.state == StateMail {
+			// MAIL but no accepted RCPT.
+			return Reply{554, "No valid recipients"}, ActionNone
+		}
+		if s.state != StateRcpt {
+			return ReplyBadSequence, ActionNone
+		}
+		return ReplyStartData, ActionData
+	default:
+		return ReplyUnknownCommand, ActionNone
+	}
+}
+
+// FinishData completes the DATA transaction with the decoded body and
+// returns the envelope plus the reply to send. The session returns to the
+// greeted state, ready for the next MAIL (postfix allows pipelined
+// transactions on one connection).
+func (s *Session) FinishData(body []byte) (Envelope, Reply) {
+	env := Envelope{
+		Helo:   s.helo,
+		Sender: s.sender,
+		Rcpts:  append([]string(nil), s.rcpts...),
+		Data:   body,
+	}
+	s.mailsDone++
+	s.resetMail()
+	s.state = StateGreeted
+	return env, Reply{250, "Ok: queued"}
+}
+
+// AbortData reports a failed body read (oversize) and resets the
+// transaction.
+func (s *Session) AbortData() Reply {
+	s.resetMail()
+	s.state = StateGreeted
+	return ReplyTooBig
+}
+
+func (s *Session) resetMail() {
+	s.sender = ""
+	s.senderSet = false
+	s.rcpts = nil
+}
+
+func (s *Session) hasRcpt(addr string) bool {
+	for _, r := range s.rcpts {
+		if strings.EqualFold(r, addr) {
+			return true
+		}
+	}
+	return false
+}

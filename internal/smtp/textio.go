@@ -1,0 +1,184 @@
+package smtp
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Limits on protocol elements, following RFC 5321 §4.5.3 with the
+// postfix-style message size cap.
+const (
+	// MaxLineLen bounds a command line including CRLF.
+	MaxLineLen = 1024
+	// MaxMessageBytes bounds the DATA payload after dot-decoding.
+	MaxMessageBytes = 16 << 20
+)
+
+// ErrLineTooLong is returned when a command line exceeds MaxLineLen.
+var ErrLineTooLong = errors.New("smtp: line too long")
+
+// ErrMessageTooBig is returned when DATA exceeds MaxMessageBytes.
+var ErrMessageTooBig = errors.New("smtp: message exceeds size limit")
+
+// Conn wraps a bidirectional stream with SMTP line discipline: CRLF line
+// reads with length limits, reply writing, and dot-encoded data transfer.
+type Conn struct {
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// NewConn returns a Conn over rw.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{r: bufio.NewReaderSize(rw, 4096), w: bufio.NewWriterSize(rw, 4096)}
+}
+
+// ReadLine reads one CRLF- (or bare-LF-) terminated line without its
+// terminator. Lines longer than MaxLineLen fail with ErrLineTooLong after
+// consuming through the next terminator, so the session can answer 500
+// and resynchronize.
+func (c *Conn) ReadLine() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && line != "" {
+			// A final unterminated line still counts.
+			return strings.TrimRight(line, "\r"), nil
+		}
+		return "", err
+	}
+	if len(line) > MaxLineLen {
+		return "", ErrLineTooLong
+	}
+	line = strings.TrimSuffix(line, "\n")
+	line = strings.TrimSuffix(line, "\r")
+	return line, nil
+}
+
+// WriteReply sends one reply line and flushes.
+func (c *Conn) WriteReply(r Reply) error {
+	if _, err := fmt.Fprintf(c.w, "%d %s\r\n", r.Code, r.Text); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// WriteMultiReply sends a multiline reply (all but the last line use the
+// code-hyphen form) and flushes.
+func (c *Conn) WriteMultiReply(code int, lines []string) error {
+	for i, line := range lines {
+		sep := "-"
+		if i == len(lines)-1 {
+			sep = " "
+		}
+		if _, err := fmt.Fprintf(c.w, "%d%s%s\r\n", code, sep, line); err != nil {
+			return err
+		}
+	}
+	return c.w.Flush()
+}
+
+// WriteLine sends one raw line with CRLF and flushes.
+func (c *Conn) WriteLine(line string) error {
+	if _, err := c.w.WriteString(line + "\r\n"); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// ReadData reads a dot-terminated DATA payload, removing dot-stuffing
+// (RFC 5321 §4.5.2): a leading ".." becomes ".", and a lone "." ends the
+// message. Lines are joined with CRLF. The limit caps the decoded size.
+func (c *Conn) ReadData(limit int) ([]byte, error) {
+	if limit <= 0 {
+		limit = MaxMessageBytes
+	}
+	var buf bytes.Buffer
+	tooBig := false
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("smtp: reading data: %w", err)
+		}
+		line = strings.TrimSuffix(line, "\n")
+		line = strings.TrimSuffix(line, "\r")
+		if line == "." {
+			if tooBig {
+				return nil, ErrMessageTooBig
+			}
+			return buf.Bytes(), nil
+		}
+		if strings.HasPrefix(line, ".") {
+			line = line[1:]
+		}
+		if buf.Len()+len(line)+2 > limit {
+			// Keep consuming to the terminating dot so the session can
+			// report 552 and stay synchronized.
+			tooBig = true
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\r\n")
+	}
+}
+
+// WriteData sends a payload with dot-stuffing applied and the terminating
+// dot, then flushes. The payload is split on CRLF or LF.
+func (c *Conn) WriteData(body []byte) error {
+	for _, line := range splitLines(body) {
+		if strings.HasPrefix(line, ".") {
+			if _, err := c.w.WriteString("."); err != nil {
+				return err
+			}
+		}
+		if _, err := c.w.WriteString(line + "\r\n"); err != nil {
+			return err
+		}
+	}
+	if _, err := c.w.WriteString(".\r\n"); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func splitLines(body []byte) []string {
+	if len(body) == 0 {
+		return nil
+	}
+	s := string(body)
+	s = strings.ReplaceAll(s, "\r\n", "\n")
+	s = strings.TrimSuffix(s, "\n")
+	return strings.Split(s, "\n")
+}
+
+// ReadReply reads one (possibly multiline) server reply.
+func (c *Conn) ReadReply() (Reply, error) {
+	var code int
+	var texts []string
+	for {
+		line, err := c.ReadLine()
+		if err != nil {
+			return Reply{}, err
+		}
+		if len(line) < 3 {
+			return Reply{}, fmt.Errorf("smtp: short reply line %q", line)
+		}
+		n, err := strconv.Atoi(line[:3])
+		if err != nil {
+			return Reply{}, fmt.Errorf("smtp: bad reply code in %q", line)
+		}
+		code = n
+		more := len(line) > 3 && line[3] == '-'
+		text := ""
+		if len(line) > 4 {
+			text = line[4:]
+		}
+		texts = append(texts, text)
+		if !more {
+			return Reply{Code: code, Text: strings.Join(texts, "\n")}, nil
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package smtpserver
+
+import (
+	"errors"
+	"net"
+	"time"
+
+	"repro/internal/smtp"
+)
+
+// outcome reports how a dialog phase ended.
+type outcome int
+
+const (
+	// outcomeQuit: client sent QUIT; 221 has been written.
+	outcomeQuit outcome = iota + 1
+	// outcomeDropped: connection error or EOF (an unfinished transaction
+	// in §4.1 terms when it happens pre-trust).
+	outcomeDropped
+	// outcomeTrusted: the stop predicate fired (hybrid pre-trust phase
+	// saw its first valid RCPT); the dialog should continue elsewhere.
+	outcomeTrusted
+)
+
+// runDialog drives the session over c until QUIT, connection loss, or —
+// when stopWhen is non-nil — the predicate becomes true after a reply is
+// written. It is the single dialog loop both architectures share; the
+// phases differ only in where it runs and when it stops.
+func (s *Server) runDialog(nc net.Conn, c *smtp.Conn, sess *smtp.Session, stopWhen func(*smtp.Session) bool) outcome {
+	for {
+		if err := nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+			return outcomeDropped
+		}
+		line, err := c.ReadLine()
+		if err != nil {
+			if errors.Is(err, smtp.ErrLineTooLong) {
+				if c.WriteReply(smtp.ReplyLineTooLong) == nil {
+					continue
+				}
+			}
+			return outcomeDropped
+		}
+		reply, action := sess.Command(line)
+		if reply.Code == smtp.ReplyUserUnknown.Code {
+			s.rcptRejected.Inc()
+		}
+		switch action {
+		case smtp.ActionData:
+			if err := c.WriteReply(reply); err != nil {
+				return outcomeDropped
+			}
+			if err := nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+				return outcomeDropped
+			}
+			body, err := c.ReadData(sess.MaxMessageBytes())
+			if err != nil {
+				if errors.Is(err, smtp.ErrMessageTooBig) {
+					if c.WriteReply(sess.AbortData()) == nil {
+						continue
+					}
+				}
+				return outcomeDropped
+			}
+			env, done := sess.FinishData(body)
+			if _, qerr := s.cfg.Enqueue(env.Sender, env.Rcpts, env.Data); qerr != nil {
+				s.enqueueFailures.Inc()
+				done = smtp.ReplyInsufficient
+			} else {
+				s.mailsAccepted.Inc()
+			}
+			if err := c.WriteReply(done); err != nil {
+				return outcomeDropped
+			}
+		case smtp.ActionQuit:
+			c.WriteReply(reply) //nolint:errcheck // closing anyway
+			return outcomeQuit
+		default:
+			if err := c.WriteReply(reply); err != nil {
+				return outcomeDropped
+			}
+		}
+		if stopWhen != nil && stopWhen(sess) {
+			return outcomeTrusted
+		}
+	}
+}
+
+// vanillaWorker is one smtpd process of Figure 6: it takes whole
+// connections and serves the entire dialog, bounces included.
+func (s *Server) vanillaWorker(conns <-chan net.Conn) {
+	defer s.workerWG.Done()
+	for nc := range conns {
+		c := smtp.NewConn(nc)
+		sess := smtp.NewSession(s.sessionConfig())
+		if err := c.WriteReply(sess.Greeting()); err == nil {
+			out := s.runDialog(nc, c, sess, nil)
+			if out == outcomeQuit {
+				s.sessionsServed.Inc()
+			}
+			if !sess.HasValidRcpt() && sess.MailsCompleted() == 0 {
+				s.preTrustClosed.Inc()
+			}
+		}
+		s.untrack(nc)
+		nc.Close()
+	}
+}
+
+// hybridFrontEnd is the master's event-loop role in Figure 7: it serves
+// the banner and the dialog up to the first valid RCPT. Connections that
+// never produce one — random-guessing bounces and unfinished sessions —
+// are finished right here, costing no worker. Trusted connections are
+// delegated to the worker pool through the bounded task queue.
+func (s *Server) hybridFrontEnd(nc net.Conn) {
+	defer s.frontWG.Done()
+	c := smtp.NewConn(nc)
+	sess := smtp.NewSession(s.sessionConfig())
+	if err := c.WriteReply(sess.Greeting()); err != nil {
+		s.untrack(nc)
+		nc.Close()
+		return
+	}
+	out := s.runDialog(nc, c, sess, (*smtp.Session).HasValidRcpt)
+	switch out {
+	case outcomeTrusted:
+		s.handoffs.Inc()
+		// A full queue blocks the front end — the finite socket buffer
+		// acting "as a natural throttle for the master process" (§5.3).
+		s.tasks <- &task{nc: nc, c: c, sess: sess}
+	case outcomeQuit:
+		s.sessionsServed.Inc()
+		s.preTrustClosed.Inc()
+		s.untrack(nc)
+		nc.Close()
+	default:
+		s.preTrustClosed.Inc()
+		s.untrack(nc)
+		nc.Close()
+	}
+}
+
+// hybridWorker is one delegated-mode smtpd process: it receives trusted
+// connections mid-dialog and serves them to completion, then returns to
+// listening on the task queue (§5.3).
+func (s *Server) hybridWorker(tasks <-chan *task) {
+	defer s.workerWG.Done()
+	for t := range tasks {
+		out := s.runDialog(t.nc, t.c, t.sess, nil)
+		if out == outcomeQuit {
+			s.sessionsServed.Inc()
+		}
+		s.untrack(t.nc)
+		t.nc.Close()
+	}
+}

@@ -1,0 +1,175 @@
+package smtpserver
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/smtp"
+)
+
+func TestListenAndServe(t *testing.T) {
+	srv, err := New(Config{
+		Arch:    Hybrid,
+		Enqueue: func(string, []string, []byte) (string, error) { return "Q", nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0") }()
+	// The listener address is not exposed before Serve runs, so probe by
+	// closing: ListenAndServe must return nil after Close.
+	time.Sleep(20 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ListenAndServe = %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("ListenAndServe did not return after Close")
+	}
+}
+
+func TestListenAndServeBadAddress(t *testing.T) {
+	srv, err := New(Config{
+		Arch:    Vanilla,
+		Enqueue: func(string, []string, []byte) (string, error) { return "Q", nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ListenAndServe("127.0.0.1:notaport"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestServeTwiceRejected(t *testing.T) {
+	env := startServer(t, Hybrid)
+	// Make sure the first Serve call has installed its listener before
+	// racing a second one against it.
+	c := dial(t, env)
+	c.Quit()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := env.srv.Serve(ln); err == nil || !strings.Contains(err.Error(), "already serving") {
+		t.Fatalf("second Serve = %v", err)
+	}
+}
+
+func TestServeAfterCloseRejected(t *testing.T) {
+	srv, err := New(Config{
+		Arch:    Vanilla,
+		Enqueue: func(string, []string, []byte) (string, error) { return "Q", nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	time.Sleep(10 * time.Millisecond)
+	srv.Close()
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	if err := srv.Serve(ln2); err == nil {
+		t.Fatal("Serve after Close accepted")
+	}
+}
+
+func TestOverlongCommandLineGets500(t *testing.T) {
+	forEachArch(t, func(t *testing.T, arch Architecture) {
+		env := startServer(t, arch)
+		nc, err := net.Dial("tcp", env.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		c := smtp.NewConn(nc)
+		if _, err := c.ReadReply(); err != nil {
+			t.Fatal(err)
+		}
+		// A line far over MaxLineLen: the server answers 500 and stays up.
+		if err := c.WriteLine("HELO " + strings.Repeat("x", smtp.MaxLineLen+100)); err != nil {
+			t.Fatal(err)
+		}
+		reply, err := c.ReadReply()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Code != 500 {
+			t.Fatalf("overlong line reply = %d, want 500", reply.Code)
+		}
+		// Session continues normally afterwards.
+		if err := c.WriteLine("HELO ok.example"); err != nil {
+			t.Fatal(err)
+		}
+		reply, err = c.ReadReply()
+		if err != nil || reply.Code != 250 {
+			t.Fatalf("post-overlong HELO = %v, %v", reply, err)
+		}
+	})
+}
+
+func TestOversizeBodyKeepsConnectionAlive(t *testing.T) {
+	forEachArch(t, func(t *testing.T, arch Architecture) {
+		env := startServer(t, arch, func(c *Config) { c.MaxMessageBytes = 128 })
+		client := dial(t, env)
+		client.Helo("h")
+		client.Mail("s@x.test")
+		client.Rcpt("a@valid.test")
+		if err := client.Data(make([]byte, 4096)); err == nil {
+			t.Fatal("oversize body accepted")
+		}
+		// The transaction was aborted with 552; a fresh one succeeds.
+		if _, err := client.Send("s@x.test", []string{"a@valid.test"}, []byte("small")); err != nil {
+			t.Fatalf("post-552 transaction failed: %v", err)
+		}
+		client.Quit()
+		waitStats(t, env.srv, func(s Stats) bool { return s.MailsAccepted == 1 })
+	})
+}
+
+func TestIdleClientTimedOut(t *testing.T) {
+	env := startServer(t, Hybrid, func(c *Config) { c.IdleTimeout = 50 * time.Millisecond })
+	nc, err := net.Dial("tcp", env.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := smtp.NewConn(nc)
+	if _, err := c.ReadReply(); err != nil {
+		t.Fatal(err)
+	}
+	// Say nothing; the server must drop the connection and count it as
+	// pre-trust closed.
+	waitStats(t, env.srv, func(s Stats) bool { return s.PreTrustClosed == 1 })
+}
+
+func TestRemoteIPParsing(t *testing.T) {
+	env := startServer(t, Vanilla, func(c *Config) {
+		c.CheckClient = func(ip string) bool {
+			// The hook must receive a bare IP, not host:port.
+			if strings.Contains(ip, ":") || net.ParseIP(ip) == nil {
+				t.Errorf("CheckClient got %q, want bare IPv4", ip)
+			}
+			return false
+		}
+	})
+	c := dial(t, env)
+	c.Helo("h")
+	c.Quit()
+	waitStats(t, env.srv, func(s Stats) bool { return s.Connections == 1 })
+}

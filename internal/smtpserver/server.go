@@ -1,0 +1,319 @@
+// Package smtpserver implements the mail server's network front end in
+// both of the paper's architectures:
+//
+//   - Vanilla (§2, Figure 6): the postfix process-per-connection model.
+//     A fixed pool of MaxWorkers smtpd workers each owns one connection
+//     at a time and runs the whole SMTP dialog, including the bounce
+//     connections that never deliver anything.
+//
+//   - Hybrid "fork-after-trust" (§5, Figure 7): a cheap front end drives
+//     the dialog only until the first *valid* RCPT TO. Bounce and
+//     unfinished connections (§4.1) die in the front end without ever
+//     occupying an smtpd worker; trusted connections are delegated over
+//     a bounded task queue — the analogue of the 64 KB UNIX-domain
+//     socket whose finite capacity throttles the master (§5.3).
+//
+// Go's runtime schedules goroutines rather than forking processes, so
+// the *costs* the paper measures are reproduced by internal/simmail; this
+// package reproduces the *behaviour*: where in the dialog resources are
+// committed, what a bounce costs structurally, and how backpressure
+// propagates. It runs over real TCP and is what cmd/smtpd serves.
+package smtpserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/metrics"
+	"repro/internal/smtp"
+)
+
+// Architecture selects the concurrency model.
+type Architecture int
+
+// The two architectures the paper compares.
+const (
+	// Vanilla is the process-per-connection model (Figure 6).
+	Vanilla Architecture = iota + 1
+	// Hybrid is fork-after-trust (Figure 7).
+	Hybrid
+)
+
+// String names the architecture for reports.
+func (a Architecture) String() string {
+	switch a {
+	case Vanilla:
+		return "vanilla"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Architecture(%d)", int(a))
+	}
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Hostname appears in the banner.
+	Hostname string
+	// Arch selects the concurrency architecture.
+	Arch Architecture
+	// MaxWorkers is the smtpd pool size (the paper's process limit;
+	// default 100 like stock postfix).
+	MaxWorkers int
+	// TaskDepthPerWorker sizes the hybrid handoff queue per worker.
+	// Default ≈28, the §5.3 estimate of tasks per 64 KB socket buffer at
+	// 7 recipients/mail.
+	TaskDepthPerWorker int
+	// ValidateRcpt is the access-database hook; nil accepts everything.
+	ValidateRcpt func(addr string) bool
+	// CheckClient, if non-nil, is the DNSBL hook: it returns true when
+	// the connecting IP is blacklisted and the connection should be
+	// rejected with 554 at accept time.
+	CheckClient func(ip string) bool
+	// Enqueue hands an accepted mail to the queue manager and returns
+	// its queue id. Required.
+	Enqueue func(sender string, rcpts []string, data []byte) (string, error)
+	// MaxRcpts and MaxMessageBytes bound transactions (see smtp.Config).
+	MaxRcpts        int
+	MaxMessageBytes int
+	// IdleTimeout bounds each wait for a client command (default 60s).
+	IdleTimeout time.Duration
+}
+
+// Stats counts server activity. All fields are monotone counters except
+// where noted.
+type Stats struct {
+	Connections     int64 // accepted connections
+	Blacklisted     int64 // rejected at accept by the DNSBL hook
+	PreTrustClosed  int64 // connections that ended before any valid RCPT
+	Handoffs        int64 // hybrid: delegations to the worker pool
+	MailsAccepted   int64 // DATA transactions queued
+	RcptRejected    int64 // 550 replies (bounce recipients)
+	SessionsServed  int64 // connections fully completed
+	EnqueueFailures int64 // queue-full 452s
+}
+
+// Server is a runnable mail server front end.
+type Server struct {
+	cfg Config
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]bool
+	closed bool
+
+	tasks chan *task // hybrid handoff queue
+	// frontWG tracks hybrid front ends; workerWG tracks the smtpd pools.
+	// Close must wait for fronts before closing the task queue the
+	// workers drain, so the two lifetimes are tracked separately.
+	frontWG  sync.WaitGroup
+	workerWG sync.WaitGroup
+
+	connections     metrics.Counter
+	blacklisted     metrics.Counter
+	preTrustClosed  metrics.Counter
+	handoffs        metrics.Counter
+	mailsAccepted   metrics.Counter
+	rcptRejected    metrics.Counter
+	sessionsServed  metrics.Counter
+	enqueueFailures metrics.Counter
+}
+
+// task is one delegated connection: exactly the state §5.3 transfers over
+// the UNIX-domain socket (client identity, sender, recipients — carried
+// inside the live Session — plus the connection itself).
+type task struct {
+	nc   net.Conn
+	c    *smtp.Conn
+	sess *smtp.Session
+}
+
+// New returns an unstarted server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Enqueue == nil {
+		return nil, errors.New("smtpserver: Enqueue is required")
+	}
+	if cfg.Arch != Vanilla && cfg.Arch != Hybrid {
+		return nil, fmt.Errorf("smtpserver: unknown architecture %d", cfg.Arch)
+	}
+	if cfg.Hostname == "" {
+		cfg.Hostname = "mail.example.org"
+	}
+	if cfg.MaxWorkers <= 0 {
+		cfg.MaxWorkers = 100
+	}
+	if cfg.TaskDepthPerWorker <= 0 {
+		cfg.TaskDepthPerWorker = costmodel.TasksPerSocketBuffer(7)
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 60 * time.Second
+	}
+	return &Server{
+		cfg:   cfg,
+		conns: make(map[net.Conn]bool),
+	}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Connections:     s.connections.Value(),
+		Blacklisted:     s.blacklisted.Value(),
+		PreTrustClosed:  s.preTrustClosed.Value(),
+		Handoffs:        s.handoffs.Value(),
+		MailsAccepted:   s.mailsAccepted.Value(),
+		RcptRejected:    s.rcptRejected.Value(),
+		SessionsServed:  s.sessionsServed.Value(),
+		EnqueueFailures: s.enqueueFailures.Value(),
+	}
+}
+
+// Serve accepts connections on ln until Close. It blocks; run it in a
+// goroutine. The listener is owned by the server after this call.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("smtpserver: server closed")
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		return errors.New("smtpserver: already serving")
+	}
+	s.ln = ln
+	if s.cfg.Arch == Hybrid && s.tasks == nil {
+		s.tasks = make(chan *task, s.cfg.MaxWorkers*s.cfg.TaskDepthPerWorker)
+		for i := 0; i < s.cfg.MaxWorkers; i++ {
+			s.workerWG.Add(1)
+			go s.hybridWorker(s.tasks)
+		}
+	}
+	var vanillaConns chan net.Conn
+	if s.cfg.Arch == Vanilla {
+		// The worker pool mirrors postfix's reuse of smtpd processes:
+		// MaxWorkers long-lived workers each take one connection at a
+		// time; the unbuffered channel makes the accept loop wait when
+		// all are busy, exactly like master refusing to fork past the
+		// process limit.
+		vanillaConns = make(chan net.Conn)
+		for i := 0; i < s.cfg.MaxWorkers; i++ {
+			s.workerWG.Add(1)
+			go s.vanillaWorker(vanillaConns)
+		}
+	}
+	s.mu.Unlock()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if vanillaConns != nil {
+				close(vanillaConns)
+			}
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("smtpserver: accept: %w", err)
+		}
+		s.connections.Inc()
+		if !s.track(nc) {
+			nc.Close()
+			continue
+		}
+		if s.cfg.CheckClient != nil && s.cfg.CheckClient(remoteIP(nc)) {
+			s.blacklisted.Inc()
+			c := smtp.NewConn(nc)
+			c.WriteReply(smtp.ReplyBlacklisted) //nolint:errcheck // closing anyway
+			s.untrack(nc)
+			nc.Close()
+			continue
+		}
+		switch s.cfg.Arch {
+		case Vanilla:
+			vanillaConns <- nc
+		case Hybrid:
+			s.frontWG.Add(1)
+			go s.hybridFrontEnd(nc)
+		}
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("smtpserver: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Close stops accepting, force-closes open connections, and waits for all
+// workers to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("smtpserver: already closed")
+	}
+	s.closed = true
+	ln := s.ln
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.frontWG.Wait()
+	s.mu.Lock()
+	if s.tasks != nil {
+		close(s.tasks)
+	}
+	s.mu.Unlock()
+	s.workerWG.Wait()
+	return nil
+}
+
+// track registers a live connection; false means the server is closing.
+func (s *Server) track(nc net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[nc] = true
+	return true
+}
+
+func (s *Server) untrack(nc net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+}
+
+func remoteIP(nc net.Conn) string {
+	addr := nc.RemoteAddr()
+	if addr == nil {
+		return ""
+	}
+	host, _, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return addr.String()
+	}
+	return host
+}
+
+func (s *Server) sessionConfig() smtp.Config {
+	return smtp.Config{
+		Hostname:        s.cfg.Hostname,
+		ValidateRcpt:    s.cfg.ValidateRcpt,
+		MaxRcpts:        s.cfg.MaxRcpts,
+		MaxMessageBytes: s.cfg.MaxMessageBytes,
+	}
+}

@@ -1,0 +1,344 @@
+package smtpserver
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/smtp"
+)
+
+// testEnv is a running server plus a sink capturing enqueued mails.
+type testEnv struct {
+	srv  *Server
+	addr string
+	mu   sync.Mutex
+	mail []capturedMail
+}
+
+type capturedMail struct {
+	sender string
+	rcpts  []string
+	data   []byte
+}
+
+func (e *testEnv) captured() []capturedMail {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]capturedMail(nil), e.mail...)
+}
+
+// startServer boots a server of the given architecture on a loopback
+// port. Recipients at @valid.test are accepted.
+func startServer(t *testing.T, arch Architecture, mutate ...func(*Config)) *testEnv {
+	t.Helper()
+	env := &testEnv{}
+	cfg := Config{
+		Hostname: "mx.test",
+		Arch:     arch,
+		ValidateRcpt: func(addr string) bool {
+			return strings.HasSuffix(strings.ToLower(addr), "@valid.test")
+		},
+		Enqueue: func(sender string, rcpts []string, data []byte) (string, error) {
+			env.mu.Lock()
+			defer env.mu.Unlock()
+			env.mail = append(env.mail, capturedMail{
+				sender: sender,
+				rcpts:  append([]string(nil), rcpts...),
+				data:   append([]byte(nil), data...),
+			})
+			return fmt.Sprintf("Q%d", len(env.mail)), nil
+		},
+		MaxWorkers:  4,
+		IdleTimeout: 5 * time.Second,
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // exits on Close
+	t.Cleanup(func() { srv.Close() })
+	env.srv = srv
+	env.addr = ln.Addr().String()
+	return env
+}
+
+func dial(t *testing.T, env *testEnv) *smtp.Client {
+	t.Helper()
+	client, err := smtp.Dial(env.addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client
+}
+
+// Both architectures must pass the same behavioural suite.
+func forEachArch(t *testing.T, fn func(t *testing.T, arch Architecture)) {
+	for _, arch := range []Architecture{Vanilla, Hybrid} {
+		t.Run(arch.String(), func(t *testing.T) { fn(t, arch) })
+	}
+}
+
+func TestDeliverOneMail(t *testing.T) {
+	forEachArch(t, func(t *testing.T, arch Architecture) {
+		env := startServer(t, arch)
+		c := dial(t, env)
+		if err := c.Helo("client.test"); err != nil {
+			t.Fatal(err)
+		}
+		n, err := c.Send("sender@remote.test",
+			[]string{"a@valid.test", "b@valid.test"}, []byte("hello\r\n"))
+		if err != nil || n != 2 {
+			t.Fatalf("send = %d, %v", n, err)
+		}
+		if err := c.Quit(); err != nil {
+			t.Fatal(err)
+		}
+		waitStats(t, env.srv, func(s Stats) bool { return s.MailsAccepted == 1 })
+		got := env.captured()
+		if len(got) != 1 || got[0].sender != "sender@remote.test" || len(got[0].rcpts) != 2 {
+			t.Fatalf("captured = %+v", got)
+		}
+		if string(got[0].data) != "hello\r\n" {
+			t.Fatalf("data = %q", got[0].data)
+		}
+	})
+}
+
+func waitStats(t *testing.T, srv *Server, cond func(Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for !cond(srv.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never converged: %+v", srv.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestBounceConnection(t *testing.T) {
+	forEachArch(t, func(t *testing.T, arch Architecture) {
+		env := startServer(t, arch)
+		c := dial(t, env)
+		c.Helo("h")
+		n, err := c.Send("spam@bot.test", []string{"guess1@valid.other", "guess2@valid.other"}, []byte("x"))
+		if err != nil || n != 0 {
+			t.Fatalf("send = %d, %v", n, err)
+		}
+		c.Quit()
+		waitStats(t, env.srv, func(s Stats) bool { return s.PreTrustClosed == 1 })
+		st := env.srv.Stats()
+		if st.RcptRejected != 2 {
+			t.Fatalf("rcpt rejected = %d, want 2", st.RcptRejected)
+		}
+		if st.MailsAccepted != 0 {
+			t.Fatal("bounce connection delivered mail")
+		}
+		if arch == Hybrid && st.Handoffs != 0 {
+			t.Fatalf("bounce connection delegated to a worker: %+v", st)
+		}
+	})
+}
+
+func TestUnfinishedConnection(t *testing.T) {
+	forEachArch(t, func(t *testing.T, arch Architecture) {
+		env := startServer(t, arch)
+		c := dial(t, env)
+		c.Helo("h")
+		c.Abort() // hang up mid-session (§4.1)
+		waitStats(t, env.srv, func(s Stats) bool { return s.PreTrustClosed == 1 })
+		if arch == Hybrid && env.srv.Stats().Handoffs != 0 {
+			t.Fatal("unfinished connection was delegated")
+		}
+	})
+}
+
+func TestHybridDelegatesOnlyTrusted(t *testing.T) {
+	env := startServer(t, Hybrid)
+	// Two bounce connections and one good one.
+	for i := 0; i < 2; i++ {
+		c := dial(t, env)
+		c.Helo("h")
+		c.Send("s@x.test", []string{"nope@wrong.test"}, nil)
+		c.Quit()
+	}
+	c := dial(t, env)
+	c.Helo("h")
+	c.Send("s@x.test", []string{"ok@valid.test"}, []byte("m"))
+	c.Quit()
+	waitStats(t, env.srv, func(s Stats) bool {
+		return s.MailsAccepted == 1 && s.PreTrustClosed == 2
+	})
+	st := env.srv.Stats()
+	if st.Handoffs != 1 {
+		t.Fatalf("handoffs = %d, want 1", st.Handoffs)
+	}
+}
+
+func TestMixedBounceThenValidDelegates(t *testing.T) {
+	// A connection whose first RCPT bounces but second is valid must be
+	// delegated after the valid one (§5.1).
+	env := startServer(t, Hybrid)
+	c := dial(t, env)
+	c.Helo("h")
+	n, err := c.Send("s@x.test", []string{"bad@wrong.test", "good@valid.test"}, []byte("m"))
+	if err != nil || n != 1 {
+		t.Fatalf("send = %d, %v", n, err)
+	}
+	c.Quit()
+	waitStats(t, env.srv, func(s Stats) bool { return s.MailsAccepted == 1 })
+	st := env.srv.Stats()
+	if st.Handoffs != 1 || st.RcptRejected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMultipleMailsPerConnection(t *testing.T) {
+	forEachArch(t, func(t *testing.T, arch Architecture) {
+		env := startServer(t, arch)
+		c := dial(t, env)
+		c.Helo("h")
+		for i := 0; i < 3; i++ {
+			if _, err := c.Send("s@x.test", []string{"a@valid.test"}, []byte("m")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Quit()
+		waitStats(t, env.srv, func(s Stats) bool { return s.MailsAccepted == 3 })
+		if arch == Hybrid && env.srv.Stats().Handoffs != 1 {
+			t.Fatalf("one connection should delegate once, got %d", env.srv.Stats().Handoffs)
+		}
+	})
+}
+
+func TestConcurrentClients(t *testing.T) {
+	forEachArch(t, func(t *testing.T, arch Architecture) {
+		env := startServer(t, arch, func(c *Config) { c.MaxWorkers = 3 })
+		const clients = 12
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c, err := smtp.Dial(env.addr, 5*time.Second)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Helo("h"); err != nil {
+					errs <- err
+					return
+				}
+				rcpt := fmt.Sprintf("u%d@valid.test", i)
+				if _, err := c.Send("s@x.test", []string{rcpt}, []byte("m")); err != nil {
+					errs <- err
+					return
+				}
+				errs <- c.Quit()
+			}(i)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		waitStats(t, env.srv, func(s Stats) bool { return s.MailsAccepted == clients })
+		if got := len(env.captured()); got != clients {
+			t.Fatalf("captured = %d, want %d", got, clients)
+		}
+	})
+}
+
+func TestBlacklistedClientRejected(t *testing.T) {
+	forEachArch(t, func(t *testing.T, arch Architecture) {
+		env := startServer(t, arch, func(c *Config) {
+			c.CheckClient = func(ip string) bool { return true } // everyone is evil
+		})
+		nc, err := net.Dial("tcp", env.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		reply, err := smtp.NewConn(nc).ReadReply()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Code != 554 {
+			t.Fatalf("blacklisted banner = %d, want 554", reply.Code)
+		}
+		waitStats(t, env.srv, func(s Stats) bool { return s.Blacklisted == 1 })
+	})
+}
+
+func TestEnqueueFailureReports452(t *testing.T) {
+	forEachArch(t, func(t *testing.T, arch Architecture) {
+		env := startServer(t, arch, func(c *Config) {
+			c.Enqueue = func(string, []string, []byte) (string, error) {
+				return "", fmt.Errorf("queue full")
+			}
+		})
+		c := dial(t, env)
+		c.Helo("h")
+		c.Mail("s@x.test")
+		c.Rcpt("a@valid.test")
+		err := c.Data([]byte("m"))
+		if err == nil || !strings.Contains(err.Error(), "452") {
+			t.Fatalf("data err = %v, want 452", err)
+		}
+		c.Quit()
+		waitStats(t, env.srv, func(s Stats) bool { return s.EnqueueFailures == 1 })
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Arch: Vanilla}); err == nil {
+		t.Fatal("missing Enqueue accepted")
+	}
+	if _, err := New(Config{Enqueue: func(string, []string, []byte) (string, error) { return "", nil }}); err == nil {
+		t.Fatal("missing architecture accepted")
+	}
+}
+
+func TestCloseIsCleanWithIdleClients(t *testing.T) {
+	forEachArch(t, func(t *testing.T, arch Architecture) {
+		env := startServer(t, arch)
+		// Leave a client mid-session; Close must still return promptly.
+		c := dial(t, env)
+		c.Helo("h")
+		done := make(chan error, 1)
+		go func() { done <- env.srv.Close() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close hung with idle client")
+		}
+		if err := env.srv.Close(); err == nil {
+			t.Fatal("double close accepted")
+		}
+	})
+}
+
+func TestArchitectureString(t *testing.T) {
+	if Vanilla.String() != "vanilla" || Hybrid.String() != "hybrid" {
+		t.Fatal("architecture names wrong")
+	}
+	if !strings.Contains(Architecture(9).String(), "9") {
+		t.Fatal("unknown architecture string")
+	}
+}

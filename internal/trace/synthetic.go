@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+)
+
+// BounceSweep generates the §5.4 controlled workload: n connections with
+// mail sizes following the Univ model, of which the given fraction are
+// bounce connections (every recipient invalid). The remaining mails go
+// to single valid recipients, so the experiment isolates the
+// concurrency-architecture effect from multi-recipient disk effects.
+func BounceSweep(seed uint64, n int, bounceRatio float64, domain string, mailboxes int) []Conn {
+	rng := sim.NewRNG(seed)
+	conns := make([]Conn, 0, n)
+	now := time.Duration(0)
+	for i := 0; i < n; i++ {
+		now += rng.Exp(10 * time.Millisecond)
+		c := Conn{
+			At:       now,
+			ClientIP: addr.MakeIPv4(100, byte(i>>16), byte(i>>8), byte(i)),
+			Helo:     fmt.Sprintf("c%d.load.example", i),
+			Sender:   fmt.Sprintf("s%d@load.example", i%1000),
+		}
+		if rng.Bool(bounceRatio) {
+			c.Spam = true
+			c.Rcpts = []Rcpt{{
+				Addr:  fmt.Sprintf("guess%06d@%s", rng.Intn(1000000), domain),
+				Valid: false,
+			}}
+		} else {
+			c.Rcpts = []Rcpt{{
+				Addr:  fmt.Sprintf("user%04d@%s", rng.Intn(mailboxes), domain),
+				Valid: true,
+			}}
+			c.SizeBytes = hamSize(rng)
+		}
+		conns = append(conns, c)
+	}
+	return conns
+}
+
+// RecipientSweep generates the §6.3 controlled workload: mails "destined
+// to 15 distinct mailboxes, i.e., each sequence of 15 mails share the
+// same size", delivered using rcptsPerConn recipients per connection
+// (e.g. 5 recipients per connection → 3 connections per sequence). The
+// sizes follow the spam-size model — multi-recipient bulk mail is
+// templated and compact. It returns sequences×ceil(15/rcpts)
+// connections covering sequences×15 (mail, mailbox) deliveries.
+func RecipientSweep(seed uint64, sequences, rcptsPerConn int, domain string) []Conn {
+	const groupSize = 15
+	if rcptsPerConn < 1 {
+		rcptsPerConn = 1
+	}
+	if rcptsPerConn > groupSize {
+		rcptsPerConn = groupSize
+	}
+	rng := sim.NewRNG(seed)
+	var conns []Conn
+	now := time.Duration(0)
+	for seq := 0; seq < sequences; seq++ {
+		size := spamSize(rng)
+		for start := 0; start < groupSize; start += rcptsPerConn {
+			end := start + rcptsPerConn
+			if end > groupSize {
+				end = groupSize
+			}
+			rcpts := make([]Rcpt, 0, end-start)
+			for m := start; m < end; m++ {
+				rcpts = append(rcpts, Rcpt{
+					Addr:  fmt.Sprintf("user%04d@%s", m, domain),
+					Valid: true,
+				})
+			}
+			now += time.Millisecond
+			conns = append(conns, Conn{
+				At:        now,
+				ClientIP:  addr.MakeIPv4(100, 0, byte(seq>>8), byte(seq)),
+				Helo:      "bulk.load.example",
+				Sender:    fmt.Sprintf("bulk%d@load.example", seq),
+				Rcpts:     rcpts,
+				SizeBytes: size,
+			})
+		}
+	}
+	return conns
+}
+
+// ECNPoint is one day of the ECN measurement (Figure 3).
+type ECNPoint struct {
+	// Day is the offset from the series start (Jan 2007).
+	Day int
+	// BounceRatio is bounced mails over total mails delivered.
+	BounceRatio float64
+	// UnfinishedRatio is unfinished SMTP transactions over connections.
+	UnfinishedRatio float64
+}
+
+// ECNSeries regenerates the Figure 3 series: about a year of daily
+// ratios with bounces between 20–25% (drifting slightly upward) and
+// unfinished transactions between 5–15%.
+func ECNSeries(seed uint64, days int) []ECNPoint {
+	if days <= 0 {
+		days = 365
+	}
+	rng := sim.NewRNG(seed)
+	pts := make([]ECNPoint, 0, days)
+	bounce := 0.215
+	unfinished := 0.10
+	for d := 0; d < days; d++ {
+		// Slow upward drift of the bounce ratio across the year ("a
+		// slight increase in the percentage of bounces within a year's
+		// time frame") plus day-to-day jitter and weekly texture.
+		drift := 0.02 * float64(d) / float64(days)
+		b := bounce + drift + 0.018*(rng.Float64()-0.5) + 0.006*weekly(d)
+		u := unfinished + 0.05*(rng.Float64()-0.5) + 0.01*weekly(d+3)
+		pts = append(pts, ECNPoint{
+			Day:             d,
+			BounceRatio:     clamp(b, 0.18, 0.27),
+			UnfinishedRatio: clamp(u, 0.05, 0.15),
+		})
+	}
+	return pts
+}
+
+func weekly(d int) float64 {
+	// A light 7-day ripple: weekends carry proportionally more spam.
+	switch d % 7 {
+	case 5, 6:
+		return 1
+	default:
+		return -0.4
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
