@@ -27,6 +27,8 @@ import (
 	"repro/internal/dnsbl"
 	"repro/internal/fsim"
 	"repro/internal/mailstore"
+	"repro/internal/metrics"
+	"repro/internal/policy"
 	"repro/internal/pop3"
 	"repro/internal/queue"
 	"repro/internal/smtpserver"
@@ -45,6 +47,9 @@ func main() {
 		dnsblAddr = flag.String("dnsbl", "", "DNSBL server address (host:port); empty disables")
 		dnsblZone = flag.String("dnsbl-zone", "bl.example.org", "DNSBL zone name")
 		statsSec  = flag.Int("stats", 10, "stats period in seconds (0 disables)")
+		policyOn  = flag.Bool("policy", false, "enable the pre-trust policy engine (rate limits, greylist, reputation; DNSBL scoring when -dnsbl is set)")
+		greyRetry = flag.Duration("grey-retry", time.Minute, "policy: greylist minimum retry window (0 disables greylisting)")
+		connRate  = flag.Float64("conn-rate", 2, "policy: connections/sec admitted per client IP (0 disables rate limiting)")
 	)
 	flag.Parse()
 
@@ -111,16 +116,43 @@ func main() {
 		ValidateRcpt: db.Valid,
 		Enqueue:      qm.Enqueue,
 	}
+	var dnsblClient *dnsbl.Client
 	if *dnsblAddr != "" {
-		client := dnsbl.NewClient(
+		dnsblClient = dnsbl.NewClient(
 			&dns.UDPTransport{Server: *dnsblAddr, Timeout: 2 * time.Second},
 			*dnsblZone, dnsbl.CachePrefix)
+	}
+	var pol *policy.ServerPolicy
+	if *policyOn {
+		pcfg := policy.Config{Reputation: &policy.ReputationConfig{}}
+		if *connRate > 0 {
+			pcfg.Rate = &policy.RateConfig{
+				ConnPerSec: *connRate,
+				ConnBurst:  5 * *connRate,
+			}
+		}
+		if *greyRetry > 0 {
+			pcfg.Greylist = &policy.GreyConfig{MinRetry: *greyRetry}
+		}
+		var scorer *policy.Scorer
+		if dnsblClient != nil {
+			pcfg.DNSBLReject = 1
+			scorer = policy.NewScorer(policy.ScorerConfig{
+				Lists:     []policy.List{{Name: *dnsblZone, Client: dnsblClient, Weight: 1}},
+				Threshold: 1,
+			})
+		}
+		pol = policy.NewServerPolicy(policy.NewEngine(pcfg), scorer)
+		cfg.Policy = pol
+	} else if dnsblClient != nil {
+		// Without the policy engine the DNSBL check is the bare
+		// accept-time hook.
 		cfg.CheckClient = func(ip string) bool {
 			parsed, err := addr.ParseIPv4(ip)
 			if err != nil {
 				return false
 			}
-			res, err := client.Lookup(parsed)
+			res, err := dnsblClient.Lookup(parsed)
 			if err != nil {
 				// Fail open: a DNSBL outage must not stop mail.
 				return false
@@ -166,7 +198,7 @@ func main() {
 	for {
 		select {
 		case <-tick:
-			logStats(srv, qm, agent)
+			logStats(srv, qm, agent, pol)
 		case err := <-done:
 			if err != nil {
 				log.Fatalf("smtpd: %v", err)
@@ -178,17 +210,44 @@ func main() {
 				log.Printf("smtpd: close: %v", err)
 			}
 			qm.WaitIdle(5 * time.Second)
-			logStats(srv, qm, agent)
+			logStats(srv, qm, agent, pol)
 			return
 		}
 	}
 }
 
-func logStats(srv *smtpserver.Server, qm *queue.Manager, agent *delivery.Agent) {
+// logStats dumps a counters table: the SMTP front end (policy verdicts
+// included), the queue pipeline, and delivery.
+func logStats(srv *smtpserver.Server, qm *queue.Manager, agent *delivery.Agent, pol *policy.ServerPolicy) {
 	s := srv.Stats()
 	q := qm.Stats()
 	d := agent.Stats()
-	log.Printf("conns=%d accepted=%d bounce-conns=%d handoffs=%d rcpt-550=%d | queued=%d delivered=%d deferred=%d | mailbox-writes=%d",
-		s.Connections, s.MailsAccepted, s.PreTrustClosed, s.Handoffs, s.RcptRejected,
-		q.Enqueued, q.Delivered, q.Deferred, d.RcptDeliveries)
+	t := metrics.NewTable("counter", "value")
+	t.AddRow("connections", s.Connections)
+	t.AddRow("mails accepted", s.MailsAccepted)
+	t.AddRow("pre-trust closed", s.PreTrustClosed)
+	t.AddRow("handoffs", s.Handoffs)
+	t.AddRow("rcpt 550", s.RcptRejected)
+	t.AddRow("blacklisted (hook)", s.Blacklisted)
+	if pol != nil {
+		ps := pol.Stats()
+		t.AddRow("policy conn rejected (554)", s.PolicyRejected)
+		t.AddRow("policy conn tempfailed (421)", s.PolicyTempfail)
+		t.AddRow("policy mail/rcpt 450", s.Greylisted)
+		t.AddRow("rcpts passed policy", ps.RcptAllowed)
+		t.AddRow("rcpts greylisted", ps.RcptGreylisted)
+		t.AddRow("bounces recorded", ps.BouncesSeen)
+		t.AddRow("admit p50 (ms)", 1000*pol.AdmitLatencyQuantile(0.5))
+		t.AddRow("admit p99 (ms)", 1000*pol.AdmitLatencyQuantile(0.99))
+		if sc := pol.ScorerStats(); sc.Scans > 0 {
+			t.AddRow("dnsbl scans", sc.Scans)
+			t.AddRow("dnsbl hits", sc.Hits)
+			t.AddRow("dnsbl early exits", sc.EarlyExits)
+		}
+	}
+	t.AddRow("queued", q.Enqueued)
+	t.AddRow("delivered", q.Delivered)
+	t.AddRow("deferred", q.Deferred)
+	t.AddRow("mailbox writes", d.RcptDeliveries)
+	fmt.Fprint(log.Writer(), t.String())
 }

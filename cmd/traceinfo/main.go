@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/addr"
 	"repro/internal/metrics"
@@ -20,10 +21,12 @@ import (
 
 func main() {
 	var (
-		traceName = flag.String("trace", "sinkhole", "trace: sinkhole, univ, or ecn")
+		traceName = flag.String("trace", "sinkhole", "trace: sinkhole, univ, policy, or ecn")
 		conns     = flag.Int("conns", 20000, "connections to generate")
 		days      = flag.Int("days", 365, "ecn: days of daily ratios")
 		seed      = flag.Uint64("seed", 1, "trace seed")
+		spam      = flag.Float64("spam", 0.5, "policy: spam connection ratio")
+		window    = flag.Duration("window", time.Hour, "sliding window for repeat-source ratios")
 	)
 	flag.Parse()
 
@@ -47,7 +50,7 @@ func main() {
 		s := trace.NewSinkhole(trace.SinkholeConfig{
 			Seed: *seed, Connections: *conns, Prefixes: prefixes,
 		})
-		describe(s.Generate())
+		describe(s.Generate(), *window)
 		perPrefix := make(map[addr.Prefix]int)
 		for _, ip := range s.CBLPopulation() {
 			perPrefix[ip.Prefix24()]++
@@ -61,13 +64,17 @@ func main() {
 			100*trace.FractionAbove(counts, 10),
 			100*trace.FractionAbove(counts, 100))
 	case "univ":
-		describe(trace.NewUniv(trace.UnivConfig{Seed: *seed, Connections: *conns}).Generate())
+		describe(trace.NewUniv(trace.UnivConfig{Seed: *seed, Connections: *conns}).Generate(), *window)
+	case "policy":
+		tr, listed := trace.PolicySweep(*seed, *conns, *spam, "dept.example.edu", 400)
+		describe(tr, *window)
+		fmt.Printf("DNSBL ground truth: %d listed sources\n", len(listed))
 	default:
 		log.Fatalf("traceinfo: unknown trace %q", *traceName)
 	}
 }
 
-func describe(conns []trace.Conn) {
+func describe(conns []trace.Conn, window time.Duration) {
 	st := trace.Summarize(conns)
 	t := metrics.NewTable("statistic", "value")
 	t.AddRow("connections", st.Connections)
@@ -87,4 +94,7 @@ func describe(conns []trace.Conn) {
 		fmt.Printf("median interarrival: %.0fs per IP vs %.0fs per /24\n",
 			byIP.Quantile(0.5), byPrefix.Quantile(0.5))
 	}
+	ipRatio, prefRatio := trace.RepeatRatios(conns, window)
+	fmt.Printf("repeat sources within %v: %.1f%% by IP, %.1f%% by /25 — warm policy state on revisit\n",
+		window, 100*ipRatio, 100*prefRatio)
 }

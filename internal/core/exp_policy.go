@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/simmail"
+	"repro/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "policy-sweep",
+		Title: "Pre-trust policy engine: worker occupancy vs spam ratio",
+		Paper: "extends §5: admission verdicts in the master keep delivered spam off the smtpd pool, where fork-after-trust alone cannot",
+		Run:   runPolicySweep,
+	})
+}
+
+// sweepEngine builds the sweep's policy pipeline: reject DNSBL-listed
+// sources outright, greylist first contacts, throttle per-IP connection
+// rates, and accumulate reputation from bounces and hits.
+func sweepEngine() *policy.Engine {
+	return policy.NewEngine(policy.Config{
+		Rate:        &policy.RateConfig{ConnPerSec: 0.5, ConnBurst: 5},
+		Greylist:    &policy.GreyConfig{MinRetry: 30 * time.Second},
+		Reputation:  &policy.ReputationConfig{},
+		DNSBLReject: 1,
+	})
+}
+
+// policySweepRun executes one point; a nil listed map runs policy-off.
+func policySweepRun(arch simmail.Architecture, conns []trace.Conn, listed map[addr.IPv4]bool) simmail.Result {
+	cfg := simmail.Config{Arch: arch, Workers: 500, Seed: 2}
+	if arch == simmail.ArchHybrid {
+		cfg.Sockets = 700
+	}
+	if listed != nil {
+		cfg.Policy = &simmail.PolicyOptions{
+			Engine:      sweepEngine(),
+			Listed:      func(c *trace.Conn) bool { return listed[c.ClientIP] },
+			ListedScore: 2,
+			// Legitimate MTAs retry after the greylist window; spam
+			// cannons never do.
+			RetryAfter: 35 * time.Second,
+		}
+	}
+	return simmail.RunClosed(cfg, conns, 700, 0)
+}
+
+func runPolicySweep(w io.Writer, opts Options) (Metrics, error) {
+	n := opts.scale(10000, 3000)
+	t := metrics.NewTable("spam ratio", "occupancy off", "occupancy on",
+		"mails off", "mails on", "rejected", "greylisted", "retries")
+	m := Metrics{}
+	for _, s := range []float64{0, 0.25, 0.5, 0.75, 0.9} {
+		conns, listed := trace.PolicySweep(opts.seed()+3, n, s, "dept.example.edu", 400)
+		off := policySweepRun(simmail.ArchHybrid, conns, nil)
+		on := policySweepRun(simmail.ArchHybrid, conns, listed)
+		refused := on.PolicyRejected + on.PolicyTempfailed
+		t.AddRow(s, off.WorkerOccupancy, on.WorkerOccupancy,
+			off.GoodMails, on.GoodMails, refused, on.Greylisted, on.Retries)
+		key := fmt.Sprintf("%.2f", s)
+		m["occ_off_"+key] = off.WorkerOccupancy
+		m["occ_on_"+key] = on.WorkerOccupancy
+		m["good_off_"+key] = float64(off.GoodMails)
+		m["good_on_"+key] = float64(on.GoodMails)
+		m["refused_"+key] = float64(refused)
+	}
+	fmt.Fprint(w, t.String())
+	fmt.Fprintf(w, "\nat spam 0.75: policy verdicts in the master cut worker occupancy from %.3f to %.3f; "+
+		"ham still delivers (%.0f mails, one greylist retry each)\n",
+		m["occ_off_0.75"], m["occ_on_0.75"], m["good_on_0.75"])
+	return m, nil
+}

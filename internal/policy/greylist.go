@@ -1,0 +1,111 @@
+package policy
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/addr"
+)
+
+// GreyConfig parameterizes the greylist.
+type GreyConfig struct {
+	// MinRetry is the earliest retry the greylist accepts after first
+	// contact (default 1 minute). Legitimate MTAs queue and retry;
+	// fire-and-forget spamware does not.
+	MinRetry time.Duration
+	// MaxValid is the latest acceptable retry after first contact
+	// (default 24 h); a retry beyond it restarts the window.
+	MaxValid time.Duration
+	// WhitelistTTL is how long a tuple that passed stays whitelisted
+	// (default 36 h), refreshed on every accepted delivery.
+	WhitelistTTL time.Duration
+	// MaxEntries softly caps tracked tuples (default 1<<17); only
+	// expired entries are evicted, so the cap never changes verdicts.
+	MaxEntries int
+}
+
+func (c GreyConfig) withDefaults() GreyConfig {
+	if c.MinRetry <= 0 {
+		c.MinRetry = time.Minute
+	}
+	if c.MaxValid <= 0 {
+		c.MaxValid = 24 * time.Hour
+	}
+	if c.WhitelistTTL <= 0 {
+		c.WhitelistTTL = 36 * time.Hour
+	}
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 1 << 17
+	}
+	return c
+}
+
+// greyEntry tracks one (client /24, sender, recipient) tuple.
+type greyEntry struct {
+	firstSeen time.Duration
+	passed    bool
+	expiry    time.Duration // whitelist expiry when passed
+}
+
+// greylist keys on the client's /24 rather than the exact IP so a
+// legitimate server farm retrying from a sibling address still matches —
+// the same granularity at which the paper observes source locality
+// (Figure 13).
+type greylist struct {
+	cfg     GreyConfig
+	entries map[string]*greyEntry
+}
+
+func newGreylist(cfg GreyConfig) *greylist {
+	return &greylist{cfg: cfg.withDefaults(), entries: make(map[string]*greyEntry)}
+}
+
+func greyKey(ip addr.IPv4, sender, rcpt string) string {
+	return fmt.Sprintf("%s|%s|%s", ip.Prefix24(), sender, rcpt)
+}
+
+func (g *greylist) check(now time.Duration, ip addr.IPv4, sender, rcpt string) Decision {
+	key := greyKey(ip, sender, rcpt)
+	e, ok := g.entries[key]
+	if !ok {
+		if len(g.entries) >= g.cfg.MaxEntries {
+			g.sweep(now)
+		}
+		g.entries[key] = &greyEntry{firstSeen: now}
+		return Decision{Tempfail, "greylist", "greylisted, please retry later"}
+	}
+	if e.passed {
+		if now < e.expiry {
+			e.expiry = now + g.cfg.WhitelistTTL
+			return allowed
+		}
+		// Whitelist expired: restart the window.
+		*e = greyEntry{firstSeen: now}
+		return Decision{Tempfail, "greylist", "greylisted, please retry later"}
+	}
+	age := now - e.firstSeen
+	switch {
+	case age < g.cfg.MinRetry:
+		return Decision{Tempfail, "greylist", "greylisted, retried too soon"}
+	case age <= g.cfg.MaxValid:
+		e.passed = true
+		e.expiry = now + g.cfg.WhitelistTTL
+		return allowed
+	default:
+		e.firstSeen = now
+		return Decision{Tempfail, "greylist", "greylisted, please retry later"}
+	}
+}
+
+// sweep drops entries that no longer influence any verdict: expired
+// whitelistings and pending entries past their retry window.
+func (g *greylist) sweep(now time.Duration) {
+	for k, e := range g.entries {
+		if e.passed && now >= e.expiry {
+			delete(g.entries, k)
+		}
+		if !e.passed && now-e.firstSeen > g.cfg.MaxValid {
+			delete(g.entries, k)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/addr"
+)
+
+// ReputationConfig parameterizes the aggregated historical reputation
+// store: exponentially decayed per-source event scores, the
+// aggregated-historical-data idea of Menahem & Puzis applied at two
+// aggregation levels (exact IP and /25 prefix).
+type ReputationConfig struct {
+	// HalfLife is the score decay half-life (default 1 h): an event's
+	// weight halves every HalfLife of (virtual or wall) clock.
+	HalfLife time.Duration
+	// BounceWeight, RejectWeight, and DNSBLWeight are the per-event
+	// score increments (defaults 1.0, 0.3, 2.0). Rejected RCPTs weigh
+	// less than whole bounce connections because one bounce connection
+	// typically carries several of them.
+	BounceWeight float64
+	RejectWeight float64
+	DNSBLWeight  float64
+	// PrefixFactor scales the /25-prefix score's contribution to the
+	// combined score (default 0.5): neighbourhood history matters, but
+	// less than the exact address's own record.
+	PrefixFactor float64
+	// TempfailScore and RejectScore are the combined-score thresholds
+	// (defaults 4 and 8).
+	TempfailScore float64
+	RejectScore   float64
+	// MaxEntries softly caps tracked sources per map (default 1<<17);
+	// only fully decayed entries are evicted.
+	MaxEntries int
+}
+
+func (c ReputationConfig) withDefaults() ReputationConfig {
+	if c.HalfLife <= 0 {
+		c.HalfLife = time.Hour
+	}
+	if c.BounceWeight == 0 {
+		c.BounceWeight = 1.0
+	}
+	if c.RejectWeight == 0 {
+		c.RejectWeight = 0.3
+	}
+	if c.DNSBLWeight == 0 {
+		c.DNSBLWeight = 2.0
+	}
+	if c.PrefixFactor == 0 {
+		c.PrefixFactor = 0.5
+	}
+	if c.TempfailScore == 0 {
+		c.TempfailScore = 4
+	}
+	if c.RejectScore == 0 {
+		c.RejectScore = 8
+	}
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 1 << 17
+	}
+	return c
+}
+
+// ewma is one decayed score: value as of last.
+type ewma struct {
+	value float64
+	last  time.Duration
+}
+
+// decayed returns the score decayed to now.
+func (e *ewma) decayed(now time.Duration, halfLife time.Duration) float64 {
+	if now <= e.last {
+		return e.value
+	}
+	return e.value * math.Exp2(-float64(now-e.last)/float64(halfLife))
+}
+
+// add decays to now and adds w.
+func (e *ewma) add(now time.Duration, halfLife time.Duration, w float64) {
+	e.value = e.decayed(now, halfLife)
+	if now > e.last {
+		e.last = now
+	}
+	e.value += w
+}
+
+// reputation is the two-level decayed score store.
+type reputation struct {
+	cfg    ReputationConfig
+	byIP   map[addr.IPv4]*ewma
+	byPref map[addr.Prefix]*ewma
+}
+
+func newReputation(cfg ReputationConfig) *reputation {
+	return &reputation{
+		cfg:    cfg.withDefaults(),
+		byIP:   make(map[addr.IPv4]*ewma),
+		byPref: make(map[addr.Prefix]*ewma),
+	}
+}
+
+func (r *reputation) recordBounce(now time.Duration, ip addr.IPv4) {
+	r.add(now, ip, r.cfg.BounceWeight)
+}
+
+func (r *reputation) recordRejectedRcpt(now time.Duration, ip addr.IPv4) {
+	r.add(now, ip, r.cfg.RejectWeight)
+}
+
+func (r *reputation) recordDNSBLHit(now time.Duration, ip addr.IPv4) {
+	r.add(now, ip, r.cfg.DNSBLWeight)
+}
+
+func (r *reputation) add(now time.Duration, ip addr.IPv4, w float64) {
+	ipE, ok := r.byIP[ip]
+	if !ok {
+		if len(r.byIP) >= r.cfg.MaxEntries {
+			sweepEwma(r.byIP, now, r.cfg.HalfLife)
+		}
+		ipE = &ewma{last: now}
+		r.byIP[ip] = ipE
+	}
+	ipE.add(now, r.cfg.HalfLife, w)
+
+	pref := ip.Prefix25()
+	prefE, ok := r.byPref[pref]
+	if !ok {
+		if len(r.byPref) >= r.cfg.MaxEntries {
+			sweepEwma(r.byPref, now, r.cfg.HalfLife)
+		}
+		prefE = &ewma{last: now}
+		r.byPref[pref] = prefE
+	}
+	prefE.add(now, r.cfg.HalfLife, w)
+}
+
+// score returns the combined decayed score: exact-IP history plus a
+// fraction of the /25 neighbourhood's.
+func (r *reputation) score(now time.Duration, ip addr.IPv4) float64 {
+	var s float64
+	if e, ok := r.byIP[ip]; ok {
+		s += e.decayed(now, r.cfg.HalfLife)
+	}
+	if e, ok := r.byPref[ip.Prefix25()]; ok {
+		s += r.cfg.PrefixFactor * e.decayed(now, r.cfg.HalfLife)
+	}
+	return s
+}
+
+func (r *reputation) check(now time.Duration, ip addr.IPv4) Decision {
+	s := r.score(now, ip)
+	switch {
+	case s >= r.cfg.RejectScore:
+		return Decision{Reject, "reputation", fmt.Sprintf("poor sending history (score %.1f)", s)}
+	case s >= r.cfg.TempfailScore:
+		return Decision{Tempfail, "reputation", fmt.Sprintf("deferred on sending history (score %.1f)", s)}
+	}
+	return allowed
+}
+
+// negligibleScore is the decayed value below which an entry is
+// indistinguishable from absent.
+const negligibleScore = 1e-3
+
+func sweepEwma[K comparable](m map[K]*ewma, now time.Duration, halfLife time.Duration) {
+	for k, e := range m {
+		if e.decayed(now, halfLife) < negligibleScore {
+			delete(m, k)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package policy
+
+import (
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/metrics"
+)
+
+// ServerPolicy adapts the clock-agnostic Engine (plus an optional
+// concurrent Scorer) to the real servers: string client addresses and
+// the wall clock. internal/smtpserver consults it at accept time and on
+// each MAIL/RCPT; internal/simmail drives the Engine directly on
+// virtual time instead.
+type ServerPolicy struct {
+	eng    *Engine
+	scorer *Scorer
+	epoch  time.Time
+	nowFn  func() time.Duration
+
+	admitLatency *metrics.Sample // Connect wall time in seconds (includes DNSBL scan)
+}
+
+// NewServerPolicy wraps eng for wall-clock use; scorer may be nil when
+// no DNSBLs are consulted.
+func NewServerPolicy(eng *Engine, scorer *Scorer) *ServerPolicy {
+	p := &ServerPolicy{
+		eng:          eng,
+		scorer:       scorer,
+		epoch:        time.Now(),
+		admitLatency: metrics.NewSample(1024),
+	}
+	p.nowFn = func() time.Duration { return time.Since(p.epoch) }
+	return p
+}
+
+// withNow overrides the clock, for tests.
+func (p *ServerPolicy) withNow(now func() time.Duration) *ServerPolicy {
+	p.nowFn = now
+	return p
+}
+
+// parse returns the client IP, failing open (allow, zero IP) on
+// non-IPv4 peers so an exotic address never blocks mail.
+func parse(ipStr string) (addr.IPv4, bool) {
+	ip, err := addr.ParseIPv4(ipStr)
+	return ip, err == nil
+}
+
+// Connect evaluates connection admission for a client address: the
+// DNSBL scan (when configured) followed by Engine.Admit.
+func (p *ServerPolicy) Connect(ipStr string) Decision {
+	ip, ok := parse(ipStr)
+	if !ok {
+		return allowed
+	}
+	start := time.Now()
+	var score float64
+	if p.scorer != nil {
+		score = p.scorer.Score(ip)
+	}
+	d := p.eng.Admit(p.nowFn(), ip, score)
+	p.admitLatency.Observe(time.Since(start).Seconds())
+	return d
+}
+
+// Mail evaluates one MAIL FROM transaction.
+func (p *ServerPolicy) Mail(ipStr, sender string) Decision {
+	ip, ok := parse(ipStr)
+	if !ok {
+		return allowed
+	}
+	return p.eng.Mail(p.nowFn(), ip, sender)
+}
+
+// Rcpt evaluates one otherwise-valid RCPT TO.
+func (p *ServerPolicy) Rcpt(ipStr, sender, rcpt string) Decision {
+	ip, ok := parse(ipStr)
+	if !ok {
+		return allowed
+	}
+	return p.eng.Rcpt(p.nowFn(), ip, sender, rcpt)
+}
+
+// RecordRejectedRcpt feeds one 550-rejected recipient into the
+// reputation store.
+func (p *ServerPolicy) RecordRejectedRcpt(ipStr string) {
+	if ip, ok := parse(ipStr); ok {
+		p.eng.RecordRejectedRcpt(p.nowFn(), ip)
+	}
+}
+
+// RecordBounce feeds one completed bounce connection into the
+// reputation store.
+func (p *ServerPolicy) RecordBounce(ipStr string) {
+	if ip, ok := parse(ipStr); ok {
+		p.eng.RecordBounce(p.nowFn(), ip)
+	}
+}
+
+// Stats returns the engine's verdict counters.
+func (p *ServerPolicy) Stats() Stats { return p.eng.Stats() }
+
+// ScorerStats returns the DNSBL scan counters (zero when no scorer).
+func (p *ServerPolicy) ScorerStats() ScorerStats {
+	if p.scorer == nil {
+		return ScorerStats{}
+	}
+	return p.scorer.Stats()
+}
+
+// AdmitLatencyQuantile returns the q-quantile of Connect wall time in
+// seconds — the pre-trust latency the engine adds to every accept.
+func (p *ServerPolicy) AdmitLatencyQuantile(q float64) float64 {
+	return p.admitLatency.Quantile(q)
+}

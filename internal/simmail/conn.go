@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/costmodel"
+	"repro/internal/policy"
 	"repro/internal/trace"
 )
 
@@ -14,10 +15,12 @@ type connSim struct {
 	start  time.Duration
 	onDone func()
 
-	owner    int // current CPU owner: 0 = master, >0 = smtpd process
-	proc     int // assigned smtpd process (0 = none yet)
-	rcptIdx  int
-	accepted int
+	owner      int // current CPU owner: 0 = master, >0 = smtpd process
+	proc       int // assigned smtpd process (0 = none yet)
+	rcptIdx    int
+	accepted   int
+	greylisted int  // valid recipients deferred by the greylist
+	retried    bool // this connection is a modelled greylist retry
 }
 
 // burst charges one command-processing CPU burst to the connection's
@@ -71,11 +74,21 @@ func (c *connSim) admitHybrid() {
 	c.admitted()
 }
 
-// admitted runs the accept-time work: the DNSBL lookup (when enabled)
-// and the banner.
+// admitted runs the accept-time work: the DNSBL lookup (when enabled),
+// the policy admission verdict, and the banner. The verdict is charged
+// to the current owner — an already-acquired worker under vanilla, the
+// master under hybrid — which is exactly where the real servers run it.
 func (c *connSim) admitted() {
 	r := c.r
 	banner := func() {
+		if d := r.policyAdmit(c); d.Verdict != policy.Allow {
+			// 554/421 written instead of the banner; the client is gone
+			// one reply later.
+			c.burst(costmodel.CommandParse, func() {
+				c.finish(policyFinishKind(d))
+			})
+			return
+		}
 		c.burst(costmodel.CommandParse, func() {
 			// Banner written; HELO arrives a round trip later.
 			c.exchange(costmodel.CommandParse, c.afterHelo)
@@ -108,6 +121,13 @@ func (c *connSim) afterHelo() {
 	}
 	// MAIL FROM.
 	c.exchange(costmodel.CommandParse, func() {
+		if d := c.r.policyMail(c); d.Verdict != policy.Allow {
+			// 450 on MAIL; the client QUITs a round trip later.
+			c.exchange(costmodel.CommandParse, func() {
+				c.finish(policyFinishKind(d))
+			})
+			return
+		}
 		c.rcptIdx = 0
 		if c.r.cfg.Arch == ArchHybrid && c.r.cfg.Trust == TrustAfterMail && c.proc == 0 {
 			// Ablation: delegate before any recipient is validated —
@@ -142,6 +162,15 @@ func (c *connSim) nextRcpt() {
 	c.rcptIdx++
 	c.exchange(costmodel.CommandParse+costmodel.RcptLookup, func() {
 		if !rcpt.Valid {
+			// 550 — a bounce signal for the reputation store.
+			c.r.policyRecordReject(c)
+			c.nextRcpt()
+			return
+		}
+		if d := c.r.policyRcpt(c, rcpt.Addr); d.Verdict != policy.Allow {
+			// Greylist 450: the recipient is not recorded, so the
+			// connection stays un-trusted (no handoff under hybrid).
+			c.greylisted++
 			c.nextRcpt()
 			return
 		}
@@ -159,7 +188,14 @@ func (c *connSim) nextRcpt() {
 
 func (c *connSim) afterRcpts() {
 	if c.accepted == 0 {
+		if c.greylisted > 0 {
+			// Every valid recipient was deferred; the client QUITs and —
+			// if it is a real MTA — retries later (scheduled in finish).
+			c.exchange(costmodel.CommandParse, func() { c.finish(kindGreylisted) })
+			return
+		}
 		// Bounce connection: the client gives up and QUITs.
+		c.r.policyRecordBounce(c)
 		c.exchange(costmodel.CommandParse, func() { c.finish(kindBounce) })
 		return
 	}
@@ -227,13 +263,41 @@ func (c *connSim) scheduleDelivery(size int) {
 	})
 }
 
+// scheduleRetry models a legitimate MTA's response to an all-greylisted
+// attempt: the same trace connection reconnects once after RetryAfter.
+// Spam sources fire and forget — they never retry — which is the
+// asymmetry greylisting exploits.
+func (c *connSim) scheduleRetry() {
+	r := c.r
+	p := r.cfg.Policy
+	if p == nil || p.RetryAfter <= 0 || c.retried || c.tc.Spam {
+		return
+	}
+	r.retries++
+	r.eng.After(p.RetryAfter, func() {
+		rc := &connSim{r: r, tc: c.tc, start: r.eng.Now(), retried: true}
+		r.eng.After(r.cfg.RTT, rc.arrive)
+	})
+}
+
 type finishKind int
 
 const (
 	kindGood finishKind = iota + 1
 	kindBounce
 	kindUnfinished
+	kindPolicyRejected
+	kindPolicyTempfailed
+	kindGreylisted
 )
+
+// policyFinishKind maps a refusing policy decision to its finish kind.
+func policyFinishKind(d policy.Decision) finishKind {
+	if d.Verdict == policy.Reject {
+		return kindPolicyRejected
+	}
+	return kindPolicyTempfailed
+}
 
 func (c *connSim) finish(kind finishKind) {
 	r := c.r
@@ -242,6 +306,13 @@ func (c *connSim) finish(kind finishKind) {
 		r.bounces++
 	case kindUnfinished:
 		r.unfinished++
+	case kindPolicyRejected:
+		r.polRejected++
+	case kindPolicyTempfailed:
+		r.polTempfail++
+	case kindGreylisted:
+		r.greylisted++
+		c.scheduleRetry()
 	}
 	r.completed++
 	r.latencySum += r.eng.Now() - c.start

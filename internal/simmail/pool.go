@@ -1,6 +1,8 @@
 package simmail
 
 import (
+	"time"
+
 	"repro/internal/costmodel"
 	"repro/internal/sim"
 )
@@ -19,6 +21,11 @@ type pool struct {
 	queue  []func(procID int)
 	inUse  int
 	master int // owner id of the master process
+
+	// busyInt integrates inUse over virtual time (worker-seconds), the
+	// numerator of the worker-occupancy metric.
+	busyInt float64
+	lastAt  time.Duration
 }
 
 func newPool(eng *sim.Engine, cpu *sim.CPU, limit int) *pool {
@@ -29,6 +36,7 @@ func newPool(eng *sim.Engine, cpu *sim.CPU, limit int) *pool {
 // master's expense) if the pool has not reached its limit, or queueing
 // the request otherwise.
 func (p *pool) acquire(fn func(procID int)) {
+	p.integrate()
 	if len(p.free) > 0 {
 		id := p.free[len(p.free)-1]
 		p.free = p.free[:len(p.free)-1]
@@ -51,6 +59,7 @@ func (p *pool) acquire(fn func(procID int)) {
 // release returns a process to the pool, immediately dispatching the
 // oldest queued request if any.
 func (p *pool) release(id int) {
+	p.integrate()
 	p.inUse--
 	if len(p.queue) > 0 {
 		fn := p.queue[0]
@@ -71,3 +80,21 @@ func (p *pool) forked() int { return p.next - 1 }
 
 // waiting returns the number of queued acquisitions.
 func (p *pool) waiting() int { return len(p.queue) }
+
+// integrate advances the busy-time integral to the current virtual time.
+// Called before every inUse mutation.
+func (p *pool) integrate() {
+	now := p.eng.Now()
+	p.busyInt += float64(p.inUse) * (now - p.lastAt).Seconds()
+	p.lastAt = now
+}
+
+// occupancy returns the fraction of the pool's worker-seconds capacity
+// consumed over a run of the given duration.
+func (p *pool) occupancy(dur time.Duration) float64 {
+	p.integrate()
+	if dur <= 0 || p.limit <= 0 {
+		return 0
+	}
+	return p.busyInt / (dur.Seconds() * float64(p.limit))
+}

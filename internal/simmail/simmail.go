@@ -97,6 +97,8 @@ type Config struct {
 	Store StoreKind
 	// DNSBL, if non-nil, enables blacklist lookups.
 	DNSBL *DNSBLConfig
+	// Policy, if non-nil, enables the pre-trust policy engine.
+	Policy *PolicyOptions
 	// RTT is the full client↔server round trip (default 2×NetRTT, the
 	// Table 1 emulated delay applied each way).
 	RTT time.Duration
@@ -168,6 +170,20 @@ type Result struct {
 	DNSHitRatio float64
 	// MeanLatency is the mean completed-connection duration.
 	MeanLatency time.Duration
+	// PolicyRejected and PolicyTempfailed count connections refused at
+	// admission by the policy engine (554 / 421).
+	PolicyRejected   int64
+	PolicyTempfailed int64
+	// Greylisted counts connections whose every valid recipient drew a
+	// greylist 450; Retries counts the modelled reconnections that
+	// followed.
+	Greylisted int64
+	Retries    int64
+	// WorkerOccupancy is the time-integral of in-use smtpd workers
+	// divided by Workers × Duration — the fraction of the pool's
+	// capacity actually consumed. The policy-sweep experiment's headline
+	// number: pre-trust verdicts must push it down under hybrid.
+	WorkerOccupancy float64
 }
 
 // runner holds the live simulation state.
@@ -184,13 +200,17 @@ type runner struct {
 	backlog []func()    // hybrid: connections waiting for a socket
 	done    func(int64) // completion hook set by the drivers
 
-	good       int64
-	bounces    int64
-	unfinished int64
-	handoffs   int64
-	latencySum time.Duration
-	completed  int64
-	lastFinish time.Duration
+	good        int64
+	bounces     int64
+	unfinished  int64
+	handoffs    int64
+	polRejected int64
+	polTempfail int64
+	greylisted  int64
+	retries     int64
+	latencySum  time.Duration
+	completed   int64
+	lastFinish  time.Duration
 }
 
 func newRunner(cfg Config) *runner {
@@ -233,17 +253,22 @@ func newRunner(cfg Config) *runner {
 
 func (r *runner) result() Result {
 	res := Result{
-		GoodMails:       r.good,
-		Duration:        r.lastFinish,
-		Switches:        r.cpu.Switches(),
-		BounceConns:     r.bounces,
-		UnfinishedConns: r.unfinished,
-		Handoffs:        r.handoffs,
+		GoodMails:        r.good,
+		Duration:         r.lastFinish,
+		Switches:         r.cpu.Switches(),
+		BounceConns:      r.bounces,
+		UnfinishedConns:  r.unfinished,
+		Handoffs:         r.handoffs,
+		PolicyRejected:   r.polRejected,
+		PolicyTempfailed: r.polTempfail,
+		Greylisted:       r.greylisted,
+		Retries:          r.retries,
 	}
 	if r.lastFinish > 0 {
 		res.Goodput = float64(r.good) / r.lastFinish.Seconds()
 		res.CPUUtil = r.cpu.BusyTime().Seconds() / r.lastFinish.Seconds()
 		res.DiskUtil = r.disk.BusyTime().Seconds() / r.lastFinish.Seconds()
+		res.WorkerOccupancy = r.pool.occupancy(r.lastFinish)
 	}
 	if r.completed > 0 {
 		res.MeanLatency = r.latencySum / time.Duration(r.completed)

@@ -1,0 +1,109 @@
+package smtp
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCommand hammers the command parser with arbitrary client
+// input — the first untrusted bytes the server touches — and checks its
+// invariants: no panic, deterministic output, and any accepted MAIL/RCPT
+// address is well-formed.
+func FuzzParseCommand(f *testing.F) {
+	for _, seed := range []string{
+		"HELO client.example",
+		"EHLO [127.0.0.1]",
+		"MAIL FROM:<a@b.c>",
+		"MAIL FROM:<> SIZE=1000",
+		"mail from:<USER@Example.COM>",
+		"RCPT TO:<u@d.example>",
+		"RCPT TO:<@relay.example:u@d.example>",
+		"RCPT TO:<>",
+		"VRFY <root@localhost>",
+		"DATA",
+		"RSET ",
+		"NOOP",
+		"QUIT",
+		"MAIL FROM:a@b.c",
+		"RCPT TO:<a@>",
+		"MAIL FROM:<a b@c>",
+		"BDAT 86 LAST",
+		"",
+		"   ",
+		"MAIL FROM:<\x00@d>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		cmd, err := ParseCommand(line)
+		cmd2, err2 := ParseCommand(line)
+		if cmd != cmd2 || (err == nil) != (err2 == nil) {
+			t.Fatalf("non-deterministic parse of %q", line)
+		}
+		if err != nil {
+			return
+		}
+		switch cmd.Verb {
+		case VerbMAIL:
+			if cmd.Addr != "" {
+				if verr := ValidateAddress(cmd.Addr); verr != nil {
+					t.Fatalf("MAIL accepted invalid address %q from %q: %v", cmd.Addr, line, verr)
+				}
+			}
+		case VerbRCPT:
+			if cmd.Addr == "" {
+				t.Fatalf("RCPT accepted the null path from %q", line)
+			}
+			if verr := ValidateAddress(cmd.Addr); verr != nil {
+				t.Fatalf("RCPT accepted invalid address %q from %q: %v", cmd.Addr, line, verr)
+			}
+		case VerbHELO, VerbEHLO, VerbVRFY:
+			if cmd.Arg == "" {
+				t.Fatalf("%s accepted an empty argument from %q", cmd.Verb, line)
+			}
+		}
+	})
+}
+
+// FuzzParsePath targets the MAIL/RCPT path parser directly: any address
+// it returns must be empty (the null reverse-path) or valid, and never
+// contain angle brackets or whitespace.
+func FuzzParsePath(f *testing.F) {
+	for _, seed := range []string{
+		"FROM:<a@b.c>",
+		"FROM:<>",
+		"FROM:<a@b.c> SIZE=100 BODY=8BITMIME",
+		"FROM: <spaced@out.example>",
+		"TO:<@r1.example,@r2.example:deep@route.example>",
+		"TO:<\"quoted local\"@d.example>",
+		"TO:<a@b@c>",
+		"FROM:",
+		"FROM:<unclosed@d",
+		"from:<lower@case.example>",
+	} {
+		f.Add(seed, "FROM")
+		f.Add(seed, "TO")
+	}
+	f.Fuzz(func(t *testing.T, arg, keyword string) {
+		if keyword != "FROM" && keyword != "TO" {
+			// parsePath is only ever called with these two keywords.
+			keyword = "FROM"
+		}
+		addr, err := parsePath(arg, keyword)
+		if err != nil {
+			if addr != "" {
+				t.Fatalf("parsePath(%q) returned %q alongside error %v", arg, addr, err)
+			}
+			return
+		}
+		if addr == "" {
+			return // the null reverse-path
+		}
+		if verr := ValidateAddress(addr); verr != nil {
+			t.Fatalf("parsePath(%q) returned invalid address %q: %v", arg, addr, verr)
+		}
+		if strings.ContainsAny(addr, "<> \t") {
+			t.Fatalf("parsePath(%q) leaked path syntax into %q", arg, addr)
+		}
+	})
+}

@@ -46,6 +46,15 @@ type Config struct {
 	// ValidateRcpt reports whether a recipient mailbox exists. nil
 	// accepts everything.
 	ValidateRcpt func(addr string) bool
+	// CheckMail, if non-nil, is the policy hook for MAIL FROM: a non-nil
+	// reply (e.g. a 450 rate-limit tempfail) overrides acceptance and
+	// leaves the session awaiting another MAIL.
+	CheckMail func(sender string) *Reply
+	// CheckRcpt, if non-nil, is the policy hook for recipients that
+	// passed ValidateRcpt: a non-nil reply (e.g. a greylist 450)
+	// overrides acceptance without recording the recipient, so the
+	// hybrid front end keeps the connection un-trusted.
+	CheckRcpt func(sender, rcpt string) *Reply
 	// MaxRcpts caps accepted recipients per mail (0 = postfix default 50).
 	MaxRcpts int
 	// MaxMessageBytes caps the DATA payload (0 = MaxMessageBytes).
@@ -166,6 +175,11 @@ func (s *Session) Command(line string) (Reply, Action) {
 		if s.state != StateGreeted {
 			return ReplyBadSequence, ActionNone
 		}
+		if s.cfg.CheckMail != nil {
+			if r := s.cfg.CheckMail(cmd.Addr); r != nil {
+				return *r, ActionNone
+			}
+		}
 		s.sender = cmd.Addr
 		s.senderSet = true
 		s.state = StateMail
@@ -186,6 +200,11 @@ func (s *Session) Command(line string) (Reply, Action) {
 		if s.hasRcpt(cmd.Addr) {
 			// Accepted duplicate collapses silently, as postfix does.
 			return ReplyOK, ActionNone
+		}
+		if s.cfg.CheckRcpt != nil {
+			if r := s.cfg.CheckRcpt(s.sender, cmd.Addr); r != nil {
+				return *r, ActionNone
+			}
 		}
 		s.rcpts = append(s.rcpts, cmd.Addr)
 		s.state = StateRcpt

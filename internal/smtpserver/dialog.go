@@ -43,6 +43,12 @@ func (s *Server) runDialog(nc net.Conn, c *smtp.Conn, sess *smtp.Session, stopWh
 		reply, action := sess.Command(line)
 		if reply.Code == smtp.ReplyUserUnknown.Code {
 			s.rcptRejected.Inc()
+			if s.cfg.Policy != nil {
+				// Each 550 is a §4.1 bounce signal; feed it to the
+				// reputation store so repeat offenders are refused at
+				// connect time on their next visit.
+				s.cfg.Policy.RecordRejectedRcpt(remoteIP(nc))
+			}
 		}
 		switch action {
 		case smtp.ActionData:
@@ -91,7 +97,14 @@ func (s *Server) vanillaWorker(conns <-chan net.Conn) {
 	defer s.workerWG.Done()
 	for nc := range conns {
 		c := smtp.NewConn(nc)
-		sess := smtp.NewSession(s.sessionConfig())
+		// The vanilla architecture pays a worker for the policy check
+		// itself — the cost contrast the policy-sweep experiment measures.
+		if !s.admitPolicy(nc, c) {
+			s.untrack(nc)
+			nc.Close()
+			continue
+		}
+		sess := smtp.NewSession(s.sessionConfig(remoteIP(nc)))
 		if err := c.WriteReply(sess.Greeting()); err == nil {
 			out := s.runDialog(nc, c, sess, nil)
 			if out == outcomeQuit {
@@ -99,6 +112,7 @@ func (s *Server) vanillaWorker(conns <-chan net.Conn) {
 			}
 			if !sess.HasValidRcpt() && sess.MailsCompleted() == 0 {
 				s.preTrustClosed.Inc()
+				s.recordBounce(nc, sess)
 			}
 		}
 		s.untrack(nc)
@@ -114,7 +128,15 @@ func (s *Server) vanillaWorker(conns <-chan net.Conn) {
 func (s *Server) hybridFrontEnd(nc net.Conn) {
 	defer s.frontWG.Done()
 	c := smtp.NewConn(nc)
-	sess := smtp.NewSession(s.sessionConfig())
+	// Policy runs in the master's event loop: a rejected connection is
+	// finished here, before any worker is committed — the paper's
+	// fork-after-trust thesis extended from bounces to policy verdicts.
+	if !s.admitPolicy(nc, c) {
+		s.untrack(nc)
+		nc.Close()
+		return
+	}
+	sess := smtp.NewSession(s.sessionConfig(remoteIP(nc)))
 	if err := c.WriteReply(sess.Greeting()); err != nil {
 		s.untrack(nc)
 		nc.Close()
@@ -130,12 +152,22 @@ func (s *Server) hybridFrontEnd(nc net.Conn) {
 	case outcomeQuit:
 		s.sessionsServed.Inc()
 		s.preTrustClosed.Inc()
+		s.recordBounce(nc, sess)
 		s.untrack(nc)
 		nc.Close()
 	default:
 		s.preTrustClosed.Inc()
+		s.recordBounce(nc, sess)
 		s.untrack(nc)
 		nc.Close()
+	}
+}
+
+// recordBounce feeds a finished pre-trust connection that drew at least
+// one 550 to the reputation store as a completed bounce.
+func (s *Server) recordBounce(nc net.Conn, sess *smtp.Session) {
+	if s.cfg.Policy != nil && sess.RejectedRcpts() > 0 {
+		s.cfg.Policy.RecordBounce(remoteIP(nc))
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/metrics"
+	"repro/internal/policy"
 	"repro/internal/smtp"
 )
 
@@ -74,6 +75,14 @@ type Config struct {
 	// the connecting IP is blacklisted and the connection should be
 	// rejected with 554 at accept time.
 	CheckClient func(ip string) bool
+	// Policy, if non-nil, is the pre-trust policy engine, consulted at
+	// connect time and on each MAIL FROM / RCPT TO. The check runs where
+	// the corresponding postfix code would: inside the worker for
+	// Vanilla, inside the master's front end for Hybrid — so a
+	// policy-rejected connection never costs a Hybrid worker, extending
+	// the paper's fork-after-trust thesis from bounces to policy
+	// rejects.
+	Policy *policy.ServerPolicy
 	// Enqueue hands an accepted mail to the queue manager and returns
 	// its queue id. Required.
 	Enqueue func(sender string, rcpts []string, data []byte) (string, error)
@@ -95,6 +104,9 @@ type Stats struct {
 	RcptRejected    int64 // 550 replies (bounce recipients)
 	SessionsServed  int64 // connections fully completed
 	EnqueueFailures int64 // queue-full 452s
+	PolicyRejected  int64 // connections 554-rejected by the policy engine
+	PolicyTempfail  int64 // connections 421-tempfailed by the policy engine
+	Greylisted      int64 // MAIL/RCPT attempts 450-tempfailed by policy
 }
 
 // Server is a runnable mail server front end.
@@ -121,6 +133,9 @@ type Server struct {
 	rcptRejected    metrics.Counter
 	sessionsServed  metrics.Counter
 	enqueueFailures metrics.Counter
+	policyRejected  metrics.Counter
+	policyTempfail  metrics.Counter
+	greylisted      metrics.Counter
 }
 
 // task is one delegated connection: exactly the state §5.3 transfers over
@@ -169,6 +184,9 @@ func (s *Server) Stats() Stats {
 		RcptRejected:    s.rcptRejected.Value(),
 		SessionsServed:  s.sessionsServed.Value(),
 		EnqueueFailures: s.enqueueFailures.Value(),
+		PolicyRejected:  s.policyRejected.Value(),
+		PolicyTempfail:  s.policyTempfail.Value(),
+		Greylisted:      s.greylisted.Value(),
 	}
 }
 
@@ -309,11 +327,65 @@ func remoteIP(nc net.Conn) string {
 	return host
 }
 
-func (s *Server) sessionConfig() smtp.Config {
-	return smtp.Config{
+// sessionConfig builds the session hooks for one connection. When a
+// policy engine is configured, MAIL and RCPT are additionally checked
+// against it; both hooks run wherever the dialog runs, which for the
+// hybrid architecture is the master's event loop until trust — a
+// greylisted recipient is never recorded, so the connection stays
+// un-trusted and is finished without costing a worker.
+func (s *Server) sessionConfig(ip string) smtp.Config {
+	cfg := smtp.Config{
 		Hostname:        s.cfg.Hostname,
 		ValidateRcpt:    s.cfg.ValidateRcpt,
 		MaxRcpts:        s.cfg.MaxRcpts,
 		MaxMessageBytes: s.cfg.MaxMessageBytes,
+	}
+	if p := s.cfg.Policy; p != nil {
+		cfg.CheckMail = func(sender string) *smtp.Reply {
+			return s.policyReply(p.Mail(ip, sender))
+		}
+		cfg.CheckRcpt = func(sender, rcpt string) *smtp.Reply {
+			return s.policyReply(p.Rcpt(ip, sender, rcpt))
+		}
+	}
+	return cfg
+}
+
+// policyReply maps a mid-dialog policy decision to an overriding reply,
+// or nil for Allow.
+func (s *Server) policyReply(d policy.Decision) *smtp.Reply {
+	switch d.Verdict {
+	case policy.Reject:
+		s.policyRejected.Inc()
+		return &smtp.Reply{Code: 554, Text: d.Reason}
+	case policy.Tempfail:
+		s.greylisted.Inc()
+		return &smtp.Reply{Code: 450, Text: d.Reason}
+	default:
+		return nil
+	}
+}
+
+// admitPolicy runs the connect-time policy check; false means a verdict
+// reply has been written and the connection must be closed by the
+// caller. It is called from the vanilla worker and the hybrid front
+// end, never from the accept loop, so a slow DNSBL scan stalls only the
+// connection it concerns.
+func (s *Server) admitPolicy(nc net.Conn, c *smtp.Conn) bool {
+	if s.cfg.Policy == nil {
+		return true
+	}
+	d := s.cfg.Policy.Connect(remoteIP(nc))
+	switch d.Verdict {
+	case policy.Reject:
+		s.policyRejected.Inc()
+		c.WriteReply(smtp.Reply{Code: 554, Text: d.Reason}) //nolint:errcheck // closing anyway
+		return false
+	case policy.Tempfail:
+		s.policyTempfail.Inc()
+		c.WriteReply(smtp.Reply{Code: 421, Text: d.Reason}) //nolint:errcheck // closing anyway
+		return false
+	default:
+		return true
 	}
 }

@@ -121,6 +121,37 @@ func Interarrivals(conns []Conn) (byIP, byPrefix *metrics.Sample) {
 	return byIP, byPrefix
 }
 
+// RepeatRatios measures temporal source locality: the fraction of
+// connections whose client IP — and whose /25 prefix — already
+// connected within the preceding window of trace time. This is the
+// revisit probability that per-source policy state (rate buckets,
+// reputation scores, greylist entries) exploits: a source seen again
+// inside the window hits warm state. Figure 13's observation that
+// locality is stronger at prefix granularity shows up as the prefix
+// ratio exceeding the per-IP ratio.
+func RepeatRatios(conns []Conn, window time.Duration) (ipRatio, prefixRatio float64) {
+	if len(conns) == 0 {
+		return 0, 0
+	}
+	lastIP := make(map[addr.IPv4]time.Duration)
+	lastPref := make(map[addr.Prefix]time.Duration)
+	var ipHits, prefHits int
+	for i := range conns {
+		c := &conns[i]
+		if prev, ok := lastIP[c.ClientIP]; ok && c.At-prev <= window {
+			ipHits++
+		}
+		lastIP[c.ClientIP] = c.At
+		p := c.ClientIP.Prefix25()
+		if prev, ok := lastPref[p]; ok && c.At-prev <= window {
+			prefHits++
+		}
+		lastPref[p] = c.At
+	}
+	n := float64(len(conns))
+	return float64(ipHits) / n, float64(prefHits) / n
+}
+
 // CountCDF converts a map of counts into sorted (count, cumulative
 // fraction) points — the rendering of Figures 4 and 12.
 func CountCDF(counts []int) []metrics.CDFPoint {

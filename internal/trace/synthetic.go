@@ -89,6 +89,82 @@ func RecipientSweep(seed uint64, sequences, rcptsPerConn int, domain string) []C
 	return conns
 }
 
+// PolicySweep generates the policy-engine workload: legitimate mail from
+// one-off sources mixed with spam from a small pool of repeat-offender
+// sources packed into a few /25 blocks (the Figure 12 clustering). It
+// differs from BounceSweep in one decisive way: most spam connections
+// carry a *valid* recipient — delivered spam, not address guessing — so
+// fork-after-trust alone still hands them to workers; only a pre-trust
+// policy verdict can refuse them before delegation. It returns the
+// connections plus the ground-truth DNSBL listing (≈80% of the spam
+// sources are listed; the rest are caught by greylisting, rates, or
+// accumulated reputation).
+func PolicySweep(seed uint64, n int, spamRatio float64, domain string, mailboxes int) ([]Conn, map[addr.IPv4]bool) {
+	rng := sim.NewRNG(seed)
+	nsrc := n / 50
+	if nsrc < 8 {
+		nsrc = 8
+	}
+	sources := make([]addr.IPv4, nsrc)
+	listed := make(map[addr.IPv4]bool, nsrc)
+	for i := range sources {
+		// 16 sources per /25 block: dense zombie neighbourhoods.
+		block, host := i/16, i%16
+		ip := addr.MakeIPv4(185, byte(block>>7), byte(block<<1), byte(host))
+		sources[i] = ip
+		if rng.Bool(0.8) {
+			listed[ip] = true
+		}
+	}
+	conns := make([]Conn, 0, n)
+	now := time.Duration(0)
+	for i := 0; i < n; i++ {
+		now += rng.Exp(10 * time.Millisecond)
+		if rng.Bool(spamRatio) {
+			c := Conn{
+				At:       now,
+				ClientIP: sources[rng.Intn(len(sources))],
+				Helo:     "mx.bulk.example",
+				Sender:   fmt.Sprintf("x%d@bulk.example", rng.Intn(200)),
+				Spam:     true,
+			}
+			if rng.Bool(0.7) {
+				// Delivered spam: a real mailbox, templated bulk size.
+				c.Rcpts = []Rcpt{{
+					Addr:  fmt.Sprintf("user%04d@%s", rng.Intn(mailboxes), domain),
+					Valid: true,
+				}}
+				c.SizeBytes = spamSize(rng)
+			} else {
+				// Address-guessing bounce.
+				for g := 1 + rng.Intn(3); g > 0; g-- {
+					c.Rcpts = append(c.Rcpts, Rcpt{
+						Addr:  fmt.Sprintf("guess%06d@%s", rng.Intn(1000000), domain),
+						Valid: false,
+					})
+				}
+			}
+			conns = append(conns, c)
+			continue
+		}
+		// Ham: a fresh source per connection, spread across /25 prefixes
+		// (low bits in the second octet) so prefix-level limits never
+		// throttle legitimate mail.
+		conns = append(conns, Conn{
+			At:       now,
+			ClientIP: addr.MakeIPv4(100, byte(i), byte(i>>8), byte(i>>16)),
+			Helo:     fmt.Sprintf("c%d.corp.example", i),
+			Sender:   fmt.Sprintf("s%d@corp%d.example", i%500, i%37),
+			Rcpts: []Rcpt{{
+				Addr:  fmt.Sprintf("user%04d@%s", rng.Intn(mailboxes), domain),
+				Valid: true,
+			}},
+			SizeBytes: hamSize(rng),
+		})
+	}
+	return conns, listed
+}
+
 // ECNPoint is one day of the ECN measurement (Figure 3).
 type ECNPoint struct {
 	// Day is the offset from the series start (Jan 2007).

@@ -309,3 +309,105 @@ func TestInterarrivalsSingletonsExcluded(t *testing.T) {
 		t.Fatal("singleton origins must not contribute gaps")
 	}
 }
+
+func TestPolicySweep(t *testing.T) {
+	conns, listed := PolicySweep(7, 5000, 0.5, "d.test", 400)
+	if len(conns) != 5000 {
+		t.Fatalf("len = %d", len(conns))
+	}
+	if len(listed) == 0 {
+		t.Fatal("no listed sources")
+	}
+	spam, spamDeliver, hamIPs := 0, 0, map[string]bool{}
+	srcIPs := map[string]bool{}
+	for i := range conns {
+		c := &conns[i]
+		if c.Spam {
+			spam++
+			srcIPs[c.ClientIP.String()] = true
+			if c.Delivers() {
+				spamDeliver++
+			}
+		} else {
+			hamIPs[c.ClientIP.String()] = true
+			if !c.Delivers() {
+				t.Fatal("ham connection does not deliver")
+			}
+		}
+	}
+	ratio := float64(spam) / float64(len(conns))
+	if ratio < 0.46 || ratio > 0.54 {
+		t.Fatalf("spam ratio = %.3f", ratio)
+	}
+	// Spam must be dominated by *delivered* spam — the class
+	// fork-after-trust alone cannot keep off the workers.
+	if frac := float64(spamDeliver) / float64(spam); frac < 0.6 || frac > 0.8 {
+		t.Fatalf("delivered-spam fraction = %.3f, want ≈0.7", frac)
+	}
+	// Repeat offenders: a small source pool reused across many
+	// connections; ham sources are one-off.
+	if len(srcIPs) >= spam/5 {
+		t.Fatalf("spam sources = %d for %d spam conns — not repeat offenders", len(srcIPs), spam)
+	}
+	// Ground truth covers only spam sources, roughly 80% of the pool.
+	for ip := range listed {
+		if hamIPs[ip.String()] {
+			t.Fatalf("ham IP %v is DNSBL-listed", ip)
+		}
+	}
+	frac := float64(len(listed)) / float64(len(srcIPs))
+	if frac < 0.6 || frac > 1 {
+		t.Fatalf("listed fraction = %.3f", frac)
+	}
+}
+
+func TestPolicySweepDeterministic(t *testing.T) {
+	a, la := PolicySweep(9, 2000, 0.6, "d.test", 400)
+	b, lb := PolicySweep(9, 2000, 0.6, "d.test", 400)
+	if len(a) != len(b) || len(la) != len(lb) {
+		t.Fatalf("sizes differ: %d/%d conns, %d/%d listed", len(a), len(b), len(la), len(lb))
+	}
+	for i := range a {
+		if a[i].ClientIP != b[i].ClientIP || a[i].Sender != b[i].Sender ||
+			len(a[i].Rcpts) != len(b[i].Rcpts) || a[i].SizeBytes != b[i].SizeBytes {
+			t.Fatalf("conn %d differs across runs", i)
+		}
+	}
+	for ip := range la {
+		if !lb[ip] {
+			t.Fatalf("listing of %v differs across runs", ip)
+		}
+	}
+}
+
+func TestRepeatRatios(t *testing.T) {
+	mk := func(ip addr.IPv4, at time.Duration) Conn {
+		return Conn{At: at, ClientIP: ip, Rcpts: []Rcpt{{Addr: "u@d.test", Valid: true}}}
+	}
+	a := addr.MustParseIPv4("198.51.100.7")
+	b := addr.MustParseIPv4("198.51.100.9") // same /25 as a
+	c := addr.MustParseIPv4("203.0.113.5")  // unrelated
+	conns := []Conn{
+		mk(a, 0),
+		mk(b, 10*time.Second), // /25 repeat, new IP
+		mk(a, 30*time.Second), // IP repeat within window
+		mk(c, 40*time.Second), // fresh
+		mk(a, 2*time.Hour),    // repeat but outside window
+	}
+	ipR, prefR := RepeatRatios(conns, time.Minute)
+	if want := 1.0 / 5; ipR != want {
+		t.Fatalf("ip ratio = %v, want %v", ipR, want)
+	}
+	if want := 2.0 / 5; prefR != want {
+		t.Fatalf("prefix ratio = %v, want %v", prefR, want)
+	}
+	if ipR2, prefR2 := RepeatRatios(nil, time.Minute); ipR2 != 0 || prefR2 != 0 {
+		t.Fatal("empty trace must yield zero ratios")
+	}
+	// On a clustered workload the prefix ratio dominates the IP ratio.
+	sw, _ := PolicySweep(5, 5000, 0.6, "d.test", 400)
+	ipR, prefR = RepeatRatios(sw, time.Hour)
+	if prefR <= ipR {
+		t.Fatalf("clustered trace: prefix ratio %v not above IP ratio %v", prefR, ipR)
+	}
+}
