@@ -62,7 +62,7 @@ func TestRegistry(t *testing.T) {
 	for _, want := range []string{
 		"table1", "fig1", "fig3", "fig4", "fig5", "tuning", "fig8",
 		"fig10", "fig11", "mfs-sinkhole", "fig12", "fig13", "fig14",
-		"fig15", "combined",
+		"fig15", "combined", "parallel-delivery",
 	} {
 		if !seen[want] {
 			t.Errorf("missing experiment %s", want)
@@ -281,3 +281,21 @@ func TestOptionsScale(t *testing.T) {
 }
 
 var _ io.Writer = (*bytes.Buffer)(nil)
+
+func TestParallelDelivery(t *testing.T) {
+	m := quick(t, "parallel-delivery")
+	// Adding workers must never slow the metered pipeline down; the batch
+	// counters must show real coalescing at 8 workers. The published ≥2×
+	// speedup is asserted loosely here (scheduler-dependent batching can
+	// dip under CI load); EXPERIMENTS.md records the typical ×2.3.
+	within(t, m, "speedup_8", 0.99, 10)
+	if m["batch_8"] <= 1.5 {
+		t.Errorf("batch_8 = %v, want >1.5 (group commit not coalescing)", m["batch_8"])
+	}
+	if m["throughput_8"] < m["throughput_1"] {
+		t.Errorf("8 workers slower than 1: %v < %v", m["throughput_8"], m["throughput_1"])
+	}
+	if m["batch_1"] != 1 {
+		t.Errorf("batch_1 = %v, want exactly 1 (serial deliveries must not batch)", m["batch_1"])
+	}
+}

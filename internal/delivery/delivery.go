@@ -8,7 +8,7 @@ package delivery
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/access"
 	"repro/internal/mailstore"
@@ -16,13 +16,16 @@ import (
 	"repro/internal/smtp"
 )
 
-// Agent is a queue.Deliverer writing into a mailbox store.
+// Agent is a queue.Deliverer writing into a mailbox store. It is safe
+// for concurrent use by the queue manager's delivery workers; the stat
+// counters are atomics so the per-mail hot path takes no lock here.
 type Agent struct {
 	db    *access.DB
 	store mailstore.Store
 
-	mu    sync.Mutex
-	stats Stats
+	mails          atomic.Int64
+	rcptDeliveries atomic.Int64
+	droppedRcpts   atomic.Int64
 }
 
 var _ queue.Deliverer = (*Agent)(nil)
@@ -67,25 +70,23 @@ func (a *Agent) Deliver(item *queue.Item) error {
 	if len(mailboxes) == 0 {
 		// Nothing deliverable; succeed so the queue drops the item
 		// instead of retrying a permanent condition.
-		a.mu.Lock()
-		a.stats.DroppedRcpts += dropped
-		a.mu.Unlock()
+		a.droppedRcpts.Add(dropped)
 		return nil
 	}
 	if err := a.store.Deliver(item.ID, mailboxes, item.Data); err != nil {
 		return fmt.Errorf("delivery: %s: %w", item.ID, err)
 	}
-	a.mu.Lock()
-	a.stats.Mails++
-	a.stats.RcptDeliveries += int64(len(mailboxes))
-	a.stats.DroppedRcpts += dropped
-	a.mu.Unlock()
+	a.mails.Add(1)
+	a.rcptDeliveries.Add(int64(len(mailboxes)))
+	a.droppedRcpts.Add(dropped)
 	return nil
 }
 
 // Stats returns a snapshot of the counters.
 func (a *Agent) Stats() Stats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.stats
+	return Stats{
+		Mails:          a.mails.Load(),
+		RcptDeliveries: a.rcptDeliveries.Load(),
+		DroppedRcpts:   a.droppedRcpts.Load(),
+	}
 }

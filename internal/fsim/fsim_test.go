@@ -2,7 +2,9 @@ package fsim
 
 import (
 	"errors"
+	"fmt"
 	"io"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -352,5 +354,86 @@ func TestPerKBScaling(t *testing.T) {
 	}
 	if perKB(time.Millisecond, 0) != 0 {
 		t.Fatal("perKB of 0 bytes should be 0")
+	}
+}
+
+func TestMemSyncCharges(t *testing.T) {
+	m := NewMem(costmodel.Ext3)
+	f, _ := m.Create("f")
+	f.Write([]byte("data"))
+	before := m.Elapsed()
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Elapsed() - before; got != costmodel.Ext3.Sync {
+		t.Fatalf("sync charged %v, want %v", got, costmodel.Ext3.Sync)
+	}
+	f.Close()
+}
+
+// TestMemConcurrentUse exercises the in-memory filesystem from many
+// goroutines: disjoint files written in parallel, one shared file
+// appended in parallel, and namespace ops interleaved. Run with -race.
+func TestMemConcurrentUse(t *testing.T) {
+	m := NewMem(costmodel.Ext3)
+	shared, err := m.Create("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nWorkers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < nWorkers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				name := fmt.Sprintf("dir/f-%d-%d", g, i)
+				f, err := m.Create(name)
+				if err != nil {
+					t.Errorf("create %s: %v", name, err)
+					return
+				}
+				if _, err := f.Write([]byte(name)); err != nil {
+					t.Errorf("write %s: %v", name, err)
+				}
+				f.Sync()
+				f.Close()
+				if _, err := shared.Write(make([]byte, 8)); err != nil {
+					t.Errorf("shared write: %v", err)
+				}
+				m.Exists(name)
+				m.List("dir/")
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if n, _ := shared.Size(); n != nWorkers*perWorker*8 {
+		t.Fatalf("shared file size = %d, want %d", n, nWorkers*perWorker*8)
+	}
+	if got := len(m.List("dir/")); got != nWorkers*perWorker {
+		t.Fatalf("List = %d files, want %d", got, nWorkers*perWorker)
+	}
+	// The meter is a plain sum of charges: order-independent, so the
+	// total must equal a serial replay of the same operation mix.
+	serial := NewMem(costmodel.Ext3)
+	sf, _ := serial.Create("shared")
+	for g := 0; g < nWorkers; g++ {
+		for i := 0; i < perWorker; i++ {
+			name := fmt.Sprintf("dir/f-%d-%d", g, i)
+			f, _ := serial.Create(name)
+			f.Write([]byte(name))
+			f.Sync()
+			f.Close()
+			sf.Write(make([]byte, 8))
+			serial.Exists(name)
+			serial.List("dir/")
+		}
+	}
+	if m.Elapsed() != serial.Elapsed() {
+		t.Fatalf("concurrent meter %v != serial meter %v", m.Elapsed(), serial.Elapsed())
+	}
+	if m.Ops() != serial.Ops() {
+		t.Fatalf("concurrent ops %d != serial ops %d", m.Ops(), serial.Ops())
 	}
 }

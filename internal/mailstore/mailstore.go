@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fsim"
 	"repro/internal/mfs"
@@ -32,7 +33,9 @@ import (
 // ErrNotFound is returned when a mailbox or mail-id is absent.
 var ErrNotFound = errors.New("mailstore: not found")
 
-// Store is the delivery-side interface to a mailbox format.
+// Store is the delivery-side interface to a mailbox format. All
+// implementations are safe for concurrent use; Deliver calls for
+// disjoint recipient sets proceed in parallel.
 type Store interface {
 	// Deliver writes one mail to every recipient mailbox. Recipients must
 	// be non-empty and free of duplicates.
@@ -76,14 +79,24 @@ func validateDelivery(id string, recipients []string) error {
 // ---------------------------------------------------------------------------
 // Mbox
 
+// mboxStripes is the number of independently locked mailbox partitions
+// of an Mbox store; deliveries to mailboxes in different stripes run in
+// parallel.
+const mboxStripes = 64
+
 // Mbox is the one-file-per-mailbox format vanilla postfix delivers into.
 // Records are framed as [u16 idLen][id][u32 bodyLen][body] rather than
 // "From " separator lines so that bodies need no escaping; the I/O
 // pattern — one append per recipient, full body duplicated — is identical
 // to classic mbox, which is what the benchmarks measure.
+//
+// Locking is striped per mailbox (hash of the name), mirroring the
+// per-mailbox dot-locks real mbox delivery takes: appends, scans, and
+// the delete-rewrite of one mailbox serialize with each other but not
+// with other mailboxes.
 type Mbox struct {
-	mu sync.Mutex
-	fs fsim.FS
+	stripes [mboxStripes]sync.Mutex
+	fs      fsim.FS
 }
 
 var _ Store = (*Mbox)(nil)
@@ -96,29 +109,45 @@ func (m *Mbox) Close() error { return nil }
 
 func (m *Mbox) boxPath(mailbox string) string { return "mbox/" + mailbox }
 
+// stripe returns the lock guarding mailbox (FNV-1a on the name).
+func (m *Mbox) stripe(mailbox string) *sync.Mutex {
+	h := uint32(2166136261)
+	for i := 0; i < len(mailbox); i++ {
+		h ^= uint32(mailbox[i])
+		h *= 16777619
+	}
+	return &m.stripes[h%mboxStripes]
+}
+
 func (m *Mbox) Deliver(id string, recipients []string, body []byte) error {
 	if err := validateDelivery(id, recipients); err != nil {
 		return err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	frame := makeMboxFrame(id, body)
 	for _, rcpt := range recipients {
-		f, err := m.fs.OpenAppend(m.boxPath(rcpt))
-		if err != nil {
-			return err
-		}
-		// The whole body is written once per recipient — the duplicated
-		// disk I/O the paper's §4.2 identifies.
-		if _, err := f.Write(frame); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		// One stripe at a time — never nested, so no ordering concerns.
+		if err := m.deliverOne(rcpt, frame); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+func (m *Mbox) deliverOne(rcpt string, frame []byte) error {
+	mu := m.stripe(rcpt)
+	mu.Lock()
+	defer mu.Unlock()
+	f, err := m.fs.OpenAppend(m.boxPath(rcpt))
+	if err != nil {
+		return err
+	}
+	// The whole body is written once per recipient — the duplicated
+	// disk I/O the paper's §4.2 identifies.
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func makeMboxFrame(id string, body []byte) []byte {
@@ -178,8 +207,9 @@ func (m *Mbox) scanMbox(mailbox string, fn func(id string, body []byte) bool) er
 }
 
 func (m *Mbox) List(mailbox string) ([]string, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	mu := m.stripe(mailbox)
+	mu.Lock()
+	defer mu.Unlock()
 	var ids []string
 	err := m.scanMbox(mailbox, func(id string, _ []byte) bool {
 		ids = append(ids, id)
@@ -189,8 +219,9 @@ func (m *Mbox) List(mailbox string) ([]string, error) {
 }
 
 func (m *Mbox) Read(mailbox, id string) ([]byte, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	mu := m.stripe(mailbox)
+	mu.Lock()
+	defer mu.Unlock()
 	var found []byte
 	ok := false
 	err := m.scanMbox(mailbox, func(gotID string, body []byte) bool {
@@ -213,8 +244,9 @@ func (m *Mbox) Read(mailbox, id string) ([]byte, error) {
 // Delete rewrites the mailbox without the given mail — the full-file
 // rewrite is exactly why mbox deletion is expensive in practice.
 func (m *Mbox) Delete(mailbox, id string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	mu := m.stripe(mailbox)
+	mu.Lock()
+	defer mu.Unlock()
 	type rec struct {
 		id   string
 		body []byte
@@ -253,10 +285,13 @@ func (m *Mbox) Delete(mailbox, id string) error {
 
 // Maildir stores one file per mail per recipient under
 // maildir/<user>/<seq>-<id>. The sequence prefix preserves delivery order.
+//
+// Maildir needs no store-level lock: every delivery creates fresh
+// uniquely named files (the sequence counter is atomic), which is
+// exactly the lock-free-delivery property real maildir was designed for.
 type Maildir struct {
-	mu  sync.Mutex
 	fs  fsim.FS
-	seq uint64
+	seq atomic.Uint64
 }
 
 var _ Store = (*Maildir)(nil)
@@ -271,8 +306,8 @@ func NewMaildir(fs fsim.FS) *Maildir {
 		base := name[strings.LastIndex(name, "/")+1:]
 		if i := strings.IndexByte(base, '-'); i > 0 {
 			fmt.Sscanf(base[:i], "%016x", &seq)
-			if seq >= m.seq {
-				m.seq = seq + 1
+			if seq >= m.seq.Load() {
+				m.seq.Store(seq + 1)
 			}
 		}
 	}
@@ -290,10 +325,7 @@ func (m *Maildir) Deliver(id string, recipients []string, body []byte) error {
 	if err := validateDelivery(id, recipients); err != nil {
 		return err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	seq := m.seq
-	m.seq++
+	seq := m.seq.Add(1) - 1
 	for _, rcpt := range recipients {
 		// One small-file creation per recipient — the op mix that makes
 		// maildir collapse on Ext3 (Fig 10).
@@ -325,8 +357,6 @@ func (m *Maildir) findMail(mailbox, id string) (string, error) {
 }
 
 func (m *Maildir) List(mailbox string) ([]string, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	prefix := "maildir/" + mailbox + "/"
 	names := m.fs.List(prefix)
 	if len(names) == 0 {
@@ -344,8 +374,6 @@ func (m *Maildir) List(mailbox string) ([]string, error) {
 }
 
 func (m *Maildir) Read(mailbox, id string) ([]byte, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	path, err := m.findMail(mailbox, id)
 	if err != nil {
 		return nil, err
@@ -354,8 +382,6 @@ func (m *Maildir) Read(mailbox, id string) ([]byte, error) {
 }
 
 func (m *Maildir) Delete(mailbox, id string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	path, err := m.findMail(mailbox, id)
 	if err != nil {
 		return err
@@ -387,10 +413,7 @@ func (h *Hardlink) Deliver(id string, recipients []string, body []byte) error {
 	if err := validateDelivery(id, recipients); err != nil {
 		return err
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	seq := h.seq
-	h.seq++
+	seq := h.seq.Add(1) - 1
 	first := h.mailPath(recipients[0], seq, id)
 	f, err := h.fs.Create(first)
 	if err != nil {
@@ -423,14 +446,19 @@ type MFS struct {
 
 var _ Store = (*MFS)(nil)
 
-// NewMFS returns an MFS-backed store rooted at dir of fs.
-func NewMFS(fs fsim.FS, dir string) (*MFS, error) {
-	s, err := mfs.New(fs, dir)
+// NewMFS returns an MFS-backed store rooted at dir of fs. Options are
+// passed through to mfs.New (e.g. mfs.WithSyncedCommits).
+func NewMFS(fs fsim.FS, dir string, opts ...mfs.Option) (*MFS, error) {
+	s, err := mfs.New(fs, dir, opts...)
 	if err != nil {
 		return nil, err
 	}
 	return &MFS{store: s}, nil
 }
+
+// Store exposes the underlying mfs.Store for callers needing MFS-specific
+// surface (commit statistics, shared-store compaction).
+func (m *MFS) Store() *mfs.Store { return m.store }
 
 func (m *MFS) Name() string { return "mfs" }
 func (m *MFS) Close() error { return m.store.Close() }

@@ -1,0 +1,200 @@
+package mfs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fsim"
+)
+
+// maxCommitBatch bounds how many shared-store appends one flush may
+// coalesce, keeping the per-flush buffers and caller latency bounded.
+const maxCommitBatch = 256
+
+// commitReq is one mail's shared-store append: the framed payload for
+// shmailbox.data and an (id, offset, ref) tuple for shmailbox.key. The
+// committer fills off/refPos/err and closes done.
+type commitReq struct {
+	id   string
+	body []byte
+	ref  int32
+
+	off    int64
+	refPos int64
+	err    error
+	done   chan struct{}
+}
+
+// committer is the group-commit writer for the shared store. Concurrent
+// NWrite calls enqueue their payload and key records; a single committer
+// goroutine coalesces everything queued into one batched data write, one
+// batched key write, and (when durable sync is enabled) one Sync per
+// flush — the MFS analogue of journal group commit. Callers block only
+// until the flush carrying their record completes.
+//
+// The committer is the sole appender of the shared files, which also
+// makes the size-then-write append sequence atomic without a file lock.
+type committer struct {
+	// mu guards the file handles: the compaction and close paths swap or
+	// close them while holding it. The flush path holds it for the
+	// duration of one batch.
+	mu   sync.Mutex
+	key  fsim.File
+	data fsim.File
+
+	// syncOnCommit issues one Sync per flushed file per batch, making
+	// commits durable at group-commit cost (one journal commit amortized
+	// over the whole batch instead of one per mail).
+	syncOnCommit bool
+
+	ch   chan *commitReq
+	done chan struct{}
+
+	batches atomic.Int64
+	mails   atomic.Int64
+}
+
+func newCommitter(key, data fsim.File, syncOnCommit bool) *committer {
+	c := &committer{
+		key:          key,
+		data:         data,
+		syncOnCommit: syncOnCommit,
+		ch:           make(chan *commitReq, maxCommitBatch),
+		done:         make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+// append submits one record and blocks until its batch commits.
+func (c *committer) append(id string, body []byte, ref int32) (off, refPos int64, err error) {
+	req := &commitReq{id: id, body: body, ref: ref, done: make(chan struct{})}
+	c.ch <- req
+	<-req.done
+	return req.off, req.refPos, req.err
+}
+
+// run drains the queue: each iteration takes one request, then greedily
+// collects everything else already queued (the requests that arrived
+// while the previous flush was in progress — the group), and flushes them
+// as a single batch.
+//
+// After draining the queue empty once, the committer lingers for a single
+// scheduler yield before flushing: deliverers that are runnable but have
+// not yet reached their enqueue get one chance to join the batch. Without
+// this, a caller that blocks on its done channel immediately wakes the
+// committer and every batch degenerates to size 1 when GOMAXPROCS is
+// small; with it, N concurrent deliverers coalesce into one flush. The
+// yield costs one scheduler pass — nothing is metered against the disk,
+// so a lone writer's commit is charged identically to the unbatched path.
+func (c *committer) run() {
+	defer close(c.done)
+	for {
+		req, ok := <-c.ch
+		if !ok {
+			return
+		}
+		batch := make([]*commitReq, 1, 16)
+		batch[0] = req
+		lingered := false
+	fill:
+		for len(batch) < maxCommitBatch {
+			select {
+			case r, ok := <-c.ch:
+				if !ok {
+					c.flush(batch)
+					return
+				}
+				batch = append(batch, r)
+			default:
+				if lingered {
+					break fill
+				}
+				lingered = true
+				runtime.Gosched()
+			}
+		}
+		c.flush(batch)
+	}
+}
+
+// flush writes one batch: all payload frames as one data append, all key
+// tuples as one key append, then at most one Sync per file.
+func (c *committer) flush(batch []*commitReq) {
+	c.mu.Lock()
+	err := c.flushLocked(batch)
+	c.mu.Unlock()
+	for _, r := range batch {
+		r.err = err
+		close(r.done)
+	}
+}
+
+func (c *committer) flushLocked(batch []*commitReq) error {
+	dataBase, err := c.data.Size()
+	if err != nil {
+		return err
+	}
+	keyBase, err := c.key.Size()
+	if err != nil {
+		return err
+	}
+	var dataBuf, keyBuf []byte
+	for _, r := range batch {
+		r.off = dataBase + int64(len(dataBuf))
+		dataBuf = appendDataFrame(dataBuf, r.body)
+		keyBuf, err = appendKeyRecordBuf(keyBuf, keyRecord{
+			Type: recEntry, ID: r.id, Offset: r.off, Ref: r.ref,
+		})
+		if err != nil {
+			return err
+		}
+		r.refPos = keyBase + int64(len(keyBuf)) - 4
+	}
+	if _, err := c.data.Write(dataBuf); err != nil {
+		return err
+	}
+	if _, err := c.key.Write(keyBuf); err != nil {
+		return err
+	}
+	if c.syncOnCommit {
+		if err := c.data.Sync(); err != nil {
+			return err
+		}
+		if err := c.key.Sync(); err != nil {
+			return err
+		}
+	}
+	c.batches.Add(1)
+	c.mails.Add(int64(len(batch)))
+	return nil
+}
+
+// setFiles swaps the shared file handles (CompactShared). The caller must
+// have quiesced all writers (it holds the store lock exclusively).
+func (c *committer) setFiles(key, data fsim.File) {
+	c.mu.Lock()
+	c.key, c.data = key, data
+	c.mu.Unlock()
+}
+
+// close stops the committer goroutine. The caller must guarantee no
+// further append calls (it holds the store lock exclusively).
+func (c *committer) close() {
+	close(c.ch)
+	<-c.done
+}
+
+// CommitStats reports group-commit effectiveness: total flushed batches
+// and total mails carried by them. mails/batches is the mean batch size —
+// 1.0 when deliveries are serial, >1 when concurrent deliveries coalesce.
+type CommitStats struct {
+	Batches int64
+	Mails   int64
+}
+
+// CommitStats returns the store's group-commit counters.
+func (s *Store) CommitStats() CommitStats {
+	return CommitStats{Batches: s.commit.batches.Load(), Mails: s.commit.mails.Load()}
+}

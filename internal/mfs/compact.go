@@ -8,14 +8,21 @@ import (
 
 // Compact rewrites the mailbox's key and data files, dropping tombstones
 // and the dead space of deleted local mails. Shared pointer records are
-// preserved untouched (their payloads live in the shared store).
+// preserved untouched (their payloads live in the shared store). Other
+// mailboxes remain fully available while one compacts.
 func (mb *Mailbox) Compact() error {
-	mb.store.mu.Lock()
-	defer mb.store.mu.Unlock()
+	mb.store.stateMu.RLock()
+	defer mb.store.stateMu.RUnlock()
+	if mb.store.closed {
+		return ErrClosed
+	}
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
 	if mb.closed {
 		return ErrClosed
 	}
 	s := mb.store
+	mb.compactEntriesLocked()
 
 	// Load surviving local payloads before truncating.
 	type liveMail struct {
@@ -71,31 +78,27 @@ func (mb *Mailbox) Compact() error {
 // key file under the store so the pointer offsets stay valid. Mailboxes
 // not currently open are rewritten on disk; open mailboxes are updated in
 // memory as well.
+//
+// CompactShared holds the store lock exclusively: it is the stop-the-world
+// maintenance pass, and every delivery, read, and delete waits for it.
 func (s *Store) CompactShared() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
 
-	// Read surviving shared payloads.
-	type survivor struct {
-		rec  *keyRecord
-		body []byte
-	}
-	ids := make([]string, 0, len(s.shared))
-	for id := range s.shared {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids) // deterministic layout across runs
-	survivors := make([]survivor, 0, len(ids))
-	for _, id := range ids {
-		rec := s.shared[id]
-		body, err := readDataRecord(s.shData, rec.Offset)
+	// Read surviving shared payloads (sorted for a deterministic layout
+	// across runs).
+	survivors := s.shared.snapshot()
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i].ID < survivors[j].ID })
+	bodies := make([][]byte, len(survivors))
+	for i, sv := range survivors {
+		body, err := readDataRecord(s.shData, sv.Offset)
 		if err != nil {
 			return fmt.Errorf("mfs: compact shared: %w", err)
 		}
-		survivors = append(survivors, survivor{rec: rec, body: body})
+		bodies[i] = body
 	}
 
 	// Rewrite shared data and key files.
@@ -112,22 +115,26 @@ func (s *Store) CompactShared() error {
 	if s.shKey, err = s.fs.Create(s.path("shmailbox.key")); err != nil {
 		return fmt.Errorf("mfs: compact shared: %w", err)
 	}
+	// The committer appends through its own handle pair; keep it in step.
+	s.commit.setFiles(s.shKey, s.shData)
 	newOffset := make(map[string]int64, len(survivors))
-	for _, sv := range survivors {
-		off, err := appendDataRecord(s.shData, sv.body)
+	for i, sv := range survivors {
+		off, err := appendDataRecord(s.shData, bodies[i])
 		if err != nil {
 			return err
 		}
-		sv.rec.Offset = off
-		newOffset[sv.rec.ID] = off
-		refPos, err := appendKeyRecord(s.shKey, *sv.rec)
+		sv.Offset = off
+		newOffset[sv.ID] = off
+		refPos, err := appendKeyRecord(s.shKey, sv.keyRecord)
 		if err != nil {
 			return err
 		}
-		sv.rec.refPos = refPos
+		sv.refPos = refPos
 	}
 
 	// Patch pointer offsets in every mailbox key file.
+	s.openMu.RLock()
+	defer s.openMu.RUnlock()
 	for _, name := range s.fs.List(s.path("boxes/")) {
 		if !strings.HasSuffix(name, ".key") {
 			continue
@@ -149,6 +156,9 @@ func (s *Store) CompactShared() error {
 // patchOpenMailbox rewrites an open mailbox's key file with updated shared
 // offsets, keeping the in-memory index coherent.
 func (s *Store) patchOpenMailbox(mb *Mailbox, newOffset map[string]int64) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.compactEntriesLocked()
 	if err := mb.key.Close(); err != nil {
 		return err
 	}
@@ -227,11 +237,9 @@ type Stats struct {
 
 // Stats returns current store statistics.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := Stats{SharedRecords: len(s.shared), OpenMailboxes: len(s.open)}
-	for _, r := range s.shared {
-		st.SharedRefs += int(r.Ref)
-	}
-	return st
+	records, refs := s.shared.counts()
+	s.openMu.RLock()
+	open := len(s.open)
+	s.openMu.RUnlock()
+	return Stats{SharedRecords: records, SharedRefs: refs, OpenMailboxes: open}
 }

@@ -3,6 +3,7 @@ package mfs
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 
 	"repro/internal/fsim"
@@ -10,19 +11,60 @@ import (
 
 // Store is an MFS instance rooted at a directory of the underlying
 // filesystem. It owns the hidden shared mailbox and hands out Mailbox
-// handles. Store is safe for concurrent use.
+// handles. Store is safe for concurrent use: independent mailboxes never
+// contend with each other, and concurrent multi-recipient deliveries are
+// group-committed into the shared store in batches.
+//
+// Lock hierarchy (always acquired in this order, never the reverse):
+//
+//  1. Store.stateMu — RWMutex for open/close lifecycle. Every operation
+//     holds it shared; Close, Compact-shared, and other whole-store
+//     maintenance hold it exclusively, which quiesces all activity.
+//  2. Store.openMu — the open-mailbox handle map.
+//  3. Mailbox.mu — one per mailbox: key/data appends, cursor, in-memory
+//     index. NWrite locks its destination set in sorted name order.
+//  4. sharedIndex shard locks — 64-way, hash-by-mail-id.
+//  5. committer.mu — shared-store file handles; held per flush by the
+//     committer goroutine, which takes no other lock (so callers may
+//     block on a commit while holding any of the above).
 type Store struct {
-	mu  sync.Mutex
-	fs  fsim.FS
-	dir string
+	fs   fsim.FS
+	dir  string
+	opts options
 
-	shKey  fsim.File
-	shData fsim.File
-	// shared index: mail-id -> live shared record.
-	shared map[string]*keyRecord
+	// stateMu is the narrow store-level lifecycle lock; see the hierarchy
+	// above. closed, shKey, and shData may only change while it is held
+	// exclusively.
+	stateMu sync.RWMutex
+	closed  bool
+	shKey   fsim.File
+	shData  fsim.File
 
+	openMu sync.RWMutex
 	open   map[string]*Mailbox
-	closed bool
+
+	// shared index: mail-id -> live shared record, sharded 64 ways.
+	shared *sharedIndex
+
+	// commit is the group-commit writer owning all shared-store appends.
+	commit *committer
+}
+
+// options collects New's optional configuration.
+type options struct {
+	syncOnCommit bool
+}
+
+// Option configures a Store at New time.
+type Option func(*options)
+
+// WithSyncedCommits makes every group commit end with one Sync of the
+// shared data and key files, so a batch of concurrent deliveries pays a
+// single journal commit instead of one per mail. Off by default: the
+// seed's durability story (and the cost calibration) treats the queue
+// spool as the durable copy until delivery completes.
+func WithSyncedCommits() Option {
+	return func(o *options) { o.syncOnCommit = true }
 }
 
 // Mail is one mail record read back from a mailbox.
@@ -33,12 +75,15 @@ type Mail struct {
 
 // New opens (creating if necessary) an MFS store under dir in fs. The
 // shared mailbox's key file is scanned once to rebuild the shared index.
-func New(fs fsim.FS, dir string) (*Store, error) {
+func New(fs fsim.FS, dir string, opts ...Option) (*Store, error) {
 	s := &Store{
 		fs:     fs,
 		dir:    dir,
-		shared: make(map[string]*keyRecord),
+		shared: newSharedIndex(),
 		open:   make(map[string]*Mailbox),
+	}
+	for _, opt := range opts {
+		opt(&s.opts)
 	}
 	var err error
 	if s.shKey, err = fs.OpenAppend(s.path("shmailbox.key")); err != nil {
@@ -55,17 +100,18 @@ func New(fs fsim.FS, dir string) (*Store, error) {
 		return nil, err
 	}
 	for i := range recs {
-		r := &recs[i]
+		r := recs[i]
 		switch {
 		case r.Type == recTombstone:
-			delete(s.shared, r.ID)
+			s.shared.remove(r.ID)
 		case r.Ref > 0:
-			s.shared[r.ID] = r
+			s.shared.insertCommitted(r)
 		default:
 			// Ref 0: fully released, awaiting compaction.
-			delete(s.shared, r.ID)
+			s.shared.remove(r.ID)
 		}
 	}
+	s.commit = newCommitter(s.shKey, s.shData, s.opts.syncOnCommit)
 	return s, nil
 }
 
@@ -78,15 +124,20 @@ func (s *Store) path(name string) string {
 
 // Close closes the store and every mailbox opened through it.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
 	s.closed = true
+	s.commit.close()
+	s.openMu.Lock()
 	for _, mb := range s.open {
+		mb.mu.Lock()
 		mb.closeLocked()
+		mb.mu.Unlock()
 	}
+	s.openMu.Unlock()
 	if err := s.shKey.Close(); err != nil {
 		s.shData.Close()
 		return err
@@ -96,17 +147,25 @@ func (s *Store) Close() error {
 
 // Mailbox is an open MFS mailbox: a key file, a data file, an in-memory
 // index rebuilt at open, and a record-granularity seek pointer — the
-// mail_file of the paper's API.
+// mail_file of the paper's API. A Mailbox has its own lock, so operations
+// on different mailboxes proceed in parallel.
 type Mailbox struct {
 	store *Store
 	name  string
-	key   fsim.File
-	data  fsim.File
 
-	// entries holds live records in arrival order; index maps id to its
-	// position in entries. A deletion removes from both.
+	// mu guards everything below plus appends to key/data.
+	mu   sync.Mutex
+	key  fsim.File
+	data fsim.File
+
+	// entries holds records in arrival order; a deleted mail leaves a nil
+	// slot (tombstone) so deletion is O(1), and the slice is compacted
+	// once dead slots pile up. index maps id to its position in entries;
+	// cursor is a physical position into entries (nil slots are skipped
+	// on read).
 	entries []*keyRecord
 	index   map[string]int
+	dead    int
 
 	cursor int
 	closed bool
@@ -115,18 +174,28 @@ type Mailbox struct {
 // Open opens mailbox name, creating its key and data files if they do not
 // exist — the paper's mail_open. Repeated opens return the same handle.
 func (s *Store) Open(name string) (*Mailbox, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
 	if name == "" {
 		return nil, fmt.Errorf("mfs: empty mailbox name")
 	}
+	// Fast path: the steady state of a busy server is every hot mailbox
+	// already open, so a shared lookup avoids serializing deliveries.
+	s.openMu.RLock()
+	mb, ok := s.open[name]
+	s.openMu.RUnlock()
+	if ok {
+		return mb, nil
+	}
+	s.openMu.Lock()
+	defer s.openMu.Unlock()
 	if mb, ok := s.open[name]; ok {
 		return mb, nil
 	}
-	mb := &Mailbox{store: s, name: name, index: make(map[string]int)}
+	mb = &Mailbox{store: s, name: name, index: make(map[string]int)}
 	var err error
 	if mb.key, err = s.fs.OpenAppend(s.path("boxes/" + name + ".key")); err != nil {
 		return nil, fmt.Errorf("mfs: open mailbox %s: %w", name, err)
@@ -142,31 +211,87 @@ func (s *Store) Open(name string) (*Mailbox, error) {
 		return nil, err
 	}
 	for i := range recs {
-		r := &recs[i]
+		r := recs[i]
 		if r.Type == recTombstone {
 			if j, ok := mb.index[r.ID]; ok {
-				mb.removeAt(j)
+				mb.entries[j] = nil
+				delete(mb.index, r.ID)
+				mb.dead++
 			}
 			continue
 		}
 		mb.index[r.ID] = len(mb.entries)
-		mb.entries = append(mb.entries, r)
+		mb.entries = append(mb.entries, &r)
 	}
+	mb.compactEntriesLocked()
 	s.open[name] = mb
 	return mb, nil
 }
 
-// removeAt drops entry j keeping order; index positions after j shift.
-func (mb *Mailbox) removeAt(j int) {
-	id := mb.entries[j].ID
-	mb.entries = append(mb.entries[:j], mb.entries[j+1:]...)
-	delete(mb.index, id)
-	for i := j; i < len(mb.entries); i++ {
-		mb.index[mb.entries[i].ID] = i
+// deleteAt tombstones entry j: O(1) amortized — the slot goes nil and the
+// slice is rebuilt only once dead slots dominate.
+func (mb *Mailbox) deleteAt(j int) {
+	delete(mb.index, mb.entries[j].ID)
+	mb.entries[j] = nil
+	mb.dead++
+	if mb.dead >= 32 && mb.dead*2 >= len(mb.entries) {
+		mb.compactEntriesLocked()
 	}
-	if mb.cursor > j {
-		mb.cursor--
+}
+
+// compactEntriesLocked rebuilds entries without nil slots, remapping the
+// index and translating the cursor to its live position. mb.mu held.
+func (mb *Mailbox) compactEntriesLocked() {
+	if mb.dead == 0 {
+		return
 	}
+	live := make([]*keyRecord, 0, len(mb.entries)-mb.dead)
+	cursor := -1
+	for i, r := range mb.entries {
+		if i == mb.cursor {
+			cursor = len(live)
+		}
+		if r == nil {
+			continue
+		}
+		mb.index[r.ID] = len(live)
+		live = append(live, r)
+	}
+	if cursor < 0 { // cursor was at or past the end
+		cursor = len(live)
+	}
+	mb.entries, mb.dead, mb.cursor = live, 0, cursor
+}
+
+// liveLenLocked returns the number of live mails. mb.mu held.
+func (mb *Mailbox) liveLenLocked() int { return len(mb.entries) - mb.dead }
+
+// livePosLocked returns the live position of the physical cursor: the
+// count of live entries before it. mb.mu held.
+func (mb *Mailbox) livePosLocked() int {
+	n := 0
+	for _, r := range mb.entries[:mb.cursor] {
+		if r != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// physicalOfLocked returns the physical index of the pos-th live entry
+// (len(entries) when pos equals the live length). mb.mu held.
+func (mb *Mailbox) physicalOfLocked(pos int) int {
+	n := 0
+	for i, r := range mb.entries {
+		if r == nil {
+			continue
+		}
+		if n == pos {
+			return i
+		}
+		n++
+	}
+	return len(mb.entries)
 }
 
 // Name returns the mailbox name.
@@ -174,9 +299,9 @@ func (mb *Mailbox) Name() string { return mb.name }
 
 // Len returns the number of live mails in the mailbox.
 func (mb *Mailbox) Len() int {
-	mb.store.mu.Lock()
-	defer mb.store.mu.Unlock()
-	return len(mb.entries)
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.liveLenLocked()
 }
 
 // Whence values for Seek, mirroring io.Seek* but at mail granularity.
@@ -190,8 +315,8 @@ const (
 // paper's mail_seek, which "operates at the granularity of a mail instead
 // of a byte". The resulting position is clamped to [0, Len].
 func (mb *Mailbox) Seek(offset int, whence int) (int, error) {
-	mb.store.mu.Lock()
-	defer mb.store.mu.Unlock()
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
 	if mb.closed {
 		return 0, ErrClosed
 	}
@@ -200,9 +325,9 @@ func (mb *Mailbox) Seek(offset int, whence int) (int, error) {
 	case SeekStart:
 		base = 0
 	case SeekCurrent:
-		base = mb.cursor
+		base = mb.livePosLocked()
 	case SeekEnd:
-		base = len(mb.entries)
+		base = mb.liveLenLocked()
 	default:
 		return 0, fmt.Errorf("mfs: bad whence %d", whence)
 	}
@@ -210,20 +335,27 @@ func (mb *Mailbox) Seek(offset int, whence int) (int, error) {
 	if pos < 0 {
 		pos = 0
 	}
-	if pos > len(mb.entries) {
-		pos = len(mb.entries)
+	if n := mb.liveLenLocked(); pos > n {
+		pos = n
 	}
-	mb.cursor = pos
+	mb.cursor = mb.physicalOfLocked(pos)
 	return pos, nil
 }
 
 // ReadNext reads the mail under the cursor and advances it — the paper's
 // mail_read. It returns io.EOF past the last mail.
 func (mb *Mailbox) ReadNext() (Mail, error) {
-	mb.store.mu.Lock()
-	defer mb.store.mu.Unlock()
+	// stateMu pins the shared-store file handles (readRecordLocked may
+	// follow a pointer into them) against a concurrent CompactShared.
+	mb.store.stateMu.RLock()
+	defer mb.store.stateMu.RUnlock()
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
 	if mb.closed {
 		return Mail{}, ErrClosed
+	}
+	for mb.cursor < len(mb.entries) && mb.entries[mb.cursor] == nil {
+		mb.cursor++
 	}
 	if mb.cursor >= len(mb.entries) {
 		return Mail{}, io.EOF
@@ -239,8 +371,10 @@ func (mb *Mailbox) ReadNext() (Mail, error) {
 
 // ReadID reads the mail with the given id regardless of cursor position.
 func (mb *Mailbox) ReadID(id string) (Mail, error) {
-	mb.store.mu.Lock()
-	defer mb.store.mu.Unlock()
+	mb.store.stateMu.RLock()
+	defer mb.store.stateMu.RUnlock()
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
 	if mb.closed {
 		return Mail{}, ErrClosed
 	}
@@ -266,19 +400,21 @@ func (mb *Mailbox) readRecordLocked(rec *keyRecord) ([]byte, error) {
 
 // IDs returns the live mail-ids in arrival order.
 func (mb *Mailbox) IDs() []string {
-	mb.store.mu.Lock()
-	defer mb.store.mu.Unlock()
-	ids := make([]string, len(mb.entries))
-	for i, r := range mb.entries {
-		ids[i] = r.ID
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	ids := make([]string, 0, mb.liveLenLocked())
+	for _, r := range mb.entries {
+		if r != nil {
+			ids = append(ids, r.ID)
+		}
 	}
 	return ids
 }
 
 // Contains reports whether the mailbox holds the given mail-id.
 func (mb *Mailbox) Contains(id string) bool {
-	mb.store.mu.Lock()
-	defer mb.store.mu.Unlock()
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
 	_, ok := mb.index[id]
 	return ok
 }
@@ -288,8 +424,13 @@ func (mb *Mailbox) Contains(id string) bool {
 // reference count is decremented in place and its payload dies with the
 // last reference.
 func (mb *Mailbox) Delete(id string) error {
-	mb.store.mu.Lock()
-	defer mb.store.mu.Unlock()
+	mb.store.stateMu.RLock()
+	defer mb.store.stateMu.RUnlock()
+	if mb.store.closed {
+		return ErrClosed
+	}
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
 	if mb.closed {
 		return ErrClosed
 	}
@@ -299,27 +440,45 @@ func (mb *Mailbox) Delete(id string) error {
 	}
 	rec := mb.entries[j]
 	if rec.Ref == SharedRef {
-		if sh, ok := mb.store.shared[id]; ok {
-			sh.Ref--
-			if err := updateRef(mb.store.shKey, sh.refPos, sh.Ref); err != nil {
-				return err
-			}
-			if sh.Ref <= 0 {
-				delete(mb.store.shared, id)
-			}
+		if err := mb.store.releaseShared(id); err != nil {
+			return err
 		}
 	}
 	if _, err := appendKeyRecord(mb.key, keyRecord{Type: recTombstone, ID: id}); err != nil {
 		return err
 	}
-	mb.removeAt(j)
+	mb.deleteAt(j)
+	return nil
+}
+
+// releaseShared drops one reference to a shared record, persisting the
+// new count in place; the record dies with its last reference.
+func (s *Store) releaseShared(id string) error {
+	sh := s.shared.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.m[id]
+	if !ok {
+		return nil
+	}
+	rec.Ref--
+	if err := updateRef(s.shKey, rec.refPos, rec.Ref); err != nil {
+		return err
+	}
+	if rec.Ref <= 0 {
+		delete(sh.m, id)
+	}
 	return nil
 }
 
 // Close closes the mailbox — the paper's mail_close.
 func (mb *Mailbox) Close() error {
-	mb.store.mu.Lock()
-	defer mb.store.mu.Unlock()
+	mb.store.stateMu.RLock()
+	defer mb.store.stateMu.RUnlock()
+	mb.store.openMu.Lock()
+	defer mb.store.openMu.Unlock()
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
 	if mb.closed {
 		return ErrClosed
 	}
@@ -339,6 +498,23 @@ func (mb *Mailbox) closeLocked() error {
 	return err
 }
 
+// lockBoxes acquires every destination's lock in sorted name order (the
+// deadlock-free total order for multi-mailbox operations) and returns an
+// unlock function.
+func lockBoxes(boxes []*Mailbox) func() {
+	sorted := make([]*Mailbox, len(boxes))
+	copy(sorted, boxes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].name < sorted[j].name })
+	for _, mb := range sorted {
+		mb.mu.Lock()
+	}
+	return func() {
+		for _, mb := range sorted {
+			mb.mu.Unlock()
+		}
+	}
+}
+
 // NWrite writes one mail to n mailboxes — the paper's mail_nwrite and the
 // heart of MFS. With a single destination the payload goes into that
 // mailbox's own data file. With several destinations the payload is
@@ -350,6 +526,9 @@ func (mb *Mailbox) closeLocked() error {
 // stored record, otherwise the call is treated as a collision attack
 // (§6.4) and fails with ErrIDCollision. A destination that already holds
 // the id fails with ErrDuplicate before anything is written.
+//
+// Concurrent NWrite calls with disjoint destination sets run in parallel;
+// their shared-store appends are coalesced by the group committer.
 func (s *Store) NWrite(boxes []*Mailbox, id string, body []byte) error {
 	if len(boxes) == 0 {
 		return fmt.Errorf("mfs: NWrite with no mailboxes")
@@ -357,16 +536,13 @@ func (s *Store) NWrite(boxes []*Mailbox, id string, body []byte) error {
 	if id == "" {
 		return fmt.Errorf("mfs: NWrite with empty mail-id")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
 	if s.closed {
 		return ErrClosed
 	}
 	seen := make(map[string]bool, len(boxes))
 	for _, mb := range boxes {
-		if mb.closed {
-			return ErrClosed
-		}
 		if mb.store != s {
 			return fmt.Errorf("mfs: mailbox %s belongs to a different store", mb.name)
 		}
@@ -374,6 +550,14 @@ func (s *Store) NWrite(boxes []*Mailbox, id string, body []byte) error {
 			return fmt.Errorf("mfs: duplicate destination %s", mb.name)
 		}
 		seen[mb.name] = true
+	}
+
+	unlock := lockBoxes(boxes)
+	defer unlock()
+	for _, mb := range boxes {
+		if mb.closed {
+			return ErrClosed
+		}
 		if _, dup := mb.index[id]; dup {
 			return fmt.Errorf("mfs: NWrite %q to %s: %w", id, mb.name, ErrDuplicate)
 		}
@@ -384,7 +568,7 @@ func (s *Store) NWrite(boxes []*Mailbox, id string, body []byte) error {
 		// A single-recipient id colliding with a shared record is the
 		// §6.4 guessing attack: accepting it would alias another user's
 		// mail into this mailbox on later reads.
-		if _, exists := s.shared[id]; exists {
+		if s.shared.contains(id) {
 			return fmt.Errorf("mfs: NWrite %q: %w", id, ErrIDCollision)
 		}
 		off, err := appendDataRecord(mb.data, body)
@@ -400,38 +584,12 @@ func (s *Store) NWrite(boxes []*Mailbox, id string, body []byte) error {
 	}
 
 	// Multi-recipient: single copy in the shared store.
-	sh, exists := s.shared[id]
-	if exists {
-		// Dedup path: skip the data write, but verify the payload is the
-		// same length as the stored record — a cheap integrity check that
-		// flags the collision attack.
-		n, err := dataRecordLen(s.shData, sh.Offset)
-		if err != nil {
-			return err
-		}
-		if n != len(body) {
-			return fmt.Errorf("mfs: NWrite %q: stored %dB vs offered %dB: %w",
-				id, n, len(body), ErrIDCollision)
-		}
-		sh.Ref += int32(len(boxes))
-		if err := updateRef(s.shKey, sh.refPos, sh.Ref); err != nil {
-			return err
-		}
-	} else {
-		off, err := appendDataRecord(s.shData, body)
-		if err != nil {
-			return err
-		}
-		rec := keyRecord{Type: recEntry, ID: id, Offset: off, Ref: int32(len(boxes))}
-		if rec.refPos, err = appendKeyRecord(s.shKey, rec); err != nil {
-			return err
-		}
-		s.shared[id] = &rec
-		sh = &rec
+	off, err := s.writeShared(id, body, int32(len(boxes)))
+	if err != nil {
+		return err
 	}
-
 	for _, mb := range boxes {
-		rec := keyRecord{Type: recEntry, ID: id, Offset: sh.Offset, Ref: SharedRef}
+		rec := keyRecord{Type: recEntry, ID: id, Offset: off, Ref: SharedRef}
 		refPos, err := appendKeyRecord(mb.key, rec)
 		if err != nil {
 			return err
@@ -442,6 +600,80 @@ func (s *Store) NWrite(boxes []*Mailbox, id string, body []byte) error {
 	return nil
 }
 
+// writeShared stores one copy of body under id with the given reference
+// count, or — if id is already live — verifies the payload length and
+// adds refs to the existing copy (the §6.2 dedup path). It returns the
+// payload's offset in the shared data file.
+//
+// Exactly one concurrent writer of a given id becomes the owner and
+// commits the record through the group committer; others wait for that
+// commit and then take the dedup path.
+func (s *Store) writeShared(id string, body []byte, refs int32) (int64, error) {
+	sh := s.shared.shard(id)
+	for {
+		sh.mu.Lock()
+		rec, exists := sh.m[id]
+		if !exists {
+			// Reserve the id, then commit outside the shard lock so other
+			// ids in this shard are not serialized behind the flush.
+			rec = &sharedRec{
+				keyRecord: keyRecord{Type: recEntry, ID: id, Ref: refs},
+				ready:     make(chan struct{}),
+			}
+			sh.m[id] = rec
+			sh.mu.Unlock()
+			off, refPos, err := s.commit.append(id, body, refs)
+			if err != nil {
+				rec.err = err
+				sh.mu.Lock()
+				delete(sh.m, id)
+				sh.mu.Unlock()
+				close(rec.ready)
+				return 0, err
+			}
+			rec.Offset, rec.refPos = off, refPos
+			close(rec.ready)
+			return off, nil
+		}
+		sh.mu.Unlock()
+		<-rec.ready
+		if rec.err != nil {
+			// The owner failed and removed the reservation; retry as a
+			// fresh writer.
+			continue
+		}
+		sh.mu.Lock()
+		if cur, ok := sh.m[id]; !ok || cur != rec {
+			// The record died (last reference deleted) or was replaced
+			// between our wait and relock; start over.
+			sh.mu.Unlock()
+			continue
+		}
+		// Dedup path: skip the data write, but verify the payload is the
+		// same length as the stored record — a cheap integrity check that
+		// flags the collision attack.
+		n, err := dataRecordLen(s.shData, rec.Offset)
+		if err != nil {
+			sh.mu.Unlock()
+			return 0, err
+		}
+		if n != len(body) {
+			sh.mu.Unlock()
+			return 0, fmt.Errorf("mfs: NWrite %q: stored %dB vs offered %dB: %w",
+				id, n, len(body), ErrIDCollision)
+		}
+		rec.Ref += refs
+		if err := updateRef(s.shKey, rec.refPos, rec.Ref); err != nil {
+			sh.mu.Unlock()
+			return 0, err
+		}
+		off := rec.Offset
+		sh.mu.Unlock()
+		return off, nil
+	}
+}
+
+// addEntry appends a record to the in-memory index. mb.mu held.
 func (mb *Mailbox) addEntry(rec keyRecord) {
 	r := rec
 	mb.index[r.ID] = len(mb.entries)
@@ -451,19 +683,13 @@ func (mb *Mailbox) addEntry(rec keyRecord) {
 // SharedCount returns the number of live records in the shared store —
 // each is a single stored copy of a multi-recipient mail.
 func (s *Store) SharedCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.shared)
+	records, _ := s.shared.counts()
+	return records
 }
 
 // SharedRefTotal returns the sum of live shared reference counts, i.e.
 // the number of mailbox pointers the single copies are standing in for.
 func (s *Store) SharedRefTotal() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	total := 0
-	for _, r := range s.shared {
-		total += int(r.Ref)
-	}
-	return total
+	_, refs := s.shared.counts()
+	return refs
 }
