@@ -36,6 +36,14 @@ func main() {
 		load   = flag.String("load", "", "file of blacklisted IPv4 addresses")
 		synth  = flag.Int("synth", 0, "synthesize a blacklist population of ~N prefixes from the sinkhole model")
 		seed   = flag.Uint64("seed", 1, "seed for -synth")
+
+		// Fault injection: degrade the server's responses to exercise the
+		// client's retry/hedge/stale machinery against a live upstream.
+		loss      = flag.Float64("loss", 0, "fault: drop this fraction of responses [0,1)")
+		dup       = flag.Float64("dup", 0, "fault: duplicate this fraction of responses [0,1)")
+		reorder   = flag.Float64("reorder", 0, "fault: delay-and-swap this fraction of responses [0,1)")
+		truncate  = flag.Float64("truncate", 0, "fault: truncate (TC bit, no answers) this fraction of responses [0,1)")
+		faultSeed = flag.Uint64("fault-seed", 1, "fault: deterministic injection seed")
 	)
 	flag.Parse()
 
@@ -67,6 +75,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("dnsbld: %v", err)
 	}
+	var faults *dns.FaultConn
+	if *loss > 0 || *dup > 0 || *reorder > 0 || *truncate > 0 {
+		faults = dns.NewFaultConn(pc, dns.FaultConfig{
+			Loss: *loss, Duplicate: *dup, Reorder: *reorder,
+			Truncate: *truncate, Seed: *faultSeed,
+		})
+		pc = faults
+		log.Printf("dnsbld: fault injection on (loss=%.2f dup=%.2f reorder=%.2f truncate=%.2f seed=%d)",
+			*loss, *dup, *reorder, *truncate, *faultSeed)
+	}
 	srv := dns.NewServer(pc, handler)
 	log.Printf("dnsbld: serving %d blacklisted IPs on %s (v4 zone %q, v6 zone %q)",
 		v4list.Len(), srv.Addr(), *zone, *zone6)
@@ -79,6 +97,11 @@ func main() {
 		select {
 		case <-ticker.C:
 			log.Printf("dnsbld: %d queries served", srv.Queries())
+			if faults != nil {
+				fs := faults.Stats()
+				log.Printf("dnsbld: faults injected: %d dropped, %d duplicated, %d reordered, %d truncated",
+					fs.Dropped, fs.Duplicated, fs.Reordered, fs.Truncated)
+			}
 		case <-sigCh:
 			log.Printf("dnsbld: shutting down after %d queries", srv.Queries())
 			srv.Close()

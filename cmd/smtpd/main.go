@@ -11,19 +11,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/access"
 	"repro/internal/addr"
 	"repro/internal/delivery"
-	"repro/internal/dns"
 	"repro/internal/dnsbl"
 	"repro/internal/fsim"
 	"repro/internal/mailstore"
@@ -36,20 +37,22 @@ import (
 
 func main() {
 	var (
-		listen    = flag.String("addr", "127.0.0.1:2525", "listen address")
-		archName  = flag.String("arch", "hybrid", "architecture: vanilla or hybrid")
-		storeName = flag.String("store", "mfs", "mailbox store: mbox, maildir, hardlink, mfs")
-		root      = flag.String("root", "", "mail root directory (required)")
-		domain    = flag.String("domain", "dept.example.edu", "local domain")
-		mailboxes = flag.Int("mailboxes", 400, "number of local user mailboxes (user0000…)")
-		workers   = flag.Int("workers", 100, "smtpd worker limit")
-		pop3Addr  = flag.String("pop3", "", "also serve POP3 on this address (empty disables)")
-		dnsblAddr = flag.String("dnsbl", "", "DNSBL server address (host:port); empty disables")
-		dnsblZone = flag.String("dnsbl-zone", "bl.example.org", "DNSBL zone name")
-		statsSec  = flag.Int("stats", 10, "stats period in seconds (0 disables)")
-		policyOn  = flag.Bool("policy", false, "enable the pre-trust policy engine (rate limits, greylist, reputation; DNSBL scoring when -dnsbl is set)")
-		greyRetry = flag.Duration("grey-retry", time.Minute, "policy: greylist minimum retry window (0 disables greylisting)")
-		connRate  = flag.Float64("conn-rate", 2, "policy: connections/sec admitted per client IP (0 disables rate limiting)")
+		listen     = flag.String("addr", "127.0.0.1:2525", "listen address")
+		archName   = flag.String("arch", "hybrid", "architecture: vanilla or hybrid")
+		storeName  = flag.String("store", "mfs", "mailbox store: mbox, maildir, hardlink, mfs")
+		root       = flag.String("root", "", "mail root directory (required)")
+		domain     = flag.String("domain", "dept.example.edu", "local domain")
+		mailboxes  = flag.Int("mailboxes", 400, "number of local user mailboxes (user0000…)")
+		workers    = flag.Int("workers", 100, "smtpd worker limit")
+		pop3Addr   = flag.String("pop3", "", "also serve POP3 on this address (empty disables)")
+		dnsblAddr  = flag.String("dnsbl", "", "comma-separated DNSBL replica addresses (host:port,...); empty disables")
+		dnsblZone  = flag.String("dnsbl-zone", "bl.example.org", "DNSBL zone name")
+		dnsblHedge = flag.Duration("dnsbl-hedge", 20*time.Millisecond, "hedge DNSBL queries to the next replica after this delay (0 disables)")
+		dnsblStale = flag.Duration("dnsbl-stale", time.Hour, "serve expired DNSBL cache entries up to this long past expiry when the blacklist is unreachable (0 disables)")
+		statsSec   = flag.Int("stats", 10, "stats period in seconds (0 disables)")
+		policyOn   = flag.Bool("policy", false, "enable the pre-trust policy engine (rate limits, greylist, reputation; DNSBL scoring when -dnsbl is set)")
+		greyRetry  = flag.Duration("grey-retry", time.Minute, "policy: greylist minimum retry window (0 disables greylisting)")
+		connRate   = flag.Float64("conn-rate", 2, "policy: connections/sec admitted per client IP (0 disables rate limiting)")
 	)
 	flag.Parse()
 
@@ -118,9 +121,16 @@ func main() {
 	}
 	var dnsblClient *dnsbl.Client
 	if *dnsblAddr != "" {
-		dnsblClient = dnsbl.NewClient(
-			&dns.UDPTransport{Server: *dnsblAddr, Timeout: 2 * time.Second},
-			*dnsblZone, dnsbl.CachePrefix)
+		// The resilient resolver stack: one shared pipelined socket per
+		// replica, hedged queries across them, and stale bitmaps served
+		// when every replica is down.
+		dnsblClient = dnsbl.New(*dnsblZone,
+			dnsbl.WithUpstreams(strings.Split(*dnsblAddr, ",")...),
+			dnsbl.WithHedge(*dnsblHedge),
+			dnsbl.WithStale(*dnsblStale),
+			dnsbl.WithNegativeTTL(5*time.Second),
+			dnsbl.WithPolicy(dnsbl.CachePrefix))
+		defer dnsblClient.Close()
 	}
 	var pol *policy.ServerPolicy
 	if *policyOn {
@@ -138,7 +148,7 @@ func main() {
 		if dnsblClient != nil {
 			pcfg.DNSBLReject = 1
 			scorer = policy.NewScorer(policy.ScorerConfig{
-				Lists:     []policy.List{{Name: *dnsblZone, Client: dnsblClient, Weight: 1}},
+				Lists:     []policy.List{{Name: *dnsblZone, Resolver: dnsblClient, Weight: 1}},
 				Threshold: 1,
 			})
 		}
@@ -152,7 +162,9 @@ func main() {
 			if err != nil {
 				return false
 			}
-			res, err := dnsblClient.Lookup(parsed)
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			res, err := dnsblClient.Lookup(ctx, parsed)
 			if err != nil {
 				// Fail open: a DNSBL outage must not stop mail.
 				return false

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -57,7 +58,7 @@ func run() error {
 	// Show the raw wire exchange once: the AAAA answer *is* the bitmap.
 	tr := &dns.UDPTransport{Server: srv.Addr().String(), Timeout: 2 * time.Second}
 	probe := addr.MustParseIPv4("203.0.113.9")
-	resp, err := tr.Query(dns.NewQuery(1, probe.V6Name(zone6), dns.TypeAAAA))
+	resp, err := tr.Query(context.Background(), dns.NewQuery(1, probe.V6Name(zone6), dns.TypeAAAA))
 	if err != nil {
 		return err
 	}
@@ -74,10 +75,11 @@ func run() error {
 	}
 	before := srv.Queries()
 	for _, policy := range []dnsbl.CachePolicy{dnsbl.CacheIP, dnsbl.CachePrefix} {
-		client := dnsbl.NewClient(tr, zoneFor(policy, zone4, zone6), policy)
+		client := dnsbl.New(zoneFor(policy, zone4, zone6),
+			dnsbl.WithTransport(tr), dnsbl.WithPolicy(policy))
 		listed := 0
 		for _, ip := range probes {
-			res, err := client.Lookup(ip)
+			res, err := client.Lookup(context.Background(), ip)
 			if err != nil {
 				return err
 			}

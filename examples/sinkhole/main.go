@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -56,9 +57,10 @@ func run() error {
 	fmt.Printf("DNSBLv6 server on %s with %d listed IPs\n", dnsSrv.Addr(), list.Len())
 
 	// --- The lookup client with prefix caching (§7.1). ---
-	lookup := dnsbl.NewClient(
-		&dns.UDPTransport{Server: dnsSrv.Addr().String(), Timeout: 2 * time.Second},
-		zone, dnsbl.CachePrefix)
+	lookup := dnsbl.New(zone,
+		dnsbl.WithUpstreams(dnsSrv.Addr().String()),
+		dnsbl.WithStale(time.Hour))
+	defer lookup.Close()
 
 	// --- The sinkhole mail server: accept everything, discard wisely.
 	// Here the DNSBL check only *tags* (a sinkhole wants the spam), so
@@ -113,7 +115,7 @@ func run() error {
 	// the §7.2 measurement: how many lookups go upstream under prefix
 	// caching vs how many connections arrive.
 	for i := range conns {
-		res, err := lookup.Lookup(conns[i].ClientIP)
+		res, err := lookup.Lookup(context.Background(), conns[i].ClientIP)
 		if err != nil {
 			return err
 		}

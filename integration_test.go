@@ -7,6 +7,7 @@ package repro
 // synthetic workloads.
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"strings"
@@ -202,16 +203,19 @@ func TestFullStackWithLiveDNSBL(t *testing.T) {
 	dnsSrv := dns.NewServer(pc, &dnsbl.V6Handler{List: list})
 	defer dnsSrv.Close()
 
-	lookup := dnsbl.NewClient(
-		&dns.UDPTransport{Server: dnsSrv.Addr().String(), Timeout: 2 * time.Second},
-		zone, dnsbl.CachePrefix, dnsbl.WithTTL(10*time.Millisecond))
+	lookup := dnsbl.New(zone,
+		dnsbl.WithUpstreams(dnsSrv.Addr().String()),
+		dnsbl.WithTTL(10*time.Millisecond))
+	defer lookup.Close()
 	s := startStack(t, smtpserver.Hybrid, "mfs", func(c *smtpserver.Config) {
 		c.CheckClient = func(ipText string) bool {
 			ip, err := addr.ParseIPv4(ipText)
 			if err != nil {
 				return false
 			}
-			res, err := lookup.Lookup(ip)
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			res, err := lookup.Lookup(ctx, ip)
 			return err == nil && res.Listed
 		}
 	})

@@ -243,6 +243,38 @@ func TestAblations(t *testing.T) {
 	quick(t, "ablation-refcount")
 }
 
+func TestResolverResilienceShape(t *testing.T) {
+	m := quick(t, "resolver-resilience")
+	// The seed transport eats the full timeout on every lost packet: with
+	// ~300 cache-miss queries per policy at 5% loss, stalls are certain.
+	if m["stalls_seed"] < 3 {
+		t.Errorf("stalls_seed = %v, want ≥3 (loss should stall the naive transport)", m["stalls_seed"])
+	}
+	// The pipelined resolver detects loss at 30 ms and retries/hedges, so
+	// the accept path stays under the 100 ms stall line (≤1 tolerated for
+	// scheduler noise on loaded CI machines).
+	if m["stalls_resilient"] > 1 {
+		t.Errorf("stalls_resilient = %v, want ≤1", m["stalls_resilient"])
+	}
+	// p99 bounded where the seed's is not: cache-miss-heavy CacheNone puts
+	// the seed's p99 at the timeout; the resilient p99 must stay well
+	// below the stall line.
+	if m["p99_seed_none"] < resolverStallMs {
+		t.Errorf("p99_seed_none = %v ms, expected ≥%v (the full-timeout stall)",
+			m["p99_seed_none"], resolverStallMs)
+	}
+	if m["p99_resilient_none"] > 0.8*m["p99_seed_none"] {
+		t.Errorf("resilient p99 %v ms not bounded vs seed %v ms",
+			m["p99_resilient_none"], m["p99_seed_none"])
+	}
+	// Verdicts must be error-free on the resilient path.
+	for _, pol := range []string{"none", "ip", "prefix"} {
+		if m["errors_resilient_"+pol] != 0 {
+			t.Errorf("errors_resilient_%s = %v", pol, m["errors_resilient_"+pol])
+		}
+	}
+}
+
 func TestRunAllQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep is slow")

@@ -1,0 +1,59 @@
+package dns
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMessage throws arbitrary bytes at the wire decoder. The properties:
+// Decode never panics, and any message it accepts must re-encode and
+// re-decode to an equivalent header and question section (the parts the
+// DNSBL path depends on).
+func FuzzMessage(f *testing.F) {
+	// Seed corpus: real encodings of the message shapes the servers and
+	// clients exchange, plus a few adversarial fragments.
+	q, _ := NewQuery(0xbeef, "4.3.2.1.bl.example", TypeA).Encode()
+	f.Add(q)
+	resp := &Message{
+		ID: 7, Response: true,
+		Questions: []Question{{Name: "x.bl6.example", Type: TypeAAAA, Class: ClassIN}},
+		Answers:   []RR{ARecord("x.bl6.example", 60, 127, 0, 0, 2)},
+	}
+	if wire, err := resp.Encode(); err == nil {
+		f.Add(wire)
+	}
+	trunc := &Message{ID: 9, Response: true, Truncated: true,
+		Questions: []Question{{Name: "y.bl.example", Type: TypeA, Class: ClassIN}}}
+	if wire, err := trunc.Encode(); err == nil {
+		f.Add(wire)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 0, 0, 1})
+	f.Add(bytes.Repeat([]byte{0xc0}, 64)) // compression-pointer soup
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		wire, err := m.Encode()
+		if err != nil {
+			// Decode may accept names Encode refuses (e.g. empty labels
+			// from compression edge cases); that asymmetry is harmless.
+			return
+		}
+		m2, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded message failed: %v\noriginal: %x\nwire: %x", err, data, wire)
+		}
+		if m2.ID != m.ID || m2.Response != m.Response || m2.Truncated != m.Truncated ||
+			m2.RCode != m.RCode || len(m2.Questions) != len(m.Questions) {
+			t.Fatalf("round-trip drift:\n first = %+v\nsecond = %+v", m, m2)
+		}
+		for i := range m.Questions {
+			if m2.Questions[i].Type != m.Questions[i].Type {
+				t.Fatalf("question %d type drift: %v vs %v", i, m.Questions[i], m2.Questions[i])
+			}
+		}
+	})
+}

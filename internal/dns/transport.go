@@ -1,6 +1,7 @@
 package dns
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -22,15 +23,23 @@ type HandlerFunc func(q Question) *Message
 // Resolve implements Handler.
 func (f HandlerFunc) Resolve(q Question) *Message { return f(q) }
 
-// Transport issues one DNS query and returns the response. The two
-// implementations are UDPTransport (real sockets) and MemTransport
-// (direct handler invocation for deterministic tests).
+// Transport issues one DNS query and returns the response, honouring
+// cancellation and deadlines on ctx. Implementations must be safe for
+// concurrent use. The implementations are Pipelined (shared-socket
+// pipelined client with retry and hedging), UDPTransport (one socket per
+// query, the naive baseline), MemTransport (direct handler invocation for
+// deterministic tests), and FaultTransport (fault-injecting wrapper).
 type Transport interface {
-	Query(m *Message) (*Message, error)
+	Query(ctx context.Context, m *Message) (*Message, error)
 }
 
 // ErrTimeout is returned when a query receives no answer in time.
 var ErrTimeout = errors.New("dns: query timed out")
+
+// ErrTruncated is returned when the only answer received was truncated
+// (TC bit set). Retrying is the caller's recourse; this package has no
+// TCP fallback.
+var ErrTruncated = errors.New("dns: response truncated")
 
 // ---------------------------------------------------------------------------
 // UDP server
@@ -116,18 +125,21 @@ func (s *Server) loop() {
 // UDP client transport
 
 // UDPTransport queries a fixed server address over UDP with a timeout and
-// ID validation.
+// ID validation. It dials a fresh socket per query and blocks until the
+// answer or the deadline — the naive baseline the Pipelined transport
+// replaces; it is kept for comparison experiments and simple tools.
 type UDPTransport struct {
 	// Server is the DNSBL server's address, e.g. "127.0.0.1:5353".
 	Server string
-	// Timeout bounds each query; zero means 2s.
+	// Timeout bounds each query; zero means 2s. The effective deadline is
+	// the earlier of this and ctx's deadline.
 	Timeout time.Duration
 }
 
 var _ Transport = (*UDPTransport)(nil)
 
 // Query implements Transport.
-func (t *UDPTransport) Query(m *Message) (*Message, error) {
+func (t *UDPTransport) Query(ctx context.Context, m *Message) (*Message, error) {
 	timeout := t.Timeout
 	if timeout == 0 {
 		timeout = 2 * time.Second
@@ -142,6 +154,9 @@ func (t *UDPTransport) Query(m *Message) (*Message, error) {
 		return nil, err
 	}
 	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
 	if err := conn.SetDeadline(deadline); err != nil {
 		return nil, err
 	}
@@ -194,7 +209,7 @@ func (t *MemTransport) Queries() int64 {
 }
 
 // Query implements Transport.
-func (t *MemTransport) Query(m *Message) (*Message, error) {
+func (t *MemTransport) Query(ctx context.Context, m *Message) (*Message, error) {
 	if len(m.Questions) != 1 {
 		return nil, fmt.Errorf("dns: MemTransport requires exactly one question")
 	}
@@ -203,8 +218,17 @@ func (t *MemTransport) Query(m *Message) (*Message, error) {
 	t.mu.Unlock()
 	if t.Latency != nil {
 		if d := t.Latency(m.Questions[0]); d > 0 {
-			time.Sleep(d)
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ErrTimeout
+			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ErrTimeout
 	}
 	resp := t.Handler.Resolve(m.Questions[0])
 	if resp == nil {
@@ -250,20 +274,36 @@ func NewCache(now func() time.Time) *Cache {
 }
 
 // Get returns the cached response for (name, qtype) if still fresh.
+// Expired entries are kept (a miss, not an eviction) so Stale can serve
+// them when the upstream is unreachable; Put overwrites them in place.
 func (c *Cache) Get(name string, qtype Type) (*Message, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	k := cacheKey{name: name, qtype: qtype}
-	e, ok := c.entries[k]
+	e, ok := c.entries[cacheKey{name: name, qtype: qtype}]
 	if !ok || c.now().After(e.expires) {
-		if ok {
-			delete(c.entries, k)
-		}
 		c.misses++
 		return nil, false
 	}
 	c.hits++
 	return e.msg, true
+}
+
+// Stale returns the cached response for (name, qtype) regardless of
+// freshness, along with how long past its expiry it is (0 when still
+// fresh). It does not count as a hit or miss; callers use it to serve
+// stale answers when the live source is unreachable.
+func (c *Cache) Stale(name string, qtype Type) (*Message, time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[cacheKey{name: name, qtype: qtype}]
+	if !ok {
+		return nil, 0, false
+	}
+	age := c.now().Sub(e.expires)
+	if age < 0 {
+		age = 0
+	}
+	return e.msg, age, true
 }
 
 // Put stores a response under (name, qtype) for ttl.

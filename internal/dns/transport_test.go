@@ -1,6 +1,7 @@
 package dns
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -27,7 +28,7 @@ func TestUDPServerAndClient(t *testing.T) {
 	defer srv.Close()
 
 	tr := &UDPTransport{Server: srv.Addr().String(), Timeout: 2 * time.Second}
-	resp, err := tr.Query(NewQuery(0xbeef, "4.3.2.1.bl.example", TypeA))
+	resp, err := tr.Query(context.Background(), NewQuery(0xbeef, "4.3.2.1.bl.example", TypeA))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestUDPServerConcurrentClients(t *testing.T) {
 		go func(id uint16) {
 			defer wg.Done()
 			tr := &UDPTransport{Server: srv.Addr().String(), Timeout: 2 * time.Second}
-			resp, err := tr.Query(NewQuery(id, "x.bl.example", TypeA))
+			resp, err := tr.Query(context.Background(), NewQuery(id, "x.bl.example", TypeA))
 			if err != nil {
 				errs <- err
 				return
@@ -82,7 +83,7 @@ func TestUDPServerServfailOnNilHandlerResponse(t *testing.T) {
 	srv := NewServer(pc, HandlerFunc(func(q Question) *Message { return nil }))
 	defer srv.Close()
 	tr := &UDPTransport{Server: srv.Addr().String(), Timeout: 2 * time.Second}
-	resp, err := tr.Query(NewQuery(1, "x.example", TypeA))
+	resp, err := tr.Query(context.Background(), NewQuery(1, "x.example", TypeA))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestUDPTransportTimeout(t *testing.T) {
 	pc, _ := net.ListenPacket("udp", "127.0.0.1:0")
 	defer pc.Close()
 	tr := &UDPTransport{Server: pc.LocalAddr().String(), Timeout: 50 * time.Millisecond}
-	_, err := tr.Query(NewQuery(1, "x.example", TypeA))
+	_, err := tr.Query(context.Background(), NewQuery(1, "x.example", TypeA))
 	if err != ErrTimeout {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
@@ -115,7 +116,7 @@ func TestServerCloseIdempotent(t *testing.T) {
 
 func TestMemTransport(t *testing.T) {
 	tr := &MemTransport{Handler: echoHandler()}
-	resp, err := tr.Query(NewQuery(42, "q.example", TypeA))
+	resp, err := tr.Query(context.Background(), NewQuery(42, "q.example", TypeA))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestMemTransport(t *testing.T) {
 	// Multiple questions rejected.
 	bad := NewQuery(1, "a.example", TypeA)
 	bad.Questions = append(bad.Questions, Question{Name: "b.example", Type: TypeA})
-	if _, err := tr.Query(bad); err == nil {
+	if _, err := tr.Query(context.Background(), bad); err == nil {
 		t.Fatal("multi-question query accepted")
 	}
 }
@@ -142,7 +143,7 @@ func TestMemTransportLatencyHook(t *testing.T) {
 			return 0
 		},
 	}
-	tr.Query(NewQuery(1, "x.example", TypeA))
+	tr.Query(context.Background(), NewQuery(1, "x.example", TypeA))
 	if !called {
 		t.Fatal("latency hook not invoked")
 	}

@@ -1,6 +1,7 @@
 package dnsbl
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -48,56 +49,190 @@ type Result struct {
 	Code ListingCode
 	// CacheHit reports whether the answer came from the local cache.
 	CacheHit bool
+	// Stale reports that the answer came from an expired cache entry
+	// served because the live blacklist was unreachable (WithStale).
+	Stale bool
+}
+
+// Resolver is the unified lookup surface every consumer programs
+// against: the policy scorer, both server architectures, the simulator,
+// and the experiments. Implementations must be safe for concurrent use
+// and must honour ctx cancellation and deadlines.
+type Resolver interface {
+	Lookup(ctx context.Context, ip addr.IPv4) (Result, error)
 }
 
 // Client performs blacklist lookups against one DNSBL zone through a
-// dns.Transport, caching according to policy. It is safe for concurrent
-// use.
+// dns.Transport, caching according to policy. Concurrent identical
+// lookups are collapsed into one upstream query (singleflight), upstream
+// failures are negatively cached so a dead blacklist is probed at most
+// once per NegativeTTL, and — when enabled — expired cache entries are
+// served stale rather than stalling the accept path. It is safe for
+// concurrent use.
 type Client struct {
 	transport dns.Transport
+	buildErr  error // deferred construction failure, reported per Lookup
 	zone      string
 	policy    CachePolicy
 	cache     *dns.Cache
+	now       func() time.Time
 	ttl       time.Duration
+	timeout   time.Duration
+	staleFor  time.Duration
+	negTTL    time.Duration
+
+	// Construction scratch consumed by New; see WithUpstreams/WithHedge.
+	upstreams []string
+	hedge     time.Duration
 
 	mu      sync.Mutex
 	nextID  uint16
 	queries int64
 	lookups int64
+	stale   int64
+	negHits int64
+
+	sfMu      sync.Mutex
+	calls     map[string]*call
+	collapsed int64
+
+	negMu    sync.Mutex
+	negUntil map[string]time.Time
 }
 
-// ClientOption configures a Client.
-type ClientOption func(*Client)
+// call is one in-flight upstream query shared by concurrent lookups.
+type call struct {
+	done chan struct{}
+	msg  *dns.Message
+	err  error
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// ClientOption is the pre-redesign name for Option.
+//
+// Deprecated: use Option.
+type ClientOption = Option
+
+// WithTransport sets the dns.Transport queries go through. Mutually
+// exclusive with WithUpstreams.
+func WithTransport(t dns.Transport) Option {
+	return func(c *Client) { c.transport = t }
+}
+
+// WithUpstreams builds a dns.Pipelined transport over the given replica
+// server addresses (hedged across them when WithHedge is also given).
+// Mutually exclusive with WithTransport.
+func WithUpstreams(addrs ...string) Option {
+	return func(c *Client) { c.upstreams = append([]string(nil), addrs...) }
+}
+
+// WithHedge sets the hedge delay for the transport built by
+// WithUpstreams: a duplicate query is sent to the next replica when the
+// first upstream has not answered within d. Ignored when WithTransport
+// supplies the transport directly.
+func WithHedge(d time.Duration) Option {
+	return func(c *Client) { c.hedge = d }
+}
+
+// WithPolicy selects the cache policy (default CachePrefix, the paper's
+// scheme).
+func WithPolicy(p CachePolicy) Option {
+	return func(c *Client) { c.policy = p }
+}
 
 // WithTTL overrides the cache TTL (default costmodel.DNSBLCacheTTL, the
 // paper's 24 h).
-func WithTTL(ttl time.Duration) ClientOption {
+func WithTTL(ttl time.Duration) Option {
 	return func(c *Client) { c.ttl = ttl }
 }
 
-// WithClock injects the cache's time source, letting simulations drive
-// expiry with virtual time.
-func WithClock(now func() time.Time) ClientOption {
-	return func(c *Client) { c.cache = dns.NewCache(now) }
+// WithClock injects the client's time source, letting simulations drive
+// cache expiry with virtual time.
+func WithClock(now func() time.Time) Option {
+	return func(c *Client) { c.now = now }
 }
 
-// NewClient returns a lookup client for the given zone and policy.
-func NewClient(transport dns.Transport, zone string, policy CachePolicy, opts ...ClientOption) *Client {
+// WithTimeout bounds each Lookup when the caller's context carries no
+// deadline (default costmodel.DNSBLTimeout).
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithStale serves expired cache entries up to maxAge past expiry when
+// the upstream query fails, so cached /25 bitmaps outlive an unreachable
+// blacklist instead of turning into accept-path stalls. Zero disables
+// (the default).
+func WithStale(maxAge time.Duration) Option {
+	return func(c *Client) { c.staleFor = maxAge }
+}
+
+// WithNegativeTTL caches upstream *failures* for d: after a timeout the
+// blacklist is not probed again until d elapses, and lookups in that
+// window fail (or serve stale) immediately. Zero disables (the default).
+func WithNegativeTTL(d time.Duration) Option {
+	return func(c *Client) { c.negTTL = d }
+}
+
+// New returns a lookup client for the given zone, configured by
+// functional options. With no transport option the client reports an
+// error on every Lookup.
+func New(zone string, opts ...Option) *Client {
 	c := &Client{
-		transport: transport,
-		zone:      zone,
-		policy:    policy,
-		cache:     dns.NewCache(nil),
-		ttl:       costmodel.DNSBLCacheTTL,
+		zone:     zone,
+		policy:   CachePrefix,
+		ttl:      costmodel.DNSBLCacheTTL,
+		timeout:  costmodel.DNSBLTimeout,
+		calls:    make(map[string]*call),
+		negUntil: make(map[string]time.Time),
 	}
 	for _, o := range opts {
 		o(c)
 	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	c.cache = dns.NewCache(c.now)
+	switch {
+	case c.transport != nil && c.upstreams != nil:
+		c.buildErr = fmt.Errorf("dnsbl: WithTransport and WithUpstreams are mutually exclusive")
+	case c.transport == nil && c.upstreams != nil:
+		var popts []dns.PipelinedOption
+		if c.hedge > 0 {
+			popts = append(popts, dns.WithHedgeDelay(c.hedge))
+		}
+		if c.timeout > 0 {
+			popts = append(popts, dns.WithQueryTimeout(c.timeout))
+		}
+		c.transport, c.buildErr = dns.NewPipelined(c.upstreams, popts...)
+	case c.transport == nil:
+		c.buildErr = fmt.Errorf("dnsbl: no transport configured (use WithTransport or WithUpstreams)")
+	}
 	return c
 }
 
+// NewClient returns a lookup client for the given zone and policy.
+//
+// Deprecated: use New with WithTransport and WithPolicy.
+func NewClient(transport dns.Transport, zone string, policy CachePolicy, opts ...ClientOption) *Client {
+	return New(zone, append([]Option{WithTransport(transport), WithPolicy(policy)}, opts...)...)
+}
+
+// Close releases the transport when the client built it (WithUpstreams);
+// it never closes a transport supplied by the caller.
+func (c *Client) Close() error {
+	if c.upstreams != nil {
+		if p, ok := c.transport.(*dns.Pipelined); ok {
+			return p.Close()
+		}
+	}
+	return nil
+}
+
 // Queries returns the number of DNS queries actually sent upstream — the
-// quantity the paper's prefix scheme reduces by ≈39% (§7.2).
+// quantity the paper's prefix scheme reduces by ≈39% (§7.2) and
+// singleflight reduces further under concurrency.
 func (c *Client) Queries() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -109,6 +244,30 @@ func (c *Client) Lookups() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lookups
+}
+
+// StaleServed returns how many lookups were answered from expired cache
+// entries because the upstream was unreachable.
+func (c *Client) StaleServed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stale
+}
+
+// NegativeHits returns how many lookups were short-circuited by the
+// negative (failure) cache.
+func (c *Client) NegativeHits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.negHits
+}
+
+// Collapsed returns how many concurrent duplicate lookups were merged
+// into another lookup's in-flight upstream query.
+func (c *Client) Collapsed() int64 {
+	c.sfMu.Lock()
+	defer c.sfMu.Unlock()
+	return c.collapsed
 }
 
 // HitRatio returns the cache hit ratio over all lookups (0 under
@@ -123,45 +282,42 @@ func (c *Client) HitRatio() float64 {
 	return float64(lookups-queries) / float64(lookups)
 }
 
-func (c *Client) id() uint16 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.nextID++
-	return c.nextID
-}
-
-// Lookup checks ip against the blacklist.
-func (c *Client) Lookup(ip addr.IPv4) (Result, error) {
+// Lookup implements Resolver: it checks ip against the blacklist,
+// bounded by ctx (or the client's default timeout when ctx carries no
+// deadline).
+func (c *Client) Lookup(ctx context.Context, ip addr.IPv4) (Result, error) {
+	if c.buildErr != nil {
+		return Result{}, c.buildErr
+	}
 	c.mu.Lock()
 	c.lookups++
 	c.mu.Unlock()
+	if _, ok := ctx.Deadline(); !ok && c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
 	switch c.policy {
 	case CacheNone:
-		return c.lookupV4(ip, false)
+		return c.lookupV4(ctx, ip, false)
 	case CacheIP:
-		return c.lookupV4(ip, true)
+		return c.lookupV4(ctx, ip, true)
 	case CachePrefix:
-		return c.lookupPrefix(ip)
+		return c.lookupPrefix(ctx, ip)
 	default:
 		return Result{}, fmt.Errorf("dnsbl: unknown cache policy %d", c.policy)
 	}
 }
 
-func (c *Client) lookupV4(ip addr.IPv4, useCache bool) (Result, error) {
+func (c *Client) lookupV4(ctx context.Context, ip addr.IPv4, useCache bool) (Result, error) {
 	name := ip.ReversedName(c.zone)
-	if useCache {
-		if msg, ok := c.cache.Get(name, dns.TypeA); ok {
-			return resultFromV4(msg, true), nil
-		}
-	}
-	resp, err := c.query(name, dns.TypeA)
+	msg, hit, stale, err := c.fetch(ctx, name, dns.TypeA, useCache)
 	if err != nil {
 		return Result{}, err
 	}
-	if useCache {
-		c.cache.Put(name, dns.TypeA, resp, c.ttl)
-	}
-	return resultFromV4(resp, false), nil
+	r := resultFromV4(msg, hit)
+	r.Stale = stale
+	return r, nil
 }
 
 func resultFromV4(msg *dns.Message, hit bool) Result {
@@ -173,17 +329,15 @@ func resultFromV4(msg *dns.Message, hit bool) Result {
 	return Result{CacheHit: hit}
 }
 
-func (c *Client) lookupPrefix(ip addr.IPv4) (Result, error) {
+func (c *Client) lookupPrefix(ctx context.Context, ip addr.IPv4) (Result, error) {
 	name := ip.V6Name(c.zone)
-	if msg, ok := c.cache.Get(name, dns.TypeAAAA); ok {
-		return resultFromBitmap(msg, ip, true)
-	}
-	resp, err := c.query(name, dns.TypeAAAA)
+	msg, hit, stale, err := c.fetch(ctx, name, dns.TypeAAAA, true)
 	if err != nil {
 		return Result{}, err
 	}
-	c.cache.Put(name, dns.TypeAAAA, resp, c.ttl)
-	return resultFromBitmap(resp, ip, false)
+	r, err := resultFromBitmap(msg, ip, hit)
+	r.Stale = stale
+	return r, err
 }
 
 func resultFromBitmap(msg *dns.Message, ip addr.IPv4, hit bool) (Result, error) {
@@ -200,11 +354,121 @@ func resultFromBitmap(msg *dns.Message, ip addr.IPv4, hit bool) (Result, error) 
 	return Result{CacheHit: hit}, nil
 }
 
-func (c *Client) query(name string, qtype dns.Type) (*dns.Message, error) {
+// fetch resolves (name, qtype) through cache, negative cache,
+// singleflight, upstream, and the serve-stale fallback, in that order.
+func (c *Client) fetch(ctx context.Context, name string, qtype dns.Type, useCache bool) (msg *dns.Message, hit, stale bool, err error) {
+	if useCache {
+		if msg, ok := c.cache.Get(name, qtype); ok {
+			return msg, true, false, nil
+		}
+	}
+	if until, down := c.negCached(name, qtype); down {
+		c.mu.Lock()
+		c.negHits++
+		c.mu.Unlock()
+		if msg, ok := c.staleFallback(name, qtype, useCache); ok {
+			return msg, true, true, nil
+		}
+		return nil, false, false, fmt.Errorf("dnsbl: %s upstream marked down until %s: %w",
+			c.zone, until.Format(time.RFC3339), dns.ErrTimeout)
+	}
+	msg, err = c.querySingleflight(ctx, name, qtype)
+	if err != nil {
+		c.noteFailure(name, qtype)
+		if msg, ok := c.staleFallback(name, qtype, useCache); ok {
+			return msg, true, true, nil
+		}
+		return nil, false, false, err
+	}
+	if useCache {
+		c.cache.Put(name, qtype, msg, c.ttl)
+	}
+	return msg, false, false, nil
+}
+
+// staleFallback serves an expired entry within the stale window.
+func (c *Client) staleFallback(name string, qtype dns.Type, useCache bool) (*dns.Message, bool) {
+	if !useCache || c.staleFor <= 0 {
+		return nil, false
+	}
+	msg, age, ok := c.cache.Stale(name, qtype)
+	if !ok || age > c.staleFor {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.stale++
+	c.mu.Unlock()
+	return msg, true
+}
+
+// negCached reports whether the upstream is negatively cached as down
+// for this key.
+func (c *Client) negCached(name string, qtype dns.Type) (time.Time, bool) {
+	if c.negTTL <= 0 {
+		return time.Time{}, false
+	}
+	key := negKey(name, qtype)
+	c.negMu.Lock()
+	defer c.negMu.Unlock()
+	until, ok := c.negUntil[key]
+	if !ok {
+		return time.Time{}, false
+	}
+	if c.now().After(until) {
+		delete(c.negUntil, key)
+		return time.Time{}, false
+	}
+	return until, true
+}
+
+// noteFailure records an upstream failure in the negative cache.
+func (c *Client) noteFailure(name string, qtype dns.Type) {
+	if c.negTTL <= 0 {
+		return
+	}
+	c.negMu.Lock()
+	c.negUntil[negKey(name, qtype)] = c.now().Add(c.negTTL)
+	c.negMu.Unlock()
+}
+
+func negKey(name string, qtype dns.Type) string {
+	return fmt.Sprintf("%s/%d", name, qtype)
+}
+
+// querySingleflight collapses concurrent identical queries: the first
+// caller goes upstream, the rest wait on its result (or their own ctx).
+func (c *Client) querySingleflight(ctx context.Context, name string, qtype dns.Type) (*dns.Message, error) {
+	key := negKey(name, qtype)
+	c.sfMu.Lock()
+	if existing, ok := c.calls[key]; ok {
+		c.collapsed++
+		c.sfMu.Unlock()
+		select {
+		case <-existing.done:
+			return existing.msg, existing.err
+		case <-ctx.Done():
+			return nil, dns.ErrTimeout
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	c.calls[key] = cl
+	c.sfMu.Unlock()
+
+	cl.msg, cl.err = c.query(ctx, name, qtype)
+	c.sfMu.Lock()
+	delete(c.calls, key)
+	c.sfMu.Unlock()
+	close(cl.done)
+	return cl.msg, cl.err
+}
+
+func (c *Client) query(ctx context.Context, name string, qtype dns.Type) (*dns.Message, error) {
 	c.mu.Lock()
 	c.queries++
+	c.nextID++ // the Pipelined transport re-assigns per-attempt IDs anyway
+	id := c.nextID
 	c.mu.Unlock()
-	resp, err := c.transport.Query(dns.NewQuery(c.id(), name, qtype))
+	resp, err := c.transport.Query(ctx, dns.NewQuery(id, name, qtype))
 	if err != nil {
 		return nil, fmt.Errorf("dnsbl: query %s: %w", name, err)
 	}

@@ -1,6 +1,7 @@
 package dnsbl
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 	"time"
@@ -8,6 +9,9 @@ import (
 	"repro/internal/addr"
 	"repro/internal/dns"
 )
+
+// ctx is the do-not-care context most lookups in this file use.
+var ctx = context.Background()
 
 func TestListAddLookupRemove(t *testing.T) {
 	l := NewList("bl.test")
@@ -168,14 +172,14 @@ func TestClientV4Lookup(t *testing.T) {
 	l.Add(listed, CodeZombie)
 	for _, policy := range []CachePolicy{CacheNone, CacheIP} {
 		c, _ := newTestClient(l, policy)
-		r, err := c.Lookup(listed)
+		r, err := c.Lookup(ctx, listed)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !r.Listed || r.Code != CodeZombie || r.CacheHit {
 			t.Fatalf("%v: result = %+v", policy, r)
 		}
-		r, err = c.Lookup(addr.MustParseIPv4("1.2.3.5"))
+		r, err = c.Lookup(ctx, addr.MustParseIPv4("1.2.3.5"))
 		if err != nil || r.Listed {
 			t.Fatalf("%v: unlisted result = %+v, %v", policy, r, err)
 		}
@@ -187,8 +191,8 @@ func TestClientCacheIPBehaviour(t *testing.T) {
 	ip := addr.MustParseIPv4("1.2.3.4")
 	l.Add(ip, CodeSpamSrc)
 	c, tr := newTestClient(l, CacheIP)
-	c.Lookup(ip)
-	r, _ := c.Lookup(ip)
+	c.Lookup(ctx, ip)
+	r, _ := c.Lookup(ctx, ip)
 	if !r.CacheHit || !r.Listed {
 		t.Fatalf("second lookup = %+v, want cache hit", r)
 	}
@@ -196,7 +200,7 @@ func TestClientCacheIPBehaviour(t *testing.T) {
 		t.Fatalf("upstream queries = %d, want 1", tr.Queries())
 	}
 	// A neighbour in the same /25 still misses under per-IP caching.
-	c.Lookup(addr.MustParseIPv4("1.2.3.5"))
+	c.Lookup(ctx, addr.MustParseIPv4("1.2.3.5"))
 	if tr.Queries() != 2 {
 		t.Fatalf("neighbour should miss: queries = %d", tr.Queries())
 	}
@@ -209,8 +213,8 @@ func TestClientCacheNoneNeverCaches(t *testing.T) {
 	l := NewList("bl.test")
 	ip := addr.MustParseIPv4("1.2.3.4")
 	c, tr := newTestClient(l, CacheNone)
-	c.Lookup(ip)
-	c.Lookup(ip)
+	c.Lookup(ctx, ip)
+	c.Lookup(ctx, ip)
 	if tr.Queries() != 2 {
 		t.Fatalf("queries = %d, want 2", tr.Queries())
 	}
@@ -222,16 +226,16 @@ func TestClientPrefixCacheCoversNeighbours(t *testing.T) {
 	l.Add(addr.MustParseIPv4("1.2.3.100"), CodeSpamSrc)
 	c, tr := newTestClient(l, CachePrefix)
 
-	r, err := c.Lookup(addr.MustParseIPv4("1.2.3.4"))
+	r, err := c.Lookup(ctx, addr.MustParseIPv4("1.2.3.4"))
 	if err != nil || !r.Listed || r.CacheHit {
 		t.Fatalf("first = %+v, %v", r, err)
 	}
 	// Any IP in the same /25 — listed or not — now resolves locally.
-	r, _ = c.Lookup(addr.MustParseIPv4("1.2.3.100"))
+	r, _ = c.Lookup(ctx, addr.MustParseIPv4("1.2.3.100"))
 	if !r.Listed || !r.CacheHit {
 		t.Fatalf("neighbour listed = %+v", r)
 	}
-	r, _ = c.Lookup(addr.MustParseIPv4("1.2.3.50"))
+	r, _ = c.Lookup(ctx, addr.MustParseIPv4("1.2.3.50"))
 	if r.Listed || !r.CacheHit {
 		t.Fatalf("neighbour clean = %+v", r)
 	}
@@ -239,7 +243,7 @@ func TestClientPrefixCacheCoversNeighbours(t *testing.T) {
 		t.Fatalf("queries = %d, want 1", tr.Queries())
 	}
 	// The other /25 half is a separate bitmap.
-	r, _ = c.Lookup(addr.MustParseIPv4("1.2.3.200"))
+	r, _ = c.Lookup(ctx, addr.MustParseIPv4("1.2.3.200"))
 	if r.CacheHit {
 		t.Fatal("other half should miss")
 	}
@@ -256,9 +260,9 @@ func TestClientTTLExpiry(t *testing.T) {
 	var h dns.Handler = &V4Handler{List: l}
 	tr := &dns.MemTransport{Handler: h}
 	c := NewClient(tr, "bl.test", CacheIP, WithTTL(time.Hour), WithClock(clock))
-	c.Lookup(ip)
+	c.Lookup(ctx, ip)
 	now = now.Add(2 * time.Hour)
-	r, _ := c.Lookup(ip)
+	r, _ := c.Lookup(ctx, ip)
 	if r.CacheHit {
 		t.Fatal("expired entry served")
 	}
@@ -284,8 +288,8 @@ func TestClientPrefixEquivalentToV4Property(t *testing.T) {
 		cv6, _ := newTestClient(l6, CachePrefix)
 		for _, r := range probeRaw {
 			ip := addr.MakeIPv4(10, 0, byte(r>>8), byte(r))
-			a, err1 := cv4.Lookup(ip)
-			b, err2 := cv6.Lookup(ip)
+			a, err1 := cv4.Lookup(ctx, ip)
+			b, err2 := cv6.Lookup(ctx, ip)
 			if err1 != nil || err2 != nil || a.Listed != b.Listed {
 				return false
 			}

@@ -33,6 +33,7 @@
 package policy
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -151,7 +152,15 @@ func (e *Engine) Stats() Stats {
 // score (0 when no lookup ran). A non-zero score is also recorded as
 // reputation evidence, so repeat offenders are condemned from history
 // even when later lookups are skipped.
-func (e *Engine) Admit(now time.Duration, ip addr.IPv4, dnsblScore float64) Decision {
+//
+// ctx is the connection's evaluation context, plumbed end to end from
+// the accept path through the DNSBL resolvers; a cancelled context fails
+// open (Allow) without touching any checker state, since the connection
+// is already gone.
+func (e *Engine) Admit(ctx context.Context, now time.Duration, ip addr.IPv4, dnsblScore float64) Decision {
+	if ctx.Err() != nil {
+		return allowed
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	d := e.admitLocked(now, ip, dnsblScore)
@@ -196,8 +205,11 @@ func (e *Engine) admitLocked(now time.Duration, ip addr.IPv4, dnsblScore float64
 
 // Mail evaluates one MAIL FROM transaction: the per-IP message-rate
 // bucket, throttling sources that pipeline many transactions through few
-// connections.
-func (e *Engine) Mail(now time.Duration, ip addr.IPv4, sender string) Decision {
+// connections. A cancelled ctx fails open.
+func (e *Engine) Mail(ctx context.Context, now time.Duration, ip addr.IPv4, sender string) Decision {
+	if ctx.Err() != nil {
+		return allowed
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.rate != nil {
@@ -212,7 +224,11 @@ func (e *Engine) Mail(now time.Duration, ip addr.IPv4, sender string) Decision {
 // Rcpt evaluates one otherwise-valid RCPT TO through the greylist.
 // Invalid recipients never reach here — they draw 550 from the access
 // database and are fed to the reputation store via RecordRejectedRcpt.
-func (e *Engine) Rcpt(now time.Duration, ip addr.IPv4, sender, rcpt string) Decision {
+// A cancelled ctx fails open.
+func (e *Engine) Rcpt(ctx context.Context, now time.Duration, ip addr.IPv4, sender, rcpt string) Decision {
+	if ctx.Err() != nil {
+		return allowed
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.grey != nil {

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -19,29 +20,32 @@ var (
 
 func at(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
 
+// bg is the do-not-care context the non-cancellation tests use.
+var bg = context.Background()
+
 // --- rate limiter ---
 
 func TestRateLimitPerIP(t *testing.T) {
 	e := NewEngine(Config{Rate: &RateConfig{ConnPerSec: 1, ConnBurst: 2}})
-	if d := e.Admit(at(0), ip1, 0); d.Verdict != Allow {
+	if d := e.Admit(bg, at(0), ip1, 0); d.Verdict != Allow {
 		t.Fatalf("first conn: %+v", d)
 	}
-	if d := e.Admit(at(0), ip1, 0); d.Verdict != Allow {
+	if d := e.Admit(bg, at(0), ip1, 0); d.Verdict != Allow {
 		t.Fatalf("burst conn: %+v", d)
 	}
-	d := e.Admit(at(0), ip1, 0)
+	d := e.Admit(bg, at(0), ip1, 0)
 	if d.Verdict != Tempfail || d.Checker != "rate" {
 		t.Fatalf("over-burst conn: %+v", d)
 	}
 	// Another IP is unaffected.
-	if d := e.Admit(at(0), ip4, 0); d.Verdict != Allow {
+	if d := e.Admit(bg, at(0), ip4, 0); d.Verdict != Allow {
 		t.Fatalf("other ip: %+v", d)
 	}
 	// One second refills one token.
-	if d := e.Admit(at(1), ip1, 0); d.Verdict != Allow {
+	if d := e.Admit(bg, at(1), ip1, 0); d.Verdict != Allow {
 		t.Fatalf("refilled conn: %+v", d)
 	}
-	if d := e.Admit(at(1), ip1, 0); d.Verdict != Tempfail {
+	if d := e.Admit(bg, at(1), ip1, 0); d.Verdict != Tempfail {
 		t.Fatalf("still capped: %+v", d)
 	}
 }
@@ -52,31 +56,31 @@ func TestRateLimitPerPrefix(t *testing.T) {
 		ConnPerSec: 100, ConnBurst: 100,
 		PrefixConnPerSec: 0.1, PrefixConnBurst: 2,
 	}})
-	if d := e.Admit(at(0), ip1, 0); d.Verdict != Allow {
+	if d := e.Admit(bg, at(0), ip1, 0); d.Verdict != Allow {
 		t.Fatalf("neighbour 1: %+v", d)
 	}
-	if d := e.Admit(at(0), ip2, 0); d.Verdict != Allow {
+	if d := e.Admit(bg, at(0), ip2, 0); d.Verdict != Allow {
 		t.Fatalf("neighbour 2: %+v", d)
 	}
-	if d := e.Admit(at(0), ip2, 0); d.Verdict != Tempfail {
+	if d := e.Admit(bg, at(0), ip2, 0); d.Verdict != Tempfail {
 		t.Fatalf("prefix budget exhausted but admitted: %+v", d)
 	}
 	// The other /25 half of the same /24 has its own bucket.
-	if d := e.Admit(at(0), ip3, 0); d.Verdict != Allow {
+	if d := e.Admit(bg, at(0), ip3, 0); d.Verdict != Allow {
 		t.Fatalf("other /25: %+v", d)
 	}
 }
 
 func TestRateLimitMail(t *testing.T) {
 	e := NewEngine(Config{Rate: &RateConfig{MailPerSec: 0.1, MailBurst: 1}})
-	if d := e.Mail(at(0), ip1, "s@x.test"); d.Verdict != Allow {
+	if d := e.Mail(bg, at(0), ip1, "s@x.test"); d.Verdict != Allow {
 		t.Fatalf("first mail: %+v", d)
 	}
-	if d := e.Mail(at(0), ip1, "s@x.test"); d.Verdict != Tempfail {
+	if d := e.Mail(bg, at(0), ip1, "s@x.test"); d.Verdict != Tempfail {
 		t.Fatalf("second mail admitted")
 	}
 	// Connections are governed by a separate bucket.
-	if d := e.Admit(at(0), ip1, 0); d.Verdict != Allow {
+	if d := e.Admit(bg, at(0), ip1, 0); d.Verdict != Allow {
 		t.Fatalf("conn blocked by mail bucket: %+v", d)
 	}
 }
@@ -86,16 +90,16 @@ func TestRateEvictionIsVerdictNeutral(t *testing.T) {
 	// Fill past the cap with sources whose buckets refill instantly.
 	for i := 0; i < 32; i++ {
 		ip := addr.MakeIPv4(10, 0, byte(i>>8), byte(i))
-		e.Admit(at(float64(i)), ip, 0)
+		e.Admit(bg, at(float64(i)), ip, 0)
 	}
 	// A fresh source still gets its full burst.
 	late := addr.MakeIPv4(10, 9, 9, 9)
 	for j := 0; j < 2; j++ {
-		if d := e.Admit(at(100), late, 0); d.Verdict != Allow {
+		if d := e.Admit(bg, at(100), late, 0); d.Verdict != Allow {
 			t.Fatalf("burst conn %d after eviction: %+v", j, d)
 		}
 	}
-	if d := e.Admit(at(100), late, 0); d.Verdict != Tempfail {
+	if d := e.Admit(bg, at(100), late, 0); d.Verdict != Tempfail {
 		t.Fatal("over-burst admitted after eviction")
 	}
 }
@@ -110,49 +114,49 @@ func greyEngine() *Engine {
 
 func TestGreylistFirstContactTempfails(t *testing.T) {
 	e := greyEngine()
-	d := e.Rcpt(at(0), ip1, "s@x.test", "u@dept.test")
+	d := e.Rcpt(bg, at(0), ip1, "s@x.test", "u@dept.test")
 	if d.Verdict != Tempfail || d.Checker != "greylist" {
 		t.Fatalf("first contact: %+v", d)
 	}
 	// Too-early retry stays greylisted and does not reset the window.
-	if d := e.Rcpt(at(5), ip1, "s@x.test", "u@dept.test"); d.Verdict != Tempfail {
+	if d := e.Rcpt(bg, at(5), ip1, "s@x.test", "u@dept.test"); d.Verdict != Tempfail {
 		t.Fatalf("early retry admitted")
 	}
 	// A proper retry inside the window passes.
-	if d := e.Rcpt(at(15), ip1, "s@x.test", "u@dept.test"); d.Verdict != Allow {
+	if d := e.Rcpt(bg, at(15), ip1, "s@x.test", "u@dept.test"); d.Verdict != Allow {
 		t.Fatalf("valid retry: %+v", d)
 	}
 	// And the tuple is now whitelisted: immediate re-delivery is fine.
-	if d := e.Rcpt(at(16), ip1, "s@x.test", "u@dept.test"); d.Verdict != Allow {
+	if d := e.Rcpt(bg, at(16), ip1, "s@x.test", "u@dept.test"); d.Verdict != Allow {
 		t.Fatalf("whitelisted tuple: %+v", d)
 	}
 }
 
 func TestGreylistKeyGranularity(t *testing.T) {
 	e := greyEngine()
-	e.Rcpt(at(0), ip1, "s@x.test", "u@dept.test")
+	e.Rcpt(bg, at(0), ip1, "s@x.test", "u@dept.test")
 	// Same /24, same envelope → same tuple (retry from a sibling MTA).
-	if d := e.Rcpt(at(15), ip3, "s@x.test", "u@dept.test"); d.Verdict != Allow {
+	if d := e.Rcpt(bg, at(15), ip3, "s@x.test", "u@dept.test"); d.Verdict != Allow {
 		t.Fatalf("sibling-address retry: %+v", d)
 	}
 	// Different sender → a fresh tuple.
-	if d := e.Rcpt(at(15), ip1, "other@x.test", "u@dept.test"); d.Verdict != Tempfail {
+	if d := e.Rcpt(bg, at(15), ip1, "other@x.test", "u@dept.test"); d.Verdict != Tempfail {
 		t.Fatalf("different sender shared the tuple")
 	}
 	// Different client network → a fresh tuple.
-	if d := e.Rcpt(at(15), ip4, "s@x.test", "u@dept.test"); d.Verdict != Tempfail {
+	if d := e.Rcpt(bg, at(15), ip4, "s@x.test", "u@dept.test"); d.Verdict != Tempfail {
 		t.Fatalf("different /24 shared the tuple")
 	}
 }
 
 func TestGreylistWindowExpiry(t *testing.T) {
 	e := greyEngine()
-	e.Rcpt(at(0), ip1, "s@x.test", "u@dept.test")
+	e.Rcpt(bg, at(0), ip1, "s@x.test", "u@dept.test")
 	// Retry after MaxValid restarts the window.
-	if d := e.Rcpt(at(2*3600+100), ip1, "s@x.test", "u@dept.test"); d.Verdict != Tempfail {
+	if d := e.Rcpt(bg, at(2*3600+100), ip1, "s@x.test", "u@dept.test"); d.Verdict != Tempfail {
 		t.Fatalf("stale retry admitted")
 	}
-	if d := e.Rcpt(at(2*3600+115), ip1, "s@x.test", "u@dept.test"); d.Verdict != Allow {
+	if d := e.Rcpt(bg, at(2*3600+115), ip1, "s@x.test", "u@dept.test"); d.Verdict != Allow {
 		t.Fatalf("restarted window retry: %+v", d)
 	}
 }
@@ -167,21 +171,21 @@ func repEngine() *Engine {
 
 func TestReputationAccumulatesAndRejects(t *testing.T) {
 	e := repEngine()
-	if d := e.Admit(at(0), ip1, 0); d.Verdict != Allow {
+	if d := e.Admit(bg, at(0), ip1, 0); d.Verdict != Allow {
 		t.Fatalf("clean source: %+v", d)
 	}
 	e.RecordBounce(at(1), ip1) // ip 1.0 + prefix 0.5 = 1.5
-	if d := e.Admit(at(2), ip1, 0); d.Verdict != Allow {
+	if d := e.Admit(bg, at(2), ip1, 0); d.Verdict != Allow {
 		t.Fatalf("one bounce already condemned: %+v", d)
 	}
 	e.RecordBounce(at(3), ip1) // combined 3.0
-	d := e.Admit(at(4), ip1, 0)
+	d := e.Admit(bg, at(4), ip1, 0)
 	if d.Verdict != Tempfail || d.Checker != "reputation" {
 		t.Fatalf("two bounces: %+v", d)
 	}
 	e.RecordBounce(at(5), ip1)
 	e.RecordBounce(at(6), ip1) // combined 6.0
-	if d := e.Admit(at(7), ip1, 0); d.Verdict != Reject {
+	if d := e.Admit(bg, at(7), ip1, 0); d.Verdict != Reject {
 		t.Fatalf("four bounces: %+v", d)
 	}
 }
@@ -193,11 +197,11 @@ func TestReputationPrefixAggregation(t *testing.T) {
 		e.RecordBounce(at(float64(i)), ip1)
 	}
 	// ip2 shares the /25: prefix score 6 × 0.5 = 3 ≥ Tempfail threshold.
-	if d := e.Admit(at(10), ip2, 0); d.Verdict != Tempfail {
+	if d := e.Admit(bg, at(10), ip2, 0); d.Verdict != Tempfail {
 		t.Fatalf("neighbourhood history ignored: %+v", d)
 	}
 	// ip3 is in the other /25 half: unaffected.
-	if d := e.Admit(at(10), ip3, 0); d.Verdict != Allow {
+	if d := e.Admit(bg, at(10), ip3, 0); d.Verdict != Allow {
 		t.Fatalf("other /25 condemned: %+v", d)
 	}
 }
@@ -207,11 +211,11 @@ func TestReputationDecay(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		e.RecordBounce(at(float64(i)), ip1)
 	}
-	if d := e.Admit(at(5), ip1, 0); d.Verdict != Reject {
+	if d := e.Admit(bg, at(5), ip1, 0); d.Verdict != Reject {
 		t.Fatalf("fresh history: %+v", d)
 	}
 	// Two half-lives later the score has quartered: 6 → 1.5 < Tempfail.
-	if d := e.Admit(at(2*3600+5), ip1, 0); d.Verdict != Allow {
+	if d := e.Admit(bg, at(2*3600+5), ip1, 0); d.Verdict != Allow {
 		t.Fatalf("decayed history still condemns: %+v", d)
 	}
 }
@@ -221,7 +225,7 @@ func TestReputationRejectedRcptWeighsLess(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		e.RecordRejectedRcpt(at(float64(i)), ip1) // 4 × 0.3 × 1.5 = 1.8 < 2
 	}
-	if d := e.Admit(at(5), ip1, 0); d.Verdict != Allow {
+	if d := e.Admit(bg, at(5), ip1, 0); d.Verdict != Allow {
 		t.Fatalf("rejected rcpts over-weighted: %+v", d)
 	}
 	st := e.Stats()
@@ -234,13 +238,13 @@ func TestReputationRejectedRcptWeighsLess(t *testing.T) {
 
 func TestDNSBLScoreThresholds(t *testing.T) {
 	e := NewEngine(Config{DNSBLReject: 2, DNSBLTempfail: 1})
-	if d := e.Admit(at(0), ip1, 0); d.Verdict != Allow {
+	if d := e.Admit(bg, at(0), ip1, 0); d.Verdict != Allow {
 		t.Fatalf("clean: %+v", d)
 	}
-	if d := e.Admit(at(0), ip1, 1); d.Verdict != Tempfail {
+	if d := e.Admit(bg, at(0), ip1, 1); d.Verdict != Tempfail {
 		t.Fatalf("score 1: %+v", d)
 	}
-	d := e.Admit(at(0), ip1, 2)
+	d := e.Admit(bg, at(0), ip1, 2)
 	if d.Verdict != Reject || d.Checker != "dnsbl" {
 		t.Fatalf("score 2: %+v", d)
 	}
@@ -253,10 +257,10 @@ func TestDNSBLHitFeedsReputation(t *testing.T) {
 	})
 	// Score 1 is below the DNSBL thresholds, but the hit is remembered:
 	// 2.0 × 1.5 = 3 ≥ TempfailScore on the next visit.
-	if d := e.Admit(at(0), ip1, 1); d.Verdict != Allow {
+	if d := e.Admit(bg, at(0), ip1, 1); d.Verdict != Allow {
 		t.Fatalf("first visit: %+v", d)
 	}
-	if d := e.Admit(at(1), ip1, 0); d.Verdict != Tempfail {
+	if d := e.Admit(bg, at(1), ip1, 0); d.Verdict != Tempfail {
 		t.Fatalf("history of DNSBL hits ignored: %+v", d)
 	}
 	if st := e.Stats(); st.DNSBLHitsSeen != 1 {
@@ -269,13 +273,13 @@ func TestDNSBLHitFeedsReputation(t *testing.T) {
 func TestEngineZeroConfigAllowsEverything(t *testing.T) {
 	e := NewEngine(Config{})
 	for i := 0; i < 10; i++ {
-		if d := e.Admit(at(0), ip1, 0); d.Verdict != Allow {
+		if d := e.Admit(bg, at(0), ip1, 0); d.Verdict != Allow {
 			t.Fatalf("conn %d: %+v", i, d)
 		}
-		if d := e.Mail(at(0), ip1, "s@x.test"); d.Verdict != Allow {
+		if d := e.Mail(bg, at(0), ip1, "s@x.test"); d.Verdict != Allow {
 			t.Fatalf("mail %d: %+v", i, d)
 		}
-		if d := e.Rcpt(at(0), ip1, "s@x.test", "u@y.test"); d.Verdict != Allow {
+		if d := e.Rcpt(bg, at(0), ip1, "s@x.test", "u@y.test"); d.Verdict != Allow {
 			t.Fatalf("rcpt %d: %+v", i, d)
 		}
 	}
@@ -287,9 +291,9 @@ func TestEngineZeroConfigAllowsEverything(t *testing.T) {
 
 func TestEngineStatsCountVerdicts(t *testing.T) {
 	e := NewEngine(Config{Rate: &RateConfig{ConnPerSec: 0.001, ConnBurst: 1}, DNSBLReject: 1})
-	e.Admit(at(0), ip1, 0) // allow
-	e.Admit(at(0), ip1, 0) // rate tempfail
-	e.Admit(at(0), ip4, 1) // dnsbl reject
+	e.Admit(bg, at(0), ip1, 0) // allow
+	e.Admit(bg, at(0), ip1, 0) // rate tempfail
+	e.Admit(bg, at(0), ip4, 1) // dnsbl reject
 	st := e.Stats()
 	if st.ConnAllowed != 1 || st.ConnTempfailed != 1 || st.ConnRejected != 1 {
 		t.Fatalf("stats = %+v", st)
@@ -310,9 +314,9 @@ func TestEngineConcurrentUse(t *testing.T) {
 			ip := addr.MakeIPv4(10, 0, 0, byte(g))
 			for i := 0; i < 200; i++ {
 				now := time.Duration(i) * time.Millisecond
-				e.Admit(now, ip, 0)
-				e.Mail(now, ip, "s@x.test")
-				e.Rcpt(now, ip, "s@x.test", fmt.Sprintf("u%d@y.test", i%3))
+				e.Admit(bg, now, ip, 0)
+				e.Mail(bg, now, ip, "s@x.test")
+				e.Rcpt(bg, now, ip, "s@x.test", fmt.Sprintf("u%d@y.test", i%3))
 				e.RecordRejectedRcpt(now, ip)
 			}
 		}(g)
@@ -331,14 +335,14 @@ func TestVerdictString(t *testing.T) {
 
 // --- scorer ---
 
-// stubList is a deterministic Lookuper with a controllable delay.
+// stubList is a deterministic Resolver with a controllable delay.
 type stubList struct {
 	listed bool
 	err    error
 	delay  time.Duration
 }
 
-func (s stubList) Lookup(addr.IPv4) (dnsbl.Result, error) {
+func (s stubList) Lookup(context.Context, addr.IPv4) (dnsbl.Result, error) {
 	if s.delay > 0 {
 		time.Sleep(s.delay)
 	}
@@ -347,11 +351,11 @@ func (s stubList) Lookup(addr.IPv4) (dnsbl.Result, error) {
 
 func TestScorerAccumulatesWeights(t *testing.T) {
 	s := NewScorer(ScorerConfig{Lists: []List{
-		{Name: "a", Client: stubList{listed: true}, Weight: 1},
-		{Name: "b", Client: stubList{listed: true}, Weight: 0.5},
-		{Name: "c", Client: stubList{listed: false}},
+		{Name: "a", Resolver: stubList{listed: true}, Weight: 1},
+		{Name: "b", Resolver: stubList{listed: true}, Weight: 0.5},
+		{Name: "c", Resolver: stubList{listed: false}},
 	}})
-	if got := s.Score(ip1); got != 1.5 {
+	if got := s.Score(bg, ip1); got != 1.5 {
 		t.Fatalf("score = %v, want 1.5", got)
 	}
 	st := s.Stats()
@@ -362,10 +366,10 @@ func TestScorerAccumulatesWeights(t *testing.T) {
 
 func TestScorerFailsOpenOnErrors(t *testing.T) {
 	s := NewScorer(ScorerConfig{Lists: []List{
-		{Name: "a", Client: stubList{listed: true, err: fmt.Errorf("boom")}},
-		{Name: "b", Client: stubList{listed: false}},
+		{Name: "a", Resolver: stubList{listed: true, err: fmt.Errorf("boom")}},
+		{Name: "b", Resolver: stubList{listed: false}},
 	}})
-	if got := s.Score(ip1); got != 0 {
+	if got := s.Score(bg, ip1); got != 0 {
 		t.Fatalf("score = %v, want 0", got)
 	}
 }
@@ -376,14 +380,14 @@ func TestScorerEarlyExit(t *testing.T) {
 	slow := stubList{listed: true, delay: 30 * time.Second}
 	s := NewScorer(ScorerConfig{
 		Lists: []List{
-			{Name: "fast1", Client: stubList{listed: true}},
-			{Name: "fast2", Client: stubList{listed: true}},
-			{Name: "slow", Client: slow},
+			{Name: "fast1", Resolver: stubList{listed: true}},
+			{Name: "fast2", Resolver: stubList{listed: true}},
+			{Name: "slow", Resolver: slow},
 		},
 		Threshold: 2,
 	})
 	done := make(chan float64, 1)
-	go func() { done <- s.Score(ip1) }()
+	go func() { done <- s.Score(bg, ip1) }()
 	select {
 	case got := <-done:
 		if got < 2 {
@@ -399,16 +403,16 @@ func TestScorerEarlyExit(t *testing.T) {
 
 func TestScorerTimeoutFailsOpen(t *testing.T) {
 	s := NewScorer(ScorerConfig{
-		Lists:   []List{{Name: "slow", Client: stubList{listed: true, delay: time.Minute}}},
+		Lists:   []List{{Name: "slow", Resolver: stubList{listed: true, delay: time.Minute}}},
 		Timeout: 20 * time.Millisecond,
 	})
-	if got := s.Score(ip1); got != 0 {
+	if got := s.Score(bg, ip1); got != 0 {
 		t.Fatalf("score = %v, want 0 after timeout", got)
 	}
 }
 
 func TestScorerNoLists(t *testing.T) {
-	if got := NewScorer(ScorerConfig{}).Score(ip1); got != 0 {
+	if got := NewScorer(ScorerConfig{}).Score(bg, ip1); got != 0 {
 		t.Fatalf("score = %v", got)
 	}
 }
@@ -419,11 +423,11 @@ func TestServerPolicyClock(t *testing.T) {
 	eng := NewEngine(Config{Greylist: &GreyConfig{MinRetry: 10 * time.Second}})
 	var now time.Duration
 	p := NewServerPolicy(eng, nil).withNow(func() time.Duration { return now })
-	if d := p.Rcpt("198.51.100.7", "s@x.test", "u@y.test"); d.Verdict != Tempfail {
+	if d := p.Rcpt(bg, "198.51.100.7", "s@x.test", "u@y.test"); d.Verdict != Tempfail {
 		t.Fatalf("first contact: %+v", d)
 	}
 	now = 15 * time.Second
-	if d := p.Rcpt("198.51.100.7", "s@x.test", "u@y.test"); d.Verdict != Allow {
+	if d := p.Rcpt(bg, "198.51.100.7", "s@x.test", "u@y.test"); d.Verdict != Allow {
 		t.Fatalf("retry: %+v", d)
 	}
 }
@@ -432,7 +436,7 @@ func TestServerPolicyFailsOpenOnBadAddress(t *testing.T) {
 	eng := NewEngine(Config{Rate: &RateConfig{ConnPerSec: 0.001, ConnBurst: 1}})
 	p := NewServerPolicy(eng, nil)
 	for i := 0; i < 5; i++ {
-		if d := p.Connect("::1"); d.Verdict != Allow {
+		if d := p.Connect(bg, "::1"); d.Verdict != Allow {
 			t.Fatalf("IPv6 peer blocked: %+v", d)
 		}
 	}
@@ -442,7 +446,7 @@ func TestServerPolicyRecordsEvents(t *testing.T) {
 	eng := NewEngine(Config{Reputation: &ReputationConfig{TempfailScore: 1, RejectScore: 100}})
 	p := NewServerPolicy(eng, nil)
 	p.RecordBounce("198.51.100.7")
-	if d := p.Connect("198.51.100.7"); d.Verdict != Tempfail {
+	if d := p.Connect(bg, "198.51.100.7"); d.Verdict != Tempfail {
 		t.Fatalf("recorded bounce ignored: %+v", d)
 	}
 	if st := p.Stats(); st.BouncesSeen != 1 {

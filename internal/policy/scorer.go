@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/addr"
@@ -9,19 +10,14 @@ import (
 	"repro/internal/metrics"
 )
 
-// Lookuper is the subset of dnsbl.Client the scorer needs, so tests and
-// alternative backends can stub lookups.
-type Lookuper interface {
-	Lookup(ip addr.IPv4) (dnsbl.Result, error)
-}
-
 // List is one DNSBL consulted by the scorer.
 type List struct {
 	// Name identifies the list in stats (typically the zone).
 	Name string
-	// Client performs the lookups (a *dnsbl.Client — classic per-IP or
-	// prefix-cached DNSBLv6 — or any stub).
-	Client Lookuper
+	// Resolver performs the lookups: a *dnsbl.Client (classic per-IP or
+	// prefix-cached DNSBLv6, over any dns.Transport) or any stub
+	// implementing dnsbl.Resolver.
+	Resolver dnsbl.Resolver
 	// Weight is the score a listing on this list contributes (default 1).
 	Weight float64
 }
@@ -34,9 +30,10 @@ type ScorerConfig struct {
 	// it — slower lists are never waited on when faster ones have
 	// already condemned the source. 0 waits for every list.
 	Threshold float64
-	// Timeout bounds the whole scan (default costmodel.DNSBLTimeout).
-	// Lists that miss it contribute 0 — the scorer fails open, like the
-	// paper's servers: a DNSBL outage must not stop mail.
+	// Timeout bounds the whole scan when the caller's context carries no
+	// deadline (default costmodel.DNSBLTimeout). Lists that miss the
+	// deadline contribute 0 — the scorer fails open, like the paper's
+	// servers: a DNSBL outage must not stop mail.
 	Timeout time.Duration
 }
 
@@ -75,21 +72,30 @@ type listVote struct {
 
 // Score looks ip up on every configured list concurrently and returns
 // the accumulated weight of the lists that answered "listed" before the
-// scan ended (early exit or timeout). Lookup errors score 0.
-func (s *Scorer) Score(ip addr.IPv4) float64 {
+// scan ended (early exit, ctx expiry, or the scan timeout). The scan
+// context is cancelled as soon as the scan ends, so abandoned lookups
+// stop retrying and hedging immediately. Lookup errors score 0.
+func (s *Scorer) Score(ctx context.Context, ip addr.IPv4) float64 {
 	if len(s.cfg.Lists) == 0 {
 		return 0
 	}
 	start := time.Now()
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	} else {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
 	votes := make(chan listVote, len(s.cfg.Lists))
 	for _, l := range s.cfg.Lists {
 		go func(l List) {
-			res, err := l.Client.Lookup(ip)
+			res, err := l.Resolver.Lookup(ctx, ip)
 			votes <- listVote{weight: l.Weight, listed: err == nil && res.Listed}
 		}(l)
 	}
-	timeout := time.NewTimer(s.cfg.Timeout)
-	defer timeout.Stop()
 	var score float64
 	answered := 0
 scan:
@@ -103,7 +109,7 @@ scan:
 					break scan
 				}
 			}
-		case <-timeout.C:
+		case <-ctx.Done():
 			break scan
 		}
 	}

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/addr"
@@ -48,8 +49,10 @@ func parse(ipStr string) (addr.IPv4, bool) {
 }
 
 // Connect evaluates connection admission for a client address: the
-// DNSBL scan (when configured) followed by Engine.Admit.
-func (p *ServerPolicy) Connect(ipStr string) Decision {
+// DNSBL scan (when configured) followed by Engine.Admit. ctx is the
+// connection's context; the scorer bounds the scan by ctx's deadline, or
+// its own timeout when ctx has none.
+func (p *ServerPolicy) Connect(ctx context.Context, ipStr string) Decision {
 	ip, ok := parse(ipStr)
 	if !ok {
 		return allowed
@@ -57,29 +60,29 @@ func (p *ServerPolicy) Connect(ipStr string) Decision {
 	start := time.Now()
 	var score float64
 	if p.scorer != nil {
-		score = p.scorer.Score(ip)
+		score = p.scorer.Score(ctx, ip)
 	}
-	d := p.eng.Admit(p.nowFn(), ip, score)
+	d := p.eng.Admit(ctx, p.nowFn(), ip, score)
 	p.admitLatency.Observe(time.Since(start).Seconds())
 	return d
 }
 
 // Mail evaluates one MAIL FROM transaction.
-func (p *ServerPolicy) Mail(ipStr, sender string) Decision {
+func (p *ServerPolicy) Mail(ctx context.Context, ipStr, sender string) Decision {
 	ip, ok := parse(ipStr)
 	if !ok {
 		return allowed
 	}
-	return p.eng.Mail(p.nowFn(), ip, sender)
+	return p.eng.Mail(ctx, p.nowFn(), ip, sender)
 }
 
 // Rcpt evaluates one otherwise-valid RCPT TO.
-func (p *ServerPolicy) Rcpt(ipStr, sender, rcpt string) Decision {
+func (p *ServerPolicy) Rcpt(ctx context.Context, ipStr, sender, rcpt string) Decision {
 	ip, ok := parse(ipStr)
 	if !ok {
 		return allowed
 	}
-	return p.eng.Rcpt(p.nowFn(), ip, sender, rcpt)
+	return p.eng.Rcpt(ctx, p.nowFn(), ip, sender, rcpt)
 }
 
 // RecordRejectedRcpt feeds one 550-rejected recipient into the

@@ -1,6 +1,7 @@
 package simmail
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/policy"
@@ -49,7 +50,7 @@ func (r *runner) policyAdmit(c *connSim) policy.Decision {
 			score = 1
 		}
 	}
-	return p.Engine.Admit(r.eng.Now(), c.tc.ClientIP, score)
+	return p.Engine.Admit(context.Background(), r.eng.Now(), c.tc.ClientIP, score)
 }
 
 // policyMail evaluates the MAIL FROM transaction.
@@ -58,7 +59,7 @@ func (r *runner) policyMail(c *connSim) policy.Decision {
 	if p == nil || p.Engine == nil {
 		return policy.Decision{}
 	}
-	return p.Engine.Mail(r.eng.Now(), c.tc.ClientIP, c.tc.Sender)
+	return p.Engine.Mail(context.Background(), r.eng.Now(), c.tc.ClientIP, c.tc.Sender)
 }
 
 // policyRcpt evaluates one valid recipient through the greylist.
@@ -67,7 +68,7 @@ func (r *runner) policyRcpt(c *connSim, rcpt string) policy.Decision {
 	if p == nil || p.Engine == nil {
 		return policy.Decision{}
 	}
-	return p.Engine.Rcpt(r.eng.Now(), c.tc.ClientIP, c.tc.Sender, rcpt)
+	return p.Engine.Rcpt(context.Background(), r.eng.Now(), c.tc.ClientIP, c.tc.Sender, rcpt)
 }
 
 // policyRecordReject feeds one 550-rejected recipient to the reputation

@@ -1,6 +1,7 @@
 package smtpserver
 
 import (
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -12,10 +13,10 @@ import (
 	"repro/internal/smtp"
 )
 
-// listedAll is a stub DNSBL that lists every IP.
+// listedAll is a stub DNSBL resolver that lists every IP.
 type listedAll struct{}
 
-func (listedAll) Lookup(addr.IPv4) (dnsbl.Result, error) {
+func (listedAll) Lookup(context.Context, addr.IPv4) (dnsbl.Result, error) {
 	return dnsbl.Result{Listed: true, Code: dnsbl.CodeSpamSrc}, nil
 }
 
@@ -100,7 +101,7 @@ func TestPolicyConnectReject(t *testing.T) {
 	forEachArch(t, func(t *testing.T, arch Architecture) {
 		eng := policy.NewEngine(policy.Config{DNSBLReject: 1})
 		scorer := policy.NewScorer(policy.ScorerConfig{
-			Lists: []policy.List{{Name: "bl.test", Client: listedAll{}, Weight: 1}},
+			Lists: []policy.List{{Name: "bl.test", Resolver: listedAll{}, Weight: 1}},
 		})
 		env := startServer(t, arch, func(c *Config) {
 			c.Policy = policy.NewServerPolicy(eng, scorer)

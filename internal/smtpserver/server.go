@@ -21,6 +21,7 @@
 package smtpserver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -341,11 +342,14 @@ func (s *Server) sessionConfig(ip string) smtp.Config {
 		MaxMessageBytes: s.cfg.MaxMessageBytes,
 	}
 	if p := s.cfg.Policy; p != nil {
+		// Mid-dialog checks are local (rate buckets, greylist); the
+		// background context is bounded by the engine itself, and a dead
+		// connection is detected by the socket, not the verdict path.
 		cfg.CheckMail = func(sender string) *smtp.Reply {
-			return s.policyReply(p.Mail(ip, sender))
+			return s.policyReply(p.Mail(context.Background(), ip, sender))
 		}
 		cfg.CheckRcpt = func(sender, rcpt string) *smtp.Reply {
-			return s.policyReply(p.Rcpt(ip, sender, rcpt))
+			return s.policyReply(p.Rcpt(context.Background(), ip, sender, rcpt))
 		}
 	}
 	return cfg
@@ -375,7 +379,12 @@ func (s *Server) admitPolicy(nc net.Conn, c *smtp.Conn) bool {
 	if s.cfg.Policy == nil {
 		return true
 	}
-	d := s.cfg.Policy.Connect(remoteIP(nc))
+	// The connect-time verdict includes the DNSBL scan; bound it by the
+	// idle timeout so a sick resolver stack can never pin the connection
+	// longer than a silent client could.
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.IdleTimeout)
+	defer cancel()
+	d := s.cfg.Policy.Connect(ctx, remoteIP(nc))
 	switch d.Verdict {
 	case policy.Reject:
 		s.policyRejected.Inc()
