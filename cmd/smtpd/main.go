@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -24,6 +25,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/addr"
+	"repro/internal/admin"
 	"repro/internal/delivery"
 	"repro/internal/dnsbl"
 	"repro/internal/fsim"
@@ -33,11 +35,13 @@ import (
 	"repro/internal/pop3"
 	"repro/internal/queue"
 	"repro/internal/smtpserver"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
 		listen     = flag.String("addr", "127.0.0.1:2525", "listen address")
+		adminAddr  = flag.String("admin", "", "serve /metrics, /debug/vars, /debug/pprof, and /spans on this address (empty disables)")
 		archName   = flag.String("arch", "hybrid", "architecture: vanilla or hybrid")
 		storeName  = flag.String("store", "mfs", "mailbox store: mbox, maildir, hardlink, mfs")
 		root       = flag.String("root", "", "mail root directory (required)")
@@ -63,6 +67,13 @@ func main() {
 		log.Fatalf("smtpd: %v", err)
 	}
 	fs := fsim.NewOS(*root)
+
+	// Every component shares the process-wide default registry, so the
+	// admin endpoint exposes the whole pipeline — accept to mailbox
+	// commit — under one scrape. The span recorder keeps the last 64k
+	// stage events for /spans and cmd/traceinfo.
+	reg := metrics.Default()
+	spans := trace.NewSpanRecorder(65536)
 
 	var arch smtpserver.Architecture
 	switch *archName {
@@ -101,23 +112,25 @@ func main() {
 		log.Fatalf("smtpd: %v", err)
 	}
 
-	agent := delivery.NewAgent(db, store)
+	agent := delivery.NewAgent(db, store, delivery.WithRegistry(reg))
 	qm, err := queue.NewManager(queue.Config{
 		Deliverer:   agent,
 		Spool:       fs,
 		ActiveLimit: 8,
+		Registry:    reg,
 	})
 	if err != nil {
 		log.Fatalf("smtpd: %v", err)
 	}
 	defer qm.Close()
 
-	cfg := smtpserver.Config{
-		Hostname:     "mx." + *domain,
-		Arch:         arch,
-		MaxWorkers:   *workers,
-		ValidateRcpt: db.Valid,
-		Enqueue:      qm.Enqueue,
+	srvOpts := []smtpserver.Option{
+		smtpserver.WithHostname("mx." + *domain),
+		smtpserver.WithArchitecture(arch),
+		smtpserver.WithMaxWorkers(*workers),
+		smtpserver.WithValidateRcpt(db.Valid),
+		smtpserver.WithRegistry(reg),
+		smtpserver.WithSpans(spans),
 	}
 	var dnsblClient *dnsbl.Client
 	if *dnsblAddr != "" {
@@ -125,6 +138,7 @@ func main() {
 		// replica, hedged queries across them, and stale bitmaps served
 		// when every replica is down.
 		dnsblClient = dnsbl.New(*dnsblZone,
+			dnsbl.WithRegistry(reg),
 			dnsbl.WithUpstreams(strings.Split(*dnsblAddr, ",")...),
 			dnsbl.WithHedge(*dnsblHedge),
 			dnsbl.WithStale(*dnsblStale),
@@ -150,14 +164,15 @@ func main() {
 			scorer = policy.NewScorer(policy.ScorerConfig{
 				Lists:     []policy.List{{Name: *dnsblZone, Resolver: dnsblClient, Weight: 1}},
 				Threshold: 1,
+				Registry:  reg,
 			})
 		}
-		pol = policy.NewServerPolicy(policy.NewEngine(pcfg), scorer)
-		cfg.Policy = pol
+		pol = policy.NewServerPolicy(policy.NewEngine(pcfg), scorer, policy.WithRegistry(reg))
+		srvOpts = append(srvOpts, smtpserver.WithPolicy(pol))
 	} else if dnsblClient != nil {
 		// Without the policy engine the DNSBL check is the bare
 		// accept-time hook.
-		cfg.CheckClient = func(ip string) bool {
+		srvOpts = append(srvOpts, smtpserver.WithCheckClient(func(ip string) bool {
 			parsed, err := addr.ParseIPv4(ip)
 			if err != nil {
 				return false
@@ -170,10 +185,10 @@ func main() {
 				return false
 			}
 			return res.Listed
-		}
+		}))
 	}
 
-	srv, err := smtpserver.New(cfg)
+	srv, err := smtpserver.New(qm.Enqueue, srvOpts...)
 	if err != nil {
 		log.Fatalf("smtpd: %v", err)
 	}
@@ -190,6 +205,19 @@ func main() {
 		go pop.Serve(ln) //nolint:errcheck // exits on Close
 		defer pop.Close()
 		log.Printf("smtpd: POP3 retrieval on %s", *pop3Addr)
+	}
+
+	if *adminAddr != "" {
+		adminLn, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			log.Fatalf("smtpd: admin listen: %v", err)
+		}
+		go func() {
+			if err := http.Serve(adminLn, admin.NewHandler(reg, spans)); err != nil {
+				log.Printf("smtpd: admin: %v", err)
+			}
+		}()
+		log.Printf("smtpd: admin endpoint on http://%s/metrics", adminLn.Addr())
 	}
 
 	sigCh := make(chan os.Signal, 1)

@@ -6,12 +6,22 @@
 //	traceinfo -trace sinkhole -conns 20000
 //	traceinfo -trace univ -conns 20000
 //	traceinfo -trace ecn -days 365
+//
+// With -spans it instead reads a span stream (a server's /spans dump or
+// log) and reconstructs per-connection lives: which stages each
+// connection crossed, how long each took, and its final verdict.
+//
+//	curl -s localhost:8025/spans > spans.txt && traceinfo -spans spans.txt
+//	traceinfo -spans -   # read the stream from stdin
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"sort"
 	"time"
 
 	"repro/internal/addr"
@@ -21,6 +31,7 @@ import (
 
 func main() {
 	var (
+		spansFile = flag.String("spans", "", "read a span stream from this file (\"-\" for stdin) instead of generating a trace")
 		traceName = flag.String("trace", "sinkhole", "trace: sinkhole, univ, policy, or ecn")
 		conns     = flag.Int("conns", 20000, "connections to generate")
 		days      = flag.Int("days", 365, "ecn: days of daily ratios")
@@ -29,6 +40,13 @@ func main() {
 		window    = flag.Duration("window", time.Hour, "sliding window for repeat-source ratios")
 	)
 	flag.Parse()
+
+	if *spansFile != "" {
+		if err := describeSpans(*spansFile); err != nil {
+			log.Fatalf("traceinfo: %v", err)
+		}
+		return
+	}
 
 	switch *traceName {
 	case "ecn":
@@ -97,4 +115,70 @@ func describe(conns []trace.Conn, window time.Duration) {
 	ipRatio, prefRatio := trace.RepeatRatios(conns, window)
 	fmt.Printf("repeat sources within %v: %.1f%% by IP, %.1f%% by /25 — warm policy state on revisit\n",
 		window, 100*ipRatio, 100*prefRatio)
+}
+
+// describeSpans reconstructs connection lives from a span stream and
+// prints one lifeline per connection plus per-stage aggregates.
+func describeSpans(path string) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := trace.ParseSpans(r)
+	if err != nil {
+		return err
+	}
+	lives := trace.GroupSpans(events)
+	if len(lives) == 0 {
+		fmt.Println("no span events found")
+		return nil
+	}
+
+	// Per-connection lifelines: conn id, total wall time, the stage
+	// sequence with durations, and the final verdict.
+	for _, life := range lives {
+		fmt.Printf("conn %d  total %-12s", life.Conn, life.End()-life.Start())
+		for i, e := range life.Events {
+			if i > 0 {
+				fmt.Print(" → ")
+			} else {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%s %s", e.Stage, e.Duration().Round(time.Microsecond))
+		}
+		if v := life.Verdict(); v != "" {
+			fmt.Printf("  [%s]", v)
+		}
+		fmt.Println()
+	}
+
+	// Per-stage aggregates across every connection.
+	perStage := make(map[string]*metrics.Sample)
+	var stages []string
+	for _, e := range events {
+		if e.Conn == 0 {
+			continue
+		}
+		s, ok := perStage[e.Stage]
+		if !ok {
+			s = metrics.NewSample(0)
+			perStage[e.Stage] = s
+			stages = append(stages, e.Stage)
+		}
+		s.Observe(e.Duration().Seconds())
+	}
+	sort.Strings(stages)
+	t := metrics.NewTable("stage", "events", "p50 (ms)", "p99 (ms)", "max (ms)")
+	for _, name := range stages {
+		s := perStage[name]
+		t.AddRow(name, s.Count(), 1000*s.Quantile(0.5), 1000*s.Quantile(0.99), 1000*s.Max())
+	}
+	fmt.Printf("\n%d connections, %d span events\n", len(lives), len(events))
+	fmt.Print(t.String())
+	return nil
 }

@@ -51,12 +51,11 @@ func run() error {
 	}
 	defer qm.Close()
 
-	srv, err := smtpserver.New(smtpserver.Config{
-		Hostname:     "mx.example.org",
-		Arch:         smtpserver.Hybrid, // fork-after-trust (§5)
-		ValidateRcpt: db.Valid,
-		Enqueue:      qm.Enqueue,
-	})
+	srv, err := smtpserver.New(qm.Enqueue,
+		smtpserver.WithHostname("mx.example.org"),
+		smtpserver.WithArchitecture(smtpserver.Hybrid), // fork-after-trust (§5)
+		smtpserver.WithValidateRcpt(db.Valid),
+	)
 	if err != nil {
 		return err
 	}

@@ -93,14 +93,13 @@ func run() error {
 		return err
 	}
 	defer qm.Close()
-	srv, err := smtpserver.New(smtpserver.Config{
-		Hostname:     "sinkhole.example.org",
-		Arch:         smtpserver.Hybrid,
-		MaxWorkers:   32,
-		ValidateRcpt: db.Valid,
-		CheckClient:  check,
-		Enqueue:      qm.Enqueue,
-	})
+	srv, err := smtpserver.New(qm.Enqueue,
+		smtpserver.WithHostname("sinkhole.example.org"),
+		smtpserver.WithArchitecture(smtpserver.Hybrid),
+		smtpserver.WithMaxWorkers(32),
+		smtpserver.WithValidateRcpt(db.Valid),
+		smtpserver.WithCheckClient(check),
+	)
 	if err != nil {
 		return err
 	}

@@ -65,13 +65,12 @@ func serveTrace(arch smtpserver.Architecture, conns []trace.Conn) error {
 		return err
 	}
 	defer qm.Close()
-	srv, err := smtpserver.New(smtpserver.Config{
-		Hostname:     "mx." + domain,
-		Arch:         arch,
-		MaxWorkers:   32,
-		ValidateRcpt: db.Valid,
-		Enqueue:      qm.Enqueue,
-	})
+	srv, err := smtpserver.New(qm.Enqueue,
+		smtpserver.WithHostname("mx."+domain),
+		smtpserver.WithArchitecture(arch),
+		smtpserver.WithMaxWorkers(32),
+		smtpserver.WithValidateRcpt(db.Valid),
+	)
 	if err != nil {
 		return err
 	}

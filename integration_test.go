@@ -39,7 +39,7 @@ type stack struct {
 	addr  string
 }
 
-func startStack(t *testing.T, arch smtpserver.Architecture, storeName string, mutate ...func(*smtpserver.Config)) *stack {
+func startStack(t *testing.T, arch smtpserver.Architecture, storeName string, opts ...smtpserver.Option) *stack {
 	t.Helper()
 	const domain = "dept.example.edu"
 	s := &stack{fs: fsim.NewOS(t.TempDir())}
@@ -75,18 +75,14 @@ func startStack(t *testing.T, arch smtpserver.Architecture, storeName string, mu
 	}
 	t.Cleanup(func() { s.qm.Close() })
 
-	cfg := smtpserver.Config{
-		Hostname:     "mx." + domain,
-		Arch:         arch,
-		MaxWorkers:   16,
-		ValidateRcpt: s.db.Valid,
-		Enqueue:      s.qm.Enqueue,
-		IdleTimeout:  10 * time.Second,
-	}
-	for _, m := range mutate {
-		m(&cfg)
-	}
-	s.srv, err = smtpserver.New(cfg)
+	all := append([]smtpserver.Option{
+		smtpserver.WithHostname("mx." + domain),
+		smtpserver.WithArchitecture(arch),
+		smtpserver.WithMaxWorkers(16),
+		smtpserver.WithValidateRcpt(s.db.Valid),
+		smtpserver.WithIdleTimeout(10 * time.Second),
+	}, opts...)
+	s.srv, err = smtpserver.New(s.qm.Enqueue, all...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,8 +203,8 @@ func TestFullStackWithLiveDNSBL(t *testing.T) {
 		dnsbl.WithUpstreams(dnsSrv.Addr().String()),
 		dnsbl.WithTTL(10*time.Millisecond))
 	defer lookup.Close()
-	s := startStack(t, smtpserver.Hybrid, "mfs", func(c *smtpserver.Config) {
-		c.CheckClient = func(ipText string) bool {
+	s := startStack(t, smtpserver.Hybrid, "mfs", smtpserver.WithCheckClient(
+		func(ipText string) bool {
 			ip, err := addr.ParseIPv4(ipText)
 			if err != nil {
 				return false
@@ -217,8 +213,7 @@ func TestFullStackWithLiveDNSBL(t *testing.T) {
 			defer cancel()
 			res, err := lookup.Lookup(ctx, ip)
 			return err == nil && res.Listed
-		}
-	})
+		}))
 
 	send := func() error {
 		client, err := smtp.Dial(s.addr, 5*time.Second)
@@ -313,10 +308,11 @@ func TestFullStackBackpressure(t *testing.T) {
 	defer qm.Close()
 	db := access.NewDB(domain)
 	access.Populate(db, domain, 10)
-	srv, err := smtpserver.New(smtpserver.Config{
-		Hostname: "mx." + domain, Arch: smtpserver.Hybrid,
-		ValidateRcpt: db.Valid, Enqueue: qm.Enqueue,
-	})
+	srv, err := smtpserver.New(qm.Enqueue,
+		smtpserver.WithHostname("mx."+domain),
+		smtpserver.WithArchitecture(smtpserver.Hybrid),
+		smtpserver.WithValidateRcpt(db.Valid),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

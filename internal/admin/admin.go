@@ -1,0 +1,96 @@
+// Package admin serves the operational side channel of a running mail
+// server: Prometheus-text metrics from a metrics.Registry, expvar-style
+// JSON, pprof profiling, and the connection span stream. cmd/smtpd
+// mounts it on the -admin address, away from the SMTP port, so scraping
+// and profiling never compete with the accept path.
+package admin
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Handler routes the admin endpoints:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/debug/vars   expvar JSON (process vars + the registry's map)
+//	/debug/pprof  the net/http/pprof family
+//	/spans        the span recorder's retained events as text lines
+//	              (absent when no recorder is configured)
+//
+// Construct with NewHandler; the zero value is not usable.
+type Handler struct {
+	mux *http.ServeMux
+}
+
+// NewHandler returns a handler exposing reg and, when non-nil, spans.
+func NewHandler(reg *metrics.Registry, spans *trace.SpanRecorder) *Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w) //nolint:errcheck // client gone mid-write
+	})
+	// expvar.Handler() serves only the process-global expvar map; the
+	// registry's values are merged in by hand so per-component registries
+	// work and repeated NewHandler calls never hit expvar.Publish's
+	// duplicate-name panic.
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{")
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				fmt.Fprintf(w, ",")
+			}
+			first = false
+			fmt.Fprintf(w, "\n%q: %s", kv.Key, kv.Value)
+		})
+		vars := reg.ExpvarMap()
+		keys := make([]string, 0, len(vars))
+		for k := range vars {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !first {
+				fmt.Fprintf(w, ",")
+			}
+			first = false
+			// Histogram and sample entries are nested maps; json.Marshal
+			// renders every kind correctly.
+			b, err := json.Marshal(vars[k])
+			if err != nil {
+				b = []byte(`"unmarshalable"`)
+			}
+			fmt.Fprintf(w, "\n%q: %s", k, b)
+		}
+		fmt.Fprintf(w, "\n}\n")
+	})
+	// The pprof routes are registered explicitly rather than through the
+	// package's init-time DefaultServeMux side effect, so the SMTP-facing
+	// process never exposes them anywhere but here.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if spans != nil {
+		mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			spans.WriteTo(w) //nolint:errcheck // client gone mid-write
+		})
+	}
+	return &Handler{mux: mux}
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}

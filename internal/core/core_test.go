@@ -62,7 +62,7 @@ func TestRegistry(t *testing.T) {
 	for _, want := range []string{
 		"table1", "fig1", "fig3", "fig4", "fig5", "tuning", "fig8",
 		"fig10", "fig11", "mfs-sinkhole", "fig12", "fig13", "fig14",
-		"fig15", "combined", "parallel-delivery",
+		"fig15", "combined", "parallel-delivery", "stage-latency",
 	} {
 		if !seen[want] {
 			t.Errorf("missing experiment %s", want)
@@ -329,5 +329,35 @@ func TestParallelDelivery(t *testing.T) {
 	}
 	if m["batch_1"] != 1 {
 		t.Errorf("batch_1 = %v, want exactly 1 (serial deliveries must not batch)", m["batch_1"])
+	}
+}
+
+func TestStageLatencyShape(t *testing.T) {
+	m := quick(t, "stage-latency")
+	// Every connection passes accept and dialog under vanilla; under
+	// hybrid the bounce half of the trace dies in the pre-trust front end
+	// and never reaches handoff_wait or a worker dialog.
+	if m["vanilla_accept_count"] != m["hybrid_accept_count"] {
+		t.Errorf("accept counts differ: vanilla %v, hybrid %v",
+			m["vanilla_accept_count"], m["hybrid_accept_count"])
+	}
+	if m["vanilla_handoff_wait_count"] != m["vanilla_accept_count"] {
+		t.Errorf("vanilla handoff_wait %v != accept %v (every conn must wait for a worker)",
+			m["vanilla_handoff_wait_count"], m["vanilla_accept_count"])
+	}
+	if m["hybrid_pretrust_count"] != m["hybrid_accept_count"] {
+		t.Errorf("hybrid pretrust %v != accept %v", m["hybrid_pretrust_count"], m["hybrid_accept_count"])
+	}
+	// ~50% bounce ratio: hybrid should hand off roughly half the trace.
+	if r := m["handoff_wait_count_ratio"]; r < 1.5 {
+		t.Errorf("handoff_wait count ratio = %v, want ≥1.5 (bounces must not reach the queue)", r)
+	}
+	if m["hybrid_dialog_count"] != m["hybrid_handoff_wait_count"] {
+		t.Errorf("hybrid dialog %v != handoff_wait %v", m["hybrid_dialog_count"], m["hybrid_handoff_wait_count"])
+	}
+	for _, key := range []string{"vanilla_dialog_p99_ms", "hybrid_dialog_p99_ms"} {
+		if m[key] <= 0 {
+			t.Errorf("%s = %v, want > 0", key, m[key])
+		}
 	}
 }

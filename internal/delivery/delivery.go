@@ -8,24 +8,28 @@ package delivery
 
 import (
 	"fmt"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/mailstore"
+	"repro/internal/metrics"
 	"repro/internal/queue"
 	"repro/internal/smtp"
 )
 
 // Agent is a queue.Deliverer writing into a mailbox store. It is safe
 // for concurrent use by the queue manager's delivery workers; the stat
-// counters are atomics so the per-mail hot path takes no lock here.
+// counters are registry-vended atomics so the per-mail hot path takes no
+// lock here.
 type Agent struct {
 	db    *access.DB
 	store mailstore.Store
+	reg   *metrics.Registry
 
-	mails          atomic.Int64
-	rcptDeliveries atomic.Int64
-	droppedRcpts   atomic.Int64
+	mails          *metrics.Counter
+	rcptDeliveries *metrics.Counter
+	droppedRcpts   *metrics.Counter
+	commitHist     *metrics.Histogram
 }
 
 var _ queue.Deliverer = (*Agent)(nil)
@@ -41,11 +45,36 @@ type Stats struct {
 	DroppedRcpts int64
 }
 
+// AgentOption configures an Agent (see NewAgent).
+type AgentOption func(*Agent)
+
+// WithRegistry directs the agent's metrics (delivery counters and the
+// delivery_commit_seconds histogram, labelled by store) into r. The
+// default is a private registry.
+func WithRegistry(r *metrics.Registry) AgentOption {
+	return func(a *Agent) { a.reg = r }
+}
+
 // NewAgent returns a delivery agent writing through store, resolving
 // recipients against db.
-func NewAgent(db *access.DB, store mailstore.Store) *Agent {
-	return &Agent{db: db, store: store}
+func NewAgent(db *access.DB, store mailstore.Store, opts ...AgentOption) *Agent {
+	a := &Agent{db: db, store: store}
+	for _, o := range opts {
+		o(a)
+	}
+	if a.reg == nil {
+		a.reg = metrics.NewRegistry()
+	}
+	name := store.Name()
+	a.mails = a.reg.Counter("delivery_mails_total", "store", name)
+	a.rcptDeliveries = a.reg.Counter("delivery_rcpt_deliveries_total", "store", name)
+	a.droppedRcpts = a.reg.Counter("delivery_dropped_rcpts_total", "store", name)
+	a.commitHist = a.reg.Histogram("delivery_commit_seconds", metrics.LatencyBounds(), "store", name)
+	return a
 }
+
+// Registry returns the registry holding the agent's metrics.
+func (a *Agent) Registry() *metrics.Registry { return a.reg }
 
 // Deliver implements queue.Deliverer.
 func (a *Agent) Deliver(item *queue.Item) error {
@@ -73,10 +102,13 @@ func (a *Agent) Deliver(item *queue.Item) error {
 		a.droppedRcpts.Add(dropped)
 		return nil
 	}
-	if err := a.store.Deliver(item.ID, mailboxes, item.Data); err != nil {
+	start := time.Now()
+	err := a.store.Deliver(item.ID, mailboxes, item.Data)
+	a.commitHist.ObserveDuration(time.Since(start))
+	if err != nil {
 		return fmt.Errorf("delivery: %s: %w", item.ID, err)
 	}
-	a.mails.Add(1)
+	a.mails.Inc()
 	a.rcptDeliveries.Add(int64(len(mailboxes)))
 	a.droppedRcpts.Add(dropped)
 	return nil
@@ -85,8 +117,8 @@ func (a *Agent) Deliver(item *queue.Item) error {
 // Stats returns a snapshot of the counters.
 func (a *Agent) Stats() Stats {
 	return Stats{
-		Mails:          a.mails.Load(),
-		RcptDeliveries: a.rcptDeliveries.Load(),
-		DroppedRcpts:   a.droppedRcpts.Load(),
+		Mails:          a.mails.Value(),
+		RcptDeliveries: a.rcptDeliveries.Value(),
+		DroppedRcpts:   a.droppedRcpts.Value(),
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/costmodel"
 	"repro/internal/dns"
+	"repro/internal/metrics"
 )
 
 // CachePolicy selects how the lookup client caches DNSBL answers.
@@ -85,16 +86,21 @@ type Client struct {
 	upstreams []string
 	hedge     time.Duration
 
-	mu      sync.Mutex
-	nextID  uint16
-	queries int64
-	lookups int64
-	stale   int64
-	negHits int64
+	mu     sync.Mutex
+	nextID uint16
 
-	sfMu      sync.Mutex
-	calls     map[string]*call
-	collapsed int64
+	// Counters are registry-vended, labelled by zone, so a shared
+	// registry exposes every client's series side by side.
+	reg       *metrics.Registry
+	queries   *metrics.Counter
+	lookups   *metrics.Counter
+	cacheHits *metrics.Counter
+	stale     *metrics.Counter
+	negHits   *metrics.Counter
+	collapsed *metrics.Counter
+
+	sfMu  sync.Mutex
+	calls map[string]*call
 
 	negMu    sync.Mutex
 	negUntil map[string]time.Time
@@ -109,11 +115,6 @@ type call struct {
 
 // Option configures a Client.
 type Option func(*Client)
-
-// ClientOption is the pre-redesign name for Option.
-//
-// Deprecated: use Option.
-type ClientOption = Option
 
 // WithTransport sets the dns.Transport queries go through. Mutually
 // exclusive with WithUpstreams.
@@ -175,6 +176,13 @@ func WithNegativeTTL(d time.Duration) Option {
 	return func(c *Client) { c.negTTL = d }
 }
 
+// WithRegistry directs the client's metrics (lookup/query/cache-hit/
+// stale/negative/collapsed counters and the hedge gauge, labelled by
+// zone) into r. The default is a private registry.
+func WithRegistry(r *metrics.Registry) Option {
+	return func(c *Client) { c.reg = r }
+}
+
 // New returns a lookup client for the given zone, configured by
 // functional options. With no transport option the client reports an
 // error on every Lookup.
@@ -193,6 +201,15 @@ func New(zone string, opts ...Option) *Client {
 	if c.now == nil {
 		c.now = time.Now
 	}
+	if c.reg == nil {
+		c.reg = metrics.NewRegistry()
+	}
+	c.queries = c.reg.Counter("dnsbl_queries_total", "zone", zone)
+	c.lookups = c.reg.Counter("dnsbl_lookups_total", "zone", zone)
+	c.cacheHits = c.reg.Counter("dnsbl_cache_hits_total", "zone", zone)
+	c.stale = c.reg.Counter("dnsbl_stale_served_total", "zone", zone)
+	c.negHits = c.reg.Counter("dnsbl_negative_hits_total", "zone", zone)
+	c.collapsed = c.reg.Counter("dnsbl_collapsed_total", "zone", zone)
 	c.cache = dns.NewCache(c.now)
 	switch {
 	case c.transport != nil && c.upstreams != nil:
@@ -209,15 +226,16 @@ func New(zone string, opts ...Option) *Client {
 	case c.transport == nil:
 		c.buildErr = fmt.Errorf("dnsbl: no transport configured (use WithTransport or WithUpstreams)")
 	}
+	if p, ok := c.transport.(*dns.Pipelined); ok {
+		// Hedges live inside the transport; expose them through the same
+		// registry so /metrics shows the resilience machinery at work.
+		c.reg.GaugeFunc("dnsbl_hedges", func() float64 { return float64(p.Hedges()) }, "zone", zone)
+	}
 	return c
 }
 
-// NewClient returns a lookup client for the given zone and policy.
-//
-// Deprecated: use New with WithTransport and WithPolicy.
-func NewClient(transport dns.Transport, zone string, policy CachePolicy, opts ...ClientOption) *Client {
-	return New(zone, append([]Option{WithTransport(transport), WithPolicy(policy)}, opts...)...)
-}
+// Registry returns the registry holding the client's metrics.
+func (c *Client) Registry() *metrics.Registry { return c.reg }
 
 // Close releases the transport when the client built it (WithUpstreams);
 // it never closes a transport supplied by the caller.
@@ -233,49 +251,31 @@ func (c *Client) Close() error {
 // Queries returns the number of DNS queries actually sent upstream — the
 // quantity the paper's prefix scheme reduces by ≈39% (§7.2) and
 // singleflight reduces further under concurrency.
-func (c *Client) Queries() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.queries
-}
+func (c *Client) Queries() int64 { return c.queries.Value() }
 
 // Lookups returns the number of Lookup calls served.
-func (c *Client) Lookups() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lookups
-}
+func (c *Client) Lookups() int64 { return c.lookups.Value() }
+
+// CacheHits returns how many lookups were answered from a fresh cache
+// entry.
+func (c *Client) CacheHits() int64 { return c.cacheHits.Value() }
 
 // StaleServed returns how many lookups were answered from expired cache
 // entries because the upstream was unreachable.
-func (c *Client) StaleServed() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stale
-}
+func (c *Client) StaleServed() int64 { return c.stale.Value() }
 
 // NegativeHits returns how many lookups were short-circuited by the
 // negative (failure) cache.
-func (c *Client) NegativeHits() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.negHits
-}
+func (c *Client) NegativeHits() int64 { return c.negHits.Value() }
 
 // Collapsed returns how many concurrent duplicate lookups were merged
 // into another lookup's in-flight upstream query.
-func (c *Client) Collapsed() int64 {
-	c.sfMu.Lock()
-	defer c.sfMu.Unlock()
-	return c.collapsed
-}
+func (c *Client) Collapsed() int64 { return c.collapsed.Value() }
 
 // HitRatio returns the cache hit ratio over all lookups (0 under
 // CacheNone).
 func (c *Client) HitRatio() float64 {
-	c.mu.Lock()
-	lookups, queries := c.lookups, c.queries
-	c.mu.Unlock()
+	lookups, queries := c.lookups.Value(), c.queries.Value()
 	if lookups == 0 {
 		return 0
 	}
@@ -289,9 +289,7 @@ func (c *Client) Lookup(ctx context.Context, ip addr.IPv4) (Result, error) {
 	if c.buildErr != nil {
 		return Result{}, c.buildErr
 	}
-	c.mu.Lock()
-	c.lookups++
-	c.mu.Unlock()
+	c.lookups.Inc()
 	if _, ok := ctx.Deadline(); !ok && c.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.timeout)
@@ -359,13 +357,12 @@ func resultFromBitmap(msg *dns.Message, ip addr.IPv4, hit bool) (Result, error) 
 func (c *Client) fetch(ctx context.Context, name string, qtype dns.Type, useCache bool) (msg *dns.Message, hit, stale bool, err error) {
 	if useCache {
 		if msg, ok := c.cache.Get(name, qtype); ok {
+			c.cacheHits.Inc()
 			return msg, true, false, nil
 		}
 	}
 	if until, down := c.negCached(name, qtype); down {
-		c.mu.Lock()
-		c.negHits++
-		c.mu.Unlock()
+		c.negHits.Inc()
 		if msg, ok := c.staleFallback(name, qtype, useCache); ok {
 			return msg, true, true, nil
 		}
@@ -395,9 +392,7 @@ func (c *Client) staleFallback(name string, qtype dns.Type, useCache bool) (*dns
 	if !ok || age > c.staleFor {
 		return nil, false
 	}
-	c.mu.Lock()
-	c.stale++
-	c.mu.Unlock()
+	c.stale.Inc()
 	return msg, true
 }
 
@@ -441,7 +436,7 @@ func (c *Client) querySingleflight(ctx context.Context, name string, qtype dns.T
 	key := negKey(name, qtype)
 	c.sfMu.Lock()
 	if existing, ok := c.calls[key]; ok {
-		c.collapsed++
+		c.collapsed.Inc()
 		c.sfMu.Unlock()
 		select {
 		case <-existing.done:
@@ -463,8 +458,8 @@ func (c *Client) querySingleflight(ctx context.Context, name string, qtype dns.T
 }
 
 func (c *Client) query(ctx context.Context, name string, qtype dns.Type) (*dns.Message, error) {
+	c.queries.Inc()
 	c.mu.Lock()
-	c.queries++
 	c.nextID++ // the Pipelined transport re-assigns per-attempt IDs anyway
 	id := c.nextID
 	c.mu.Unlock()

@@ -155,7 +155,7 @@ func TestV6Handler(t *testing.T) {
 }
 
 // newTestClient wires a client to an in-memory handler for the list.
-func newTestClient(l *List, policy CachePolicy, opts ...ClientOption) (*Client, *dns.MemTransport) {
+func newTestClient(l *List, policy CachePolicy, opts ...Option) (*Client, *dns.MemTransport) {
 	var h dns.Handler
 	if policy == CachePrefix {
 		h = &V6Handler{List: l}
@@ -163,7 +163,7 @@ func newTestClient(l *List, policy CachePolicy, opts ...ClientOption) (*Client, 
 		h = &V4Handler{List: l}
 	}
 	tr := &dns.MemTransport{Handler: h}
-	return NewClient(tr, l.Zone(), policy, opts...), tr
+	return New(l.Zone(), append([]Option{WithTransport(tr), WithPolicy(policy)}, opts...)...), tr
 }
 
 func TestClientV4Lookup(t *testing.T) {
@@ -259,7 +259,7 @@ func TestClientTTLExpiry(t *testing.T) {
 	clock := func() time.Time { return now }
 	var h dns.Handler = &V4Handler{List: l}
 	tr := &dns.MemTransport{Handler: h}
-	c := NewClient(tr, "bl.test", CacheIP, WithTTL(time.Hour), WithClock(clock))
+	c := New("bl.test", WithTransport(tr), WithPolicy(CacheIP), WithTTL(time.Hour), WithClock(clock))
 	c.Lookup(ctx, ip)
 	now = now.Add(2 * time.Hour)
 	r, _ := c.Lookup(ctx, ip)

@@ -239,7 +239,7 @@ func TestDeprecatedConstructorStillWorks(t *testing.T) {
 	l := NewList("bl.test")
 	ip := addr.MustParseIPv4("2.2.2.2")
 	l.Add(ip, CodeZombie)
-	c := NewClient(&dns.MemTransport{Handler: &V4Handler{List: l}}, "bl.test", CacheIP)
+	c := New("bl.test", WithTransport(&dns.MemTransport{Handler: &V4Handler{List: l}}), WithPolicy(CacheIP))
 	r, err := c.Lookup(ctx, ip)
 	if err != nil || !r.Listed || r.Code != CodeZombie {
 		t.Fatalf("legacy client = %+v, %v", r, err)

@@ -43,24 +43,31 @@ func (c *Counter) Value() int64 {
 }
 
 // Gauge is a settable instantaneous value safe for concurrent use.
-// The zero value is ready to use.
+// The zero value is ready to use. Like Counter it is lock-free: gauges
+// sit next to counters on hot paths (queue depths, worker occupancy).
 type Gauge struct {
-	mu sync.Mutex
-	v  float64
+	bits atomic.Uint64
 }
 
 // Set records the current value of the gauge.
 func (g *Gauge) Set(v float64) {
-	g.mu.Lock()
-	g.v = v
-	g.mu.Unlock()
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // Value returns the last value passed to Set, or 0.
 func (g *Gauge) Value() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
+	return math.Float64frombits(g.bits.Load())
 }
 
 // Sample is an exact-sample reservoir of float64 observations. It retains
@@ -208,23 +215,51 @@ func (s *Sample) CDFAt(xs []float64) []CDFPoint {
 }
 
 // Histogram is a fixed-bucket histogram. Buckets are defined by their
-// upper bounds; an implicit +Inf bucket catches the rest.
+// upper bounds (inclusive, Prometheus "le" semantics); an implicit +Inf
+// bucket catches the rest. Observe is lock-free — the per-stage latency
+// histograms the Registry vends sit on every connection's path — at the
+// cost of snapshot reads (Buckets, Count, Mean) being only eventually
+// consistent with each other under concurrent recording.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // sorted upper bounds
-	counts []int64   // len(bounds)+1, last is +Inf bucket
-	total  int64
-	sum    float64
+	bounds []float64 // sorted strictly-increasing upper bounds
+	counts []atomic.Int64
+	total  atomic.Int64
+	sum    atomicFloat
 }
 
-// NewHistogram returns a histogram with the given sorted upper bounds.
+// atomicFloat is a float64 with lock-free add, stored as IEEE 754 bits.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(delta float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// NewHistogram returns a histogram with the given upper bounds, which
+// must be sorted in strictly increasing order (duplicates included in
+// the prohibition: a duplicate bound is a bucket that can never count).
+// It panics otherwise — bucket layouts are static program configuration,
+// so a bad one is a bug, not a runtime condition.
 func NewHistogram(bounds []float64) *Histogram {
-	if !sort.Float64sAreSorted(bounds) {
-		panic("metrics: histogram bounds must be sorted")
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf(
+				"metrics: histogram bounds must be sorted strictly increasing: bounds[%d]=%v is not greater than bounds[%d]=%v",
+				i, bounds[i], i-1, bounds[i-1]))
+		}
 	}
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
-	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
 }
 
 // LinearBounds returns n bucket bounds start, start+width, … suitable for
@@ -237,43 +272,119 @@ func LinearBounds(start, width float64, n int) []float64 {
 	return bs
 }
 
-// Observe records one observation.
-func (h *Histogram) Observe(x float64) {
-	h.mu.Lock()
-	i := sort.SearchFloat64s(h.bounds, x)
-	h.counts[i]++
-	h.total++
-	h.sum += x
-	h.mu.Unlock()
+// ExponentialBounds returns n bucket bounds start, start·factor,
+// start·factor², … suitable for NewHistogram. start must be positive and
+// factor greater than 1.
+func ExponentialBounds(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 {
+		panic("metrics: ExponentialBounds needs start > 0 and factor > 1")
+	}
+	bs := make([]float64, n)
+	x := start
+	for i := range bs {
+		bs[i] = x
+		x *= factor
+	}
+	return bs
 }
 
-// Count returns the number of observations.
-func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.total
+// LatencyBounds are the default exponential bounds for the per-stage
+// latency histograms: 50 µs to ≈105 s in ×2 steps, in seconds. Every
+// stage timed through a Registry uses these unless it has reason not to,
+// so stage histograms are directly comparable.
+func LatencyBounds() []float64 { return ExponentialBounds(50e-6, 2, 22) }
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sum.Add(x)
 }
+
+// ObserveDuration records a duration observation in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of all observations (exact, not bucketed).
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
 
 // Mean returns the mean of all observations (exact, not bucketed).
 func (h *Histogram) Mean() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.total == 0 {
+	n := h.total.Load()
+	if n == 0 {
 		return 0
 	}
-	return h.sum / float64(h.total)
+	return h.sum.Load() / float64(n)
 }
 
 // Buckets returns (upper bound, count) pairs including the +Inf bucket.
 func (h *Histogram) Buckets() ([]float64, []int64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	bs := make([]float64, len(h.bounds)+1)
 	copy(bs, h.bounds)
 	bs[len(bs)-1] = math.Inf(1)
 	cs := make([]int64, len(h.counts))
-	copy(cs, h.counts)
+	for i := range h.counts {
+		cs[i] = h.counts[i].Load()
+	}
 	return bs, cs
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts,
+// interpolating linearly within the bucket that contains the target
+// rank. Estimates inside the +Inf bucket clamp to the largest finite
+// bound. It returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	bs, cs := h.Buckets()
+	return bucketQuantile(bs, cs, q)
+}
+
+// bucketQuantile implements Quantile over a bucket snapshot; it is
+// shared with Metric snapshots taken from a Registry.
+func bucketQuantile(bounds []float64, counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if float64(cum) >= rank {
+			upper := bounds[i]
+			if math.IsInf(upper, 1) {
+				// No upper edge to interpolate toward; clamp to the
+				// largest finite bound (or 0 when there are no finite
+				// buckets at all).
+				if len(bounds) > 1 {
+					return bounds[len(bounds)-2]
+				}
+				return 0
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = bounds[i-1]
+			}
+			inBucket := float64(c)
+			if inBucket == 0 {
+				return upper
+			}
+			frac := (rank - float64(cum-c)) / inBucket
+			return lower + (upper-lower)*frac
+		}
+	}
+	return bounds[len(bounds)-1]
 }
 
 // Throughput tracks a count of events over an explicitly managed window of

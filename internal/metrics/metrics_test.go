@@ -263,6 +263,24 @@ func TestHistogramUnsortedBoundsPanics(t *testing.T) {
 	NewHistogram([]float64{2, 1})
 }
 
+// Regression test: NewHistogram used to accept duplicate bounds
+// silently, leaving a bucket that could never count and skewing
+// cumulative exposition. Duplicates must now panic with a message
+// naming the offending indices.
+func TestHistogramDuplicateBoundsPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("duplicate bounds did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "bounds[2]") || !strings.Contains(msg, "strictly increasing") {
+			t.Fatalf("panic message unhelpful: %v", r)
+		}
+	}()
+	NewHistogram([]float64{1, 2, 2, 3})
+}
+
 func TestLinearBounds(t *testing.T) {
 	bs := LinearBounds(10, 5, 3)
 	want := []float64{10, 15, 20}

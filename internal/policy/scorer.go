@@ -26,6 +26,9 @@ type List struct {
 type ScorerConfig struct {
 	// Lists are the blacklists to consult.
 	Lists []List
+	// Registry receives the scorer's metrics (scan counters and the
+	// policy_scan_seconds latency sample). Nil means a private registry.
+	Registry *metrics.Registry
 	// Threshold stops the scan early once the accumulated score reaches
 	// it — slower lists are never waited on when faster ones have
 	// already condemned the source. 0 waits for every list.
@@ -44,11 +47,12 @@ type ScorerConfig struct {
 // It is safe for concurrent use.
 type Scorer struct {
 	cfg ScorerConfig
+	reg *metrics.Registry
 
-	scans   metrics.Counter
-	hits    metrics.Counter // scans with score > 0
-	early   metrics.Counter // scans that exited before every list answered
-	latency *metrics.Sample // scan wall time in seconds
+	scans   *metrics.Counter
+	hits    *metrics.Counter // scans with score > 0
+	early   *metrics.Counter // scans that exited before every list answered
+	latency *metrics.Sample  // scan wall time in seconds
 }
 
 // NewScorer returns a scorer over the given lists.
@@ -61,8 +65,22 @@ func NewScorer(cfg ScorerConfig) *Scorer {
 			cfg.Lists[i].Weight = 1
 		}
 	}
-	return &Scorer{cfg: cfg, latency: metrics.NewSample(1024)}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Scorer{
+		cfg:     cfg,
+		reg:     reg,
+		scans:   reg.Counter("policy_scans_total"),
+		hits:    reg.Counter("policy_scan_hits_total"),
+		early:   reg.Counter("policy_scan_early_exits_total"),
+		latency: reg.Sample("policy_scan_seconds"),
+	}
 }
+
+// Registry returns the registry holding the scorer's metrics.
+func (s *Scorer) Registry() *metrics.Registry { return s.reg }
 
 // listVote is one list's contribution to a scan.
 type listVote struct {

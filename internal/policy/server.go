@@ -19,21 +19,45 @@ type ServerPolicy struct {
 	epoch  time.Time
 	nowFn  func() time.Duration
 
+	reg          *metrics.Registry
 	admitLatency *metrics.Sample // Connect wall time in seconds (includes DNSBL scan)
+	scanCheck    *metrics.Histogram
+	admitCheck   *metrics.Histogram
+}
+
+// ServerPolicyOption configures a ServerPolicy (see NewServerPolicy).
+type ServerPolicyOption func(*ServerPolicy)
+
+// WithRegistry directs the policy's metrics — the policy_admit_seconds
+// summary and the per-check policy_check_seconds{check} histograms —
+// into r. The default is a private registry.
+func WithRegistry(r *metrics.Registry) ServerPolicyOption {
+	return func(p *ServerPolicy) { p.reg = r }
 }
 
 // NewServerPolicy wraps eng for wall-clock use; scorer may be nil when
 // no DNSBLs are consulted.
-func NewServerPolicy(eng *Engine, scorer *Scorer) *ServerPolicy {
+func NewServerPolicy(eng *Engine, scorer *Scorer, opts ...ServerPolicyOption) *ServerPolicy {
 	p := &ServerPolicy{
-		eng:          eng,
-		scorer:       scorer,
-		epoch:        time.Now(),
-		admitLatency: metrics.NewSample(1024),
+		eng:    eng,
+		scorer: scorer,
+		epoch:  time.Now(),
 	}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.reg == nil {
+		p.reg = metrics.NewRegistry()
+	}
+	p.admitLatency = p.reg.Sample("policy_admit_seconds")
+	p.scanCheck = p.reg.Histogram("policy_check_seconds", metrics.LatencyBounds(), "check", "dnsbl_scan")
+	p.admitCheck = p.reg.Histogram("policy_check_seconds", metrics.LatencyBounds(), "check", "admit")
 	p.nowFn = func() time.Duration { return time.Since(p.epoch) }
 	return p
 }
+
+// Registry returns the registry holding the policy's metrics.
+func (p *ServerPolicy) Registry() *metrics.Registry { return p.reg }
 
 // withNow overrides the clock, for tests.
 func (p *ServerPolicy) withNow(now func() time.Duration) *ServerPolicy {
@@ -61,9 +85,13 @@ func (p *ServerPolicy) Connect(ctx context.Context, ipStr string) Decision {
 	var score float64
 	if p.scorer != nil {
 		score = p.scorer.Score(ctx, ip)
+		p.scanCheck.ObserveDuration(time.Since(start))
 	}
+	admitStart := time.Now()
 	d := p.eng.Admit(ctx, p.nowFn(), ip, score)
-	p.admitLatency.Observe(time.Since(start).Seconds())
+	end := time.Now()
+	p.admitCheck.ObserveDuration(end.Sub(admitStart))
+	p.admitLatency.Observe(end.Sub(start).Seconds())
 	return d
 }
 

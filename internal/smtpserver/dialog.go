@@ -91,19 +91,36 @@ func (s *Server) runDialog(nc net.Conn, c *smtp.Conn, sess *smtp.Session, stopWh
 	}
 }
 
+// outcomeNote maps a dialog outcome to its span note.
+func outcomeNote(out outcome) string {
+	switch out {
+	case outcomeQuit:
+		return "quit"
+	case outcomeTrusted:
+		return "trusted"
+	default:
+		return "dropped"
+	}
+}
+
 // vanillaWorker is one smtpd process of Figure 6: it takes whole
 // connections and serves the entire dialog, bounces included.
-func (s *Server) vanillaWorker(conns <-chan net.Conn) {
+func (s *Server) vanillaWorker(conns <-chan accepted) {
 	defer s.workerWG.Done()
-	for nc := range conns {
+	for a := range conns {
+		nc := a.nc
+		// The time since the accept loop dispatched is the vanilla
+		// handoff wait: master blocked until a worker freed up.
+		s.observeStage(StageHandoffWait, a.id, a.at, "")
 		c := smtp.NewConn(nc)
 		// The vanilla architecture pays a worker for the policy check
 		// itself — the cost contrast the policy-sweep experiment measures.
-		if !s.admitPolicy(nc, c) {
+		if !s.admitPolicy(nc, c, a.id) {
 			s.untrack(nc)
 			nc.Close()
 			continue
 		}
+		dialogStart := time.Now()
 		sess := smtp.NewSession(s.sessionConfig(remoteIP(nc)))
 		if err := c.WriteReply(sess.Greeting()); err == nil {
 			out := s.runDialog(nc, c, sess, nil)
@@ -114,6 +131,9 @@ func (s *Server) vanillaWorker(conns <-chan net.Conn) {
 				s.preTrustClosed.Inc()
 				s.recordBounce(nc, sess)
 			}
+			s.observeStage(StageDialog, a.id, dialogStart, outcomeNote(out))
+		} else {
+			s.observeStage(StageDialog, a.id, dialogStart, "dropped")
 		}
 		s.untrack(nc)
 		nc.Close()
@@ -125,30 +145,33 @@ func (s *Server) vanillaWorker(conns <-chan net.Conn) {
 // never produce one — random-guessing bounces and unfinished sessions —
 // are finished right here, costing no worker. Trusted connections are
 // delegated to the worker pool through the bounded task queue.
-func (s *Server) hybridFrontEnd(nc net.Conn) {
+func (s *Server) hybridFrontEnd(nc net.Conn, id uint64) {
 	defer s.frontWG.Done()
 	c := smtp.NewConn(nc)
 	// Policy runs in the master's event loop: a rejected connection is
 	// finished here, before any worker is committed — the paper's
 	// fork-after-trust thesis extended from bounces to policy verdicts.
-	if !s.admitPolicy(nc, c) {
+	if !s.admitPolicy(nc, c, id) {
 		s.untrack(nc)
 		nc.Close()
 		return
 	}
+	preTrustStart := time.Now()
 	sess := smtp.NewSession(s.sessionConfig(remoteIP(nc)))
 	if err := c.WriteReply(sess.Greeting()); err != nil {
+		s.observeStage(StagePreTrust, id, preTrustStart, "dropped")
 		s.untrack(nc)
 		nc.Close()
 		return
 	}
 	out := s.runDialog(nc, c, sess, (*smtp.Session).HasValidRcpt)
+	s.observeStage(StagePreTrust, id, preTrustStart, outcomeNote(out))
 	switch out {
 	case outcomeTrusted:
 		s.handoffs.Inc()
 		// A full queue blocks the front end — the finite socket buffer
 		// acting "as a natural throttle for the master process" (§5.3).
-		s.tasks <- &task{nc: nc, c: c, sess: sess}
+		s.tasks <- &task{nc: nc, c: c, sess: sess, id: id, at: time.Now()}
 	case outcomeQuit:
 		s.sessionsServed.Inc()
 		s.preTrustClosed.Inc()
@@ -177,10 +200,15 @@ func (s *Server) recordBounce(nc net.Conn, sess *smtp.Session) {
 func (s *Server) hybridWorker(tasks <-chan *task) {
 	defer s.workerWG.Done()
 	for t := range tasks {
+		// Queue wait: from the front end's enqueue attempt to this
+		// pickup — the §5.3 socket-buffer throttle made visible.
+		s.observeStage(StageHandoffWait, t.id, t.at, "")
+		dialogStart := time.Now()
 		out := s.runDialog(t.nc, t.c, t.sess, nil)
 		if out == outcomeQuit {
 			s.sessionsServed.Inc()
 		}
+		s.observeStage(StageDialog, t.id, dialogStart, outcomeNote(out))
 		s.untrack(t.nc)
 		t.nc.Close()
 	}

@@ -10,10 +10,8 @@ import (
 )
 
 func TestListenAndServe(t *testing.T) {
-	srv, err := New(Config{
-		Arch:    Hybrid,
-		Enqueue: func(string, []string, []byte) (string, error) { return "Q", nil },
-	})
+	srv, err := New(func(string, []string, []byte) (string, error) { return "Q", nil },
+		WithArchitecture(Hybrid))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,10 +34,8 @@ func TestListenAndServe(t *testing.T) {
 }
 
 func TestListenAndServeBadAddress(t *testing.T) {
-	srv, err := New(Config{
-		Arch:    Vanilla,
-		Enqueue: func(string, []string, []byte) (string, error) { return "Q", nil },
-	})
+	srv, err := New(func(string, []string, []byte) (string, error) { return "Q", nil },
+		WithArchitecture(Vanilla))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,10 +61,8 @@ func TestServeTwiceRejected(t *testing.T) {
 }
 
 func TestServeAfterCloseRejected(t *testing.T) {
-	srv, err := New(Config{
-		Arch:    Vanilla,
-		Enqueue: func(string, []string, []byte) (string, error) { return "Q", nil },
-	})
+	srv, err := New(func(string, []string, []byte) (string, error) { return "Q", nil },
+		WithArchitecture(Vanilla))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +119,7 @@ func TestOverlongCommandLineGets500(t *testing.T) {
 
 func TestOversizeBodyKeepsConnectionAlive(t *testing.T) {
 	forEachArch(t, func(t *testing.T, arch Architecture) {
-		env := startServer(t, arch, func(c *Config) { c.MaxMessageBytes = 128 })
+		env := startServer(t, arch, WithMaxMessageBytes(128))
 		client := dial(t, env)
 		client.Helo("h")
 		client.Mail("s@x.test")
@@ -143,7 +137,7 @@ func TestOversizeBodyKeepsConnectionAlive(t *testing.T) {
 }
 
 func TestIdleClientTimedOut(t *testing.T) {
-	env := startServer(t, Hybrid, func(c *Config) { c.IdleTimeout = 50 * time.Millisecond })
+	env := startServer(t, Hybrid, WithIdleTimeout(50*time.Millisecond))
 	nc, err := net.Dial("tcp", env.addr)
 	if err != nil {
 		t.Fatal(err)
@@ -159,15 +153,13 @@ func TestIdleClientTimedOut(t *testing.T) {
 }
 
 func TestRemoteIPParsing(t *testing.T) {
-	env := startServer(t, Vanilla, func(c *Config) {
-		c.CheckClient = func(ip string) bool {
-			// The hook must receive a bare IP, not host:port.
-			if strings.Contains(ip, ":") || net.ParseIP(ip) == nil {
-				t.Errorf("CheckClient got %q, want bare IPv4", ip)
-			}
-			return false
+	env := startServer(t, Vanilla, WithCheckClient(func(ip string) bool {
+		// The hook must receive a bare IP, not host:port.
+		if strings.Contains(ip, ":") || net.ParseIP(ip) == nil {
+			t.Errorf("CheckClient got %q, want bare IPv4", ip)
 		}
-	})
+		return false
+	}))
 	c := dial(t, env)
 	c.Helo("h")
 	c.Quit()

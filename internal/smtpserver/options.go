@@ -1,0 +1,98 @@
+package smtpserver
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// Enqueue hands an accepted mail to the queue manager and returns its
+// queue id. It is the one required collaborator of a Server — everything
+// else is optional configuration.
+type Enqueue func(sender string, rcpts []string, data []byte) (string, error)
+
+// settings is the resolved configuration New builds from its options:
+// the legacy Config plus the observability wiring that never existed on
+// the Config struct.
+type settings struct {
+	Config
+	registry *metrics.Registry
+	spans    *trace.SpanRecorder
+}
+
+// Option configures a Server (see New).
+type Option func(*settings)
+
+// WithHostname sets the banner hostname (default "mail.example.org").
+func WithHostname(h string) Option {
+	return func(s *settings) { s.Hostname = h }
+}
+
+// WithArchitecture selects the concurrency model (default Hybrid, the
+// paper's contribution).
+func WithArchitecture(a Architecture) Option {
+	return func(s *settings) { s.Arch = a }
+}
+
+// WithMaxWorkers sets the smtpd pool size (default 100, like stock
+// postfix).
+func WithMaxWorkers(n int) Option {
+	return func(s *settings) { s.MaxWorkers = n }
+}
+
+// WithTaskDepthPerWorker sizes the hybrid handoff queue per worker
+// (default ≈28, the §5.3 estimate of tasks per 64 KB socket buffer).
+func WithTaskDepthPerWorker(n int) Option {
+	return func(s *settings) { s.TaskDepthPerWorker = n }
+}
+
+// WithValidateRcpt sets the access-database hook; nil accepts
+// everything.
+func WithValidateRcpt(f func(addr string) bool) Option {
+	return func(s *settings) { s.ValidateRcpt = f }
+}
+
+// WithCheckClient sets the bare DNSBL hook: return true to reject the
+// connecting IP with 554 at accept time.
+func WithCheckClient(f func(ip string) bool) Option {
+	return func(s *settings) { s.CheckClient = f }
+}
+
+// WithPolicy installs the pre-trust policy engine, consulted at connect
+// time and on each MAIL FROM / RCPT TO.
+func WithPolicy(p *policy.ServerPolicy) Option {
+	return func(s *settings) { s.Policy = p }
+}
+
+// WithMaxRcpts bounds recipients per transaction (see smtp.Config).
+func WithMaxRcpts(n int) Option {
+	return func(s *settings) { s.MaxRcpts = n }
+}
+
+// WithMaxMessageBytes bounds message size (see smtp.Config).
+func WithMaxMessageBytes(n int) Option {
+	return func(s *settings) { s.MaxMessageBytes = n }
+}
+
+// WithIdleTimeout bounds each wait for a client command (default 60s).
+func WithIdleTimeout(d time.Duration) Option {
+	return func(s *settings) { s.IdleTimeout = d }
+}
+
+// WithRegistry directs the server's metrics — stage histograms and every
+// counter behind Stats() — into r, typically metrics.Default() wired to
+// an admin endpoint. By default each server uses a private registry, so
+// tests and side-by-side experiments never share series.
+func WithRegistry(r *metrics.Registry) Option {
+	return func(s *settings) { s.registry = r }
+}
+
+// WithSpans emits per-connection stage spans (connection id, stage
+// enter/exit, verdict) into rec, from which cmd/traceinfo can
+// reconstruct a single connection's life. Nil disables span emission
+// (the default).
+func WithSpans(rec *trace.SpanRecorder) Option {
+	return func(s *settings) { s.spans = rec }
+}

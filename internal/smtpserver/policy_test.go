@@ -46,9 +46,7 @@ func TestGreylistTempfailThenAccept(t *testing.T) {
 		eng := policy.NewEngine(policy.Config{
 			Greylist: &policy.GreyConfig{MinRetry: minRetry},
 		})
-		env := startServer(t, arch, func(c *Config) {
-			c.Policy = policy.NewServerPolicy(eng, nil)
-		})
+		env := startServer(t, arch, WithPolicy(policy.NewServerPolicy(eng, nil)))
 
 		// First attempt: greylisted with 450; the recipient is valid, so
 		// only the greylist stands between the client and trust.
@@ -103,9 +101,7 @@ func TestPolicyConnectReject(t *testing.T) {
 		scorer := policy.NewScorer(policy.ScorerConfig{
 			Lists: []policy.List{{Name: "bl.test", Resolver: listedAll{}, Weight: 1}},
 		})
-		env := startServer(t, arch, func(c *Config) {
-			c.Policy = policy.NewServerPolicy(eng, scorer)
-		})
+		env := startServer(t, arch, WithPolicy(policy.NewServerPolicy(eng, scorer)))
 		nc, err := net.Dial("tcp", env.addr)
 		if err != nil {
 			t.Fatal(err)
@@ -132,9 +128,7 @@ func TestPolicyRateLimitTempfail(t *testing.T) {
 		eng := policy.NewEngine(policy.Config{
 			Rate: &policy.RateConfig{ConnPerSec: 0.001, ConnBurst: 1},
 		})
-		env := startServer(t, arch, func(c *Config) {
-			c.Policy = policy.NewServerPolicy(eng, nil)
-		})
+		env := startServer(t, arch, WithPolicy(policy.NewServerPolicy(eng, nil)))
 
 		// First connection is admitted and delivers.
 		c := dial(t, env)
@@ -175,9 +169,7 @@ func TestPolicyBounceFeedsReputation(t *testing.T) {
 				RejectScore:   100, // keep the verdict at tempfail for the test
 			},
 		})
-		env := startServer(t, arch, func(c *Config) {
-			c.Policy = policy.NewServerPolicy(eng, nil)
-		})
+		env := startServer(t, arch, WithPolicy(policy.NewServerPolicy(eng, nil)))
 
 		// Two bounce connections: each records rejected RCPTs plus a
 		// completed bounce. (Weights: 2 bounces ×1.0 + 2 rejects ×0.3.)

@@ -32,7 +32,42 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/smtp"
+	"repro/internal/trace"
 )
+
+// The pipeline stages every connection is timed under, recorded as
+// smtpd_stage_seconds{arch,stage} histograms and (when a span recorder
+// is attached) as per-connection span events. The catalogue is part of
+// the observability API: DESIGN.md documents it and experiments read
+// histograms back by these names.
+const (
+	// StageAccept is the accept loop's dispatch time for one connection:
+	// from Accept returning to the connection being handed off toward
+	// its handler (tracking, DNSBL accept-time check, dispatch).
+	StageAccept = "accept"
+	// StagePolicy is the connect-time policy verdict, DNSBL scan
+	// included.
+	StagePolicy = "policy"
+	// StagePreTrust is the hybrid front end's share of the dialog: from
+	// banner write until the connection is trusted or finished.
+	StagePreTrust = "pretrust"
+	// StageHandoffWait is the time a connection waits for an smtpd
+	// worker: hybrid, from task enqueue to worker pickup (the §5.3
+	// socket-buffer queue); vanilla, from accept-loop dispatch to worker
+	// pickup — master blocked on the process limit.
+	StageHandoffWait = "handoff_wait"
+	// StageDialog is the worker's share of the dialog: the whole session
+	// for vanilla, the post-trust remainder for hybrid.
+	StageDialog = "dialog"
+)
+
+// Stages lists the stage names in pipeline order.
+func Stages() []string {
+	return []string{StageAccept, StagePolicy, StagePreTrust, StageHandoffWait, StageDialog}
+}
+
+// StageMetric is the name of the per-stage latency histogram family.
+const StageMetric = "smtpd_stage_seconds"
 
 // Architecture selects the concurrency model.
 type Architecture int
@@ -112,7 +147,9 @@ type Stats struct {
 
 // Server is a runnable mail server front end.
 type Server struct {
-	cfg Config
+	cfg   Config
+	reg   *metrics.Registry
+	spans *trace.SpanRecorder
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -126,30 +163,72 @@ type Server struct {
 	frontWG  sync.WaitGroup
 	workerWG sync.WaitGroup
 
-	connections     metrics.Counter
-	blacklisted     metrics.Counter
-	preTrustClosed  metrics.Counter
-	handoffs        metrics.Counter
-	mailsAccepted   metrics.Counter
-	rcptRejected    metrics.Counter
-	sessionsServed  metrics.Counter
-	enqueueFailures metrics.Counter
-	policyRejected  metrics.Counter
-	policyTempfail  metrics.Counter
-	greylisted      metrics.Counter
+	// Counters are vended by the registry under their documented names;
+	// Stats() reads them back, so the table API and /metrics agree by
+	// construction.
+	connections     *metrics.Counter
+	blacklisted     *metrics.Counter
+	preTrustClosed  *metrics.Counter
+	handoffs        *metrics.Counter
+	mailsAccepted   *metrics.Counter
+	rcptRejected    *metrics.Counter
+	sessionsServed  *metrics.Counter
+	enqueueFailures *metrics.Counter
+	policyRejected  *metrics.Counter
+	policyTempfail  *metrics.Counter
+	greylisted      *metrics.Counter
+
+	stage map[string]*metrics.Histogram
 }
 
 // task is one delegated connection: exactly the state §5.3 transfers over
 // the UNIX-domain socket (client identity, sender, recipients — carried
-// inside the live Session — plus the connection itself).
+// inside the live Session — plus the connection itself), annotated with
+// the handoff instant and span id the instrumentation needs.
 type task struct {
 	nc   net.Conn
 	c    *smtp.Conn
 	sess *smtp.Session
+	id   uint64
+	at   time.Time // when the front end enqueued the task
 }
 
-// New returns an unstarted server.
-func New(cfg Config) (*Server, error) {
+// accepted is one connection in flight from the accept loop to a
+// vanilla worker.
+type accepted struct {
+	nc net.Conn
+	id uint64
+	at time.Time // when the accept loop accepted the connection
+}
+
+// New returns an unstarted server delivering accepted mail through
+// enqueue, configured by functional options. The default server is the
+// paper's hybrid architecture with 100 workers and a private metrics
+// registry; see the With* options, in particular WithRegistry to expose
+// the server on a shared /metrics endpoint and WithSpans for
+// per-connection stage spans.
+func New(enqueue Enqueue, opts ...Option) (*Server, error) {
+	st := settings{}
+	st.Enqueue = enqueue
+	st.Arch = Hybrid
+	for _, o := range opts {
+		o(&st)
+	}
+	return newServer(st)
+}
+
+// NewFromConfig returns an unstarted server from the pre-redesign Config
+// struct. Unlike New it has no default architecture: a zero Arch is an
+// error, as it always was.
+//
+// Deprecated: use New with functional options.
+func NewFromConfig(cfg Config) (*Server, error) {
+	return newServer(settings{Config: cfg})
+}
+
+// newServer validates, defaults, and wires the instrumentation.
+func newServer(st settings) (*Server, error) {
+	cfg := st.Config
 	if cfg.Enqueue == nil {
 		return nil, errors.New("smtpserver: Enqueue is required")
 	}
@@ -168,10 +247,62 @@ func New(cfg Config) (*Server, error) {
 	if cfg.IdleTimeout <= 0 {
 		cfg.IdleTimeout = 60 * time.Second
 	}
-	return &Server{
+	reg := st.registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	arch := cfg.Arch.String()
+	s := &Server{
 		cfg:   cfg,
+		reg:   reg,
+		spans: st.spans,
 		conns: make(map[net.Conn]bool),
-	}, nil
+
+		connections:     reg.Counter("smtpd_connections_total", "arch", arch),
+		blacklisted:     reg.Counter("smtpd_blacklisted_total", "arch", arch),
+		preTrustClosed:  reg.Counter("smtpd_pretrust_closed_total", "arch", arch),
+		handoffs:        reg.Counter("smtpd_handoffs_total", "arch", arch),
+		mailsAccepted:   reg.Counter("smtpd_mails_accepted_total", "arch", arch),
+		rcptRejected:    reg.Counter("smtpd_rcpt_rejected_total", "arch", arch),
+		sessionsServed:  reg.Counter("smtpd_sessions_served_total", "arch", arch),
+		enqueueFailures: reg.Counter("smtpd_enqueue_failures_total", "arch", arch),
+		policyRejected:  reg.Counter("smtpd_policy_rejected_total", "arch", arch),
+		policyTempfail:  reg.Counter("smtpd_policy_tempfail_total", "arch", arch),
+		greylisted:      reg.Counter("smtpd_greylisted_total", "arch", arch),
+
+		stage: make(map[string]*metrics.Histogram, 5),
+	}
+	for _, name := range Stages() {
+		s.stage[name] = reg.Histogram(StageMetric, metrics.LatencyBounds(), "arch", arch, "stage", name)
+	}
+	return s, nil
+}
+
+// Registry returns the registry holding the server's metrics.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// connID allocates a span connection id, or 0 when spans are off.
+func (s *Server) connID() uint64 {
+	if s.spans == nil {
+		return 0
+	}
+	return s.spans.ConnID()
+}
+
+// observeStage records one completed stage into the stage histogram and,
+// when spans are on, as a span event ending now.
+func (s *Server) observeStage(stage string, id uint64, start time.Time, note string) {
+	end := time.Now()
+	s.stage[stage].Observe(end.Sub(start).Seconds())
+	if s.spans != nil && id != 0 {
+		s.spans.Record(trace.SpanEvent{
+			Conn:  id,
+			Stage: stage,
+			Start: s.spans.Offset(start),
+			End:   s.spans.Offset(end),
+			Note:  note,
+		})
+	}
 }
 
 // Stats returns a snapshot of the counters.
@@ -211,14 +342,14 @@ func (s *Server) Serve(ln net.Listener) error {
 			go s.hybridWorker(s.tasks)
 		}
 	}
-	var vanillaConns chan net.Conn
+	var vanillaConns chan accepted
 	if s.cfg.Arch == Vanilla {
 		// The worker pool mirrors postfix's reuse of smtpd processes:
 		// MaxWorkers long-lived workers each take one connection at a
 		// time; the unbuffered channel makes the accept loop wait when
 		// all are busy, exactly like master refusing to fork past the
 		// process limit.
-		vanillaConns = make(chan net.Conn)
+		vanillaConns = make(chan accepted)
 		for i := 0; i < s.cfg.MaxWorkers; i++ {
 			s.workerWG.Add(1)
 			go s.vanillaWorker(vanillaConns)
@@ -240,6 +371,8 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return fmt.Errorf("smtpserver: accept: %w", err)
 		}
+		acceptedAt := time.Now()
+		id := s.connID()
 		s.connections.Inc()
 		if !s.track(nc) {
 			nc.Close()
@@ -251,14 +384,21 @@ func (s *Server) Serve(ln net.Listener) error {
 			c.WriteReply(smtp.ReplyBlacklisted) //nolint:errcheck // closing anyway
 			s.untrack(nc)
 			nc.Close()
+			s.observeStage(StageAccept, id, acceptedAt, "blacklisted")
 			continue
 		}
 		switch s.cfg.Arch {
 		case Vanilla:
-			vanillaConns <- nc
+			// Under vanilla, waiting here IS the architecture's cost:
+			// master blocked on the process limit. The wait lands in the
+			// handoff_wait histogram (observed by the worker); accept's
+			// own share ends at the send.
+			s.observeStage(StageAccept, id, acceptedAt, "")
+			vanillaConns <- accepted{nc: nc, id: id, at: acceptedAt}
 		case Hybrid:
 			s.frontWG.Add(1)
-			go s.hybridFrontEnd(nc)
+			go s.hybridFrontEnd(nc, id)
+			s.observeStage(StageAccept, id, acceptedAt, "")
 		}
 	}
 }
@@ -374,8 +514,9 @@ func (s *Server) policyReply(d policy.Decision) *smtp.Reply {
 // reply has been written and the connection must be closed by the
 // caller. It is called from the vanilla worker and the hybrid front
 // end, never from the accept loop, so a slow DNSBL scan stalls only the
-// connection it concerns.
-func (s *Server) admitPolicy(nc net.Conn, c *smtp.Conn) bool {
+// connection it concerns. The verdict is timed as the policy stage and
+// noted on the connection's span (allow/reject/tempfail).
+func (s *Server) admitPolicy(nc net.Conn, c *smtp.Conn, id uint64) bool {
 	if s.cfg.Policy == nil {
 		return true
 	}
@@ -384,17 +525,21 @@ func (s *Server) admitPolicy(nc net.Conn, c *smtp.Conn) bool {
 	// longer than a silent client could.
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.IdleTimeout)
 	defer cancel()
+	start := time.Now()
 	d := s.cfg.Policy.Connect(ctx, remoteIP(nc))
 	switch d.Verdict {
 	case policy.Reject:
+		s.observeStage(StagePolicy, id, start, "reject")
 		s.policyRejected.Inc()
 		c.WriteReply(smtp.Reply{Code: 554, Text: d.Reason}) //nolint:errcheck // closing anyway
 		return false
 	case policy.Tempfail:
+		s.observeStage(StagePolicy, id, start, "tempfail")
 		s.policyTempfail.Inc()
 		c.WriteReply(smtp.Reply{Code: 421, Text: d.Reason}) //nolint:errcheck // closing anyway
 		return false
 	default:
+		s.observeStage(StagePolicy, id, start, "allow")
 		return true
 	}
 }

@@ -13,10 +13,18 @@ import (
 
 // testEnv is a running server plus a sink capturing enqueued mails.
 type testEnv struct {
-	srv  *Server
-	addr string
-	mu   sync.Mutex
-	mail []capturedMail
+	srv     *Server
+	addr    string
+	mu      sync.Mutex
+	mail    []capturedMail
+	enqueue Enqueue // optional override, set via setEnqueue before dialing
+}
+
+// setEnqueue replaces the capture sink for subsequent deliveries.
+func (e *testEnv) setEnqueue(fn Enqueue) {
+	e.mu.Lock()
+	e.enqueue = fn
+	e.mu.Unlock()
 }
 
 type capturedMail struct {
@@ -32,33 +40,34 @@ func (e *testEnv) captured() []capturedMail {
 }
 
 // startServer boots a server of the given architecture on a loopback
-// port. Recipients at @valid.test are accepted.
-func startServer(t *testing.T, arch Architecture, mutate ...func(*Config)) *testEnv {
+// port. Recipients at @valid.test are accepted. Extra options override
+// the test defaults (they append after them).
+func startServer(t *testing.T, arch Architecture, opts ...Option) *testEnv {
 	t.Helper()
 	env := &testEnv{}
-	cfg := Config{
-		Hostname: "mx.test",
-		Arch:     arch,
-		ValidateRcpt: func(addr string) bool {
+	enqueue := func(sender string, rcpts []string, data []byte) (string, error) {
+		env.mu.Lock()
+		defer env.mu.Unlock()
+		if env.enqueue != nil {
+			return env.enqueue(sender, rcpts, data)
+		}
+		env.mail = append(env.mail, capturedMail{
+			sender: sender,
+			rcpts:  append([]string(nil), rcpts...),
+			data:   append([]byte(nil), data...),
+		})
+		return fmt.Sprintf("Q%d", len(env.mail)), nil
+	}
+	all := append([]Option{
+		WithHostname("mx.test"),
+		WithArchitecture(arch),
+		WithValidateRcpt(func(addr string) bool {
 			return strings.HasSuffix(strings.ToLower(addr), "@valid.test")
-		},
-		Enqueue: func(sender string, rcpts []string, data []byte) (string, error) {
-			env.mu.Lock()
-			defer env.mu.Unlock()
-			env.mail = append(env.mail, capturedMail{
-				sender: sender,
-				rcpts:  append([]string(nil), rcpts...),
-				data:   append([]byte(nil), data...),
-			})
-			return fmt.Sprintf("Q%d", len(env.mail)), nil
-		},
-		MaxWorkers:  4,
-		IdleTimeout: 5 * time.Second,
-	}
-	for _, m := range mutate {
-		m(&cfg)
-	}
-	srv, err := New(cfg)
+		}),
+		WithMaxWorkers(4),
+		WithIdleTimeout(5 * time.Second),
+	}, opts...)
+	srv, err := New(enqueue, all...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +232,7 @@ func TestMultipleMailsPerConnection(t *testing.T) {
 
 func TestConcurrentClients(t *testing.T) {
 	forEachArch(t, func(t *testing.T, arch Architecture) {
-		env := startServer(t, arch, func(c *Config) { c.MaxWorkers = 3 })
+		env := startServer(t, arch, WithMaxWorkers(3))
 		const clients = 12
 		var wg sync.WaitGroup
 		errs := make(chan error, clients)
@@ -264,9 +273,8 @@ func TestConcurrentClients(t *testing.T) {
 
 func TestBlacklistedClientRejected(t *testing.T) {
 	forEachArch(t, func(t *testing.T, arch Architecture) {
-		env := startServer(t, arch, func(c *Config) {
-			c.CheckClient = func(ip string) bool { return true } // everyone is evil
-		})
+		env := startServer(t, arch,
+			WithCheckClient(func(ip string) bool { return true })) // everyone is evil
 		nc, err := net.Dial("tcp", env.addr)
 		if err != nil {
 			t.Fatal(err)
@@ -285,10 +293,9 @@ func TestBlacklistedClientRejected(t *testing.T) {
 
 func TestEnqueueFailureReports452(t *testing.T) {
 	forEachArch(t, func(t *testing.T, arch Architecture) {
-		env := startServer(t, arch, func(c *Config) {
-			c.Enqueue = func(string, []string, []byte) (string, error) {
-				return "", fmt.Errorf("queue full")
-			}
+		env := startServer(t, arch)
+		env.setEnqueue(func(string, []string, []byte) (string, error) {
+			return "", fmt.Errorf("queue full")
 		})
 		c := dial(t, env)
 		c.Helo("h")
@@ -304,11 +311,27 @@ func TestEnqueueFailureReports452(t *testing.T) {
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(Config{Arch: Vanilla}); err == nil {
+	if _, err := New(nil, WithArchitecture(Vanilla)); err == nil {
 		t.Fatal("missing Enqueue accepted")
 	}
-	if _, err := New(Config{Enqueue: func(string, []string, []byte) (string, error) { return "", nil }}); err == nil {
-		t.Fatal("missing architecture accepted")
+	enq := func(string, []string, []byte) (string, error) { return "", nil }
+	if _, err := New(enq, WithArchitecture(Architecture(99))); err == nil {
+		t.Fatal("bogus architecture accepted")
+	}
+	// The options path defaults the architecture to Hybrid...
+	srv, err := New(enq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.cfg.Arch != Hybrid {
+		t.Fatalf("default arch = %v, want Hybrid", srv.cfg.Arch)
+	}
+	// ...while the deprecated Config path still rejects a zero Arch.
+	if _, err := NewFromConfig(Config{Enqueue: enq}); err == nil {
+		t.Fatal("NewFromConfig with zero Arch accepted")
+	}
+	if _, err := NewFromConfig(Config{Arch: Vanilla, Enqueue: enq}); err != nil {
+		t.Fatalf("NewFromConfig = %v", err)
 	}
 }
 

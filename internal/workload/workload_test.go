@@ -12,29 +12,26 @@ import (
 )
 
 // startServer boots a hybrid server accepting @d.test recipients.
-func startServer(t *testing.T, mutate ...func(*smtpserver.Config)) (addr string, accepted *int64, mu *sync.Mutex) {
+func startServer(t *testing.T, opts ...smtpserver.Option) (addr string, accepted *int64, mu *sync.Mutex) {
 	t.Helper()
 	var n int64
 	var m sync.Mutex
-	cfg := smtpserver.Config{
-		Hostname: "mx.test",
-		Arch:     smtpserver.Hybrid,
-		ValidateRcpt: func(a string) bool {
+	enqueue := func(string, []string, []byte) (string, error) {
+		m.Lock()
+		n++
+		m.Unlock()
+		return "Q", nil
+	}
+	all := append([]smtpserver.Option{
+		smtpserver.WithHostname("mx.test"),
+		smtpserver.WithArchitecture(smtpserver.Hybrid),
+		smtpserver.WithValidateRcpt(func(a string) bool {
 			return strings.HasSuffix(strings.ToLower(a), "@d.test")
-		},
-		Enqueue: func(string, []string, []byte) (string, error) {
-			m.Lock()
-			n++
-			m.Unlock()
-			return "Q", nil
-		},
-		MaxWorkers:  8,
-		IdleTimeout: 5 * time.Second,
-	}
-	for _, f := range mutate {
-		f(&cfg)
-	}
-	srv, err := smtpserver.New(cfg)
+		}),
+		smtpserver.WithMaxWorkers(8),
+		smtpserver.WithIdleTimeout(5 * time.Second),
+	}, opts...)
+	srv, err := smtpserver.New(enqueue, all...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,9 +138,8 @@ func TestRunOpenTraceTimestamps(t *testing.T) {
 }
 
 func TestRejectedCounted(t *testing.T) {
-	addr, _, _ := startServer(t, func(c *smtpserver.Config) {
-		c.CheckClient = func(string) bool { return true }
-	})
+	addr, _, _ := startServer(t,
+		smtpserver.WithCheckClient(func(string) bool { return true }))
 	res := RunClosed(ClosedConfig{Addr: addr, Concurrency: 2, Timeout: 5 * time.Second}, mixTrace()[:4])
 	if res.Rejected != 4 || res.Errors != 0 {
 		t.Fatalf("result = %+v", res)
