@@ -1,0 +1,115 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/admin"
+	"repro/internal/eventlog"
+	"repro/internal/metrics"
+	"repro/internal/smtpserver"
+	"repro/internal/telemetry"
+)
+
+// testAdmin builds a live admin endpoint backed by a real registry,
+// event log, and telemetry tracker — the same wiring cmd/smtpd uses.
+func testAdmin(t *testing.T) (*metrics.Registry, *eventlog.Log, *httptest.Server) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	tr := telemetry.New()
+	tr.Register(reg)
+	log := eventlog.New(eventlog.WithLevel(eventlog.LevelDebug), eventlog.WithObserver(tr))
+	srv := httptest.NewServer(admin.NewHandler(reg, nil, admin.WithEvents(log), admin.WithWorkload(tr)))
+	t.Cleanup(srv.Close)
+	return reg, log, srv
+}
+
+func TestFetchAndRenderFrame(t *testing.T) {
+	reg, log, srv := testAdmin(t)
+
+	// Populate stage latency histograms the way smtpserver does.
+	bounds := []float64{0.001, 0.01, 0.1, 1}
+	h := reg.Histogram(smtpserver.StageMetric, bounds, "arch", "hybrid", "stage", smtpserver.StageDialog)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005)
+	}
+	reg.Counter("smtpd_connections_total", "arch", "hybrid").Add(7)
+
+	// And workload telemetry through the event log.
+	for i := 0; i < 3; i++ {
+		log.Info("smtpd.conn", uint64(i+1),
+			eventlog.Str("ip", "192.0.2.7"),
+			eventlog.Str("outcome", "quit"),
+			eventlog.Bool("worker", i == 0),
+			eventlog.Bool("bounce", i > 0),
+		)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	f, err := fetchFrame(client, srv.URL)
+	if err != nil {
+		t.Fatalf("fetchFrame: %v", err)
+	}
+	if f.workload == nil {
+		t.Fatal("frame missing workload snapshot")
+	}
+	if f.workload.Conns != 3 || f.workload.Bounced != 2 {
+		t.Fatalf("workload = %+v", f.workload)
+	}
+
+	var out strings.Builder
+	render(&out, f)
+	text := out.String()
+	for _, want := range []string{
+		"mailtop",
+		"3 conns",
+		"hybrid",
+		smtpserver.StageDialog,
+		"smtpd_connections_total (hybrid)",
+		"192.0.2.7",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered frame missing %q:\n%s", want, text)
+		}
+	}
+	// The p50 of 100 observations at 5ms must land inside the
+	// (1ms, 10ms] bucket — the quantile math ParsePrometheus promises.
+	if !strings.Contains(text, "100") {
+		t.Fatalf("stage table missing count:\n%s", text)
+	}
+}
+
+// TestFetchFrameNoWorkload degrades gracefully against an admin
+// endpoint without the /workload route (older smtpd).
+func TestFetchFrameNoWorkload(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("smtpd_connections_total", "arch", "vanilla").Add(1)
+	srv := httptest.NewServer(admin.NewHandler(reg, nil))
+	t.Cleanup(srv.Close)
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	f, err := fetchFrame(client, srv.URL)
+	if err != nil {
+		t.Fatalf("fetchFrame: %v", err)
+	}
+	if f.workload != nil {
+		t.Fatal("expected nil workload when /workload is absent")
+	}
+	var out strings.Builder
+	render(&out, f)
+	if !strings.Contains(out.String(), "smtpd_connections_total (vanilla)") {
+		t.Fatalf("metrics-only frame missing counters:\n%s", out.String())
+	}
+}
+
+func TestFetchFrameDown(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	srv.Close()
+	client := &http.Client{Timeout: time.Second}
+	if _, err := fetchFrame(client, srv.URL); err == nil {
+		t.Fatal("expected error against a closed endpoint")
+	}
+}

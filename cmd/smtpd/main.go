@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/admin"
 	"repro/internal/delivery"
 	"repro/internal/dnsbl"
+	"repro/internal/eventlog"
 	"repro/internal/fsim"
 	"repro/internal/mailstore"
 	"repro/internal/metrics"
@@ -35,6 +37,7 @@ import (
 	"repro/internal/pop3"
 	"repro/internal/queue"
 	"repro/internal/smtpserver"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -57,6 +60,11 @@ func main() {
 		policyOn   = flag.Bool("policy", false, "enable the pre-trust policy engine (rate limits, greylist, reputation; DNSBL scoring when -dnsbl is set)")
 		greyRetry  = flag.Duration("grey-retry", time.Minute, "policy: greylist minimum retry window (0 disables greylisting)")
 		connRate   = flag.Float64("conn-rate", 2, "policy: connections/sec admitted per client IP (0 disables rate limiting)")
+
+		eventsLevel  = flag.String("events-level", "info", "event log ring retention level: debug, info, warn, error, or off")
+		eventsCap    = flag.Int("events-cap", 4096, "event log ring capacity (events retained for /events)")
+		eventsSample = flag.String("events-sample", "dnsbl.lookup=16,smtpd.policy=16", "per-event-name 1-in-N sampling, comma-separated name=N pairs (empty disables)")
+		logLevel     = flag.String("log", "info", "echo events at or above this level to stderr: debug, info, warn, error, or off (postfix-style per-connection lines at info)")
 	)
 	flag.Parse()
 
@@ -74,6 +82,47 @@ func main() {
 	// stage events for /spans and cmd/traceinfo.
 	reg := metrics.Default()
 	spans := trace.NewSpanRecorder(65536)
+	// Per-source telemetry gauges are bounded by the tracker itself, but
+	// the registry's cardinality guard is the backstop: no label key can
+	// accumulate more than 64 values, the rest fold into "other".
+	reg.SetLabelValueLimit(64)
+
+	// The structured event log is the process's one logging path: every
+	// component emits into it, the ring serves /events, the telemetry
+	// tracker observes it for /workload, and -log echoes it to stderr.
+	ringLevel, err := eventlog.ParseLevel(*eventsLevel)
+	if err != nil {
+		log.Fatalf("smtpd: -events-level: %v", err)
+	}
+	stderrLevel, err := eventlog.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("smtpd: -log: %v", err)
+	}
+	tracker := telemetry.New()
+	tracker.Register(reg)
+	evOpts := []eventlog.Option{
+		eventlog.WithLevel(ringLevel),
+		eventlog.WithCapacity(*eventsCap),
+		eventlog.WithObserver(tracker),
+	}
+	if stderrLevel < eventlog.LevelOff {
+		evOpts = append(evOpts, eventlog.WithSink(eventlog.NewTextSink(os.Stderr, stderrLevel)))
+	}
+	for _, kv := range strings.Split(*eventsSample, ",") {
+		if kv == "" {
+			continue
+		}
+		name, nStr, ok := strings.Cut(kv, "=")
+		if !ok {
+			log.Fatalf("smtpd: -events-sample: %q is not name=N", kv)
+		}
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n < 1 {
+			log.Fatalf("smtpd: -events-sample: bad rate in %q", kv)
+		}
+		evOpts = append(evOpts, eventlog.WithSampling(name, n))
+	}
+	events := eventlog.New(evOpts...)
 
 	var arch smtpserver.Architecture
 	switch *archName {
@@ -86,7 +135,6 @@ func main() {
 	}
 
 	var store mailstore.Store
-	var err error
 	switch *storeName {
 	case "mbox":
 		store = mailstore.NewMbox(fs)
@@ -112,12 +160,13 @@ func main() {
 		log.Fatalf("smtpd: %v", err)
 	}
 
-	agent := delivery.NewAgent(db, store, delivery.WithRegistry(reg))
+	agent := delivery.NewAgent(db, store, delivery.WithRegistry(reg), delivery.WithEventLog(events))
 	qm, err := queue.NewManager(queue.Config{
 		Deliverer:   agent,
 		Spool:       fs,
 		ActiveLimit: 8,
 		Registry:    reg,
+		Events:      events,
 	})
 	if err != nil {
 		log.Fatalf("smtpd: %v", err)
@@ -131,6 +180,7 @@ func main() {
 		smtpserver.WithValidateRcpt(db.Valid),
 		smtpserver.WithRegistry(reg),
 		smtpserver.WithSpans(spans),
+		smtpserver.WithEventLog(events),
 	}
 	var dnsblClient *dnsbl.Client
 	if *dnsblAddr != "" {
@@ -139,6 +189,7 @@ func main() {
 		// when every replica is down.
 		dnsblClient = dnsbl.New(*dnsblZone,
 			dnsbl.WithRegistry(reg),
+			dnsbl.WithEventLog(events),
 			dnsbl.WithUpstreams(strings.Split(*dnsblAddr, ",")...),
 			dnsbl.WithHedge(*dnsblHedge),
 			dnsbl.WithStale(*dnsblStale),
@@ -167,7 +218,8 @@ func main() {
 				Registry:  reg,
 			})
 		}
-		pol = policy.NewServerPolicy(policy.NewEngine(pcfg), scorer, policy.WithRegistry(reg))
+		pol = policy.NewServerPolicy(policy.NewEngine(pcfg), scorer,
+			policy.WithRegistry(reg), policy.WithEventLog(events))
 		srvOpts = append(srvOpts, smtpserver.WithPolicy(pol))
 	} else if dnsblClient != nil {
 		// Without the policy engine the DNSBL check is the bare
@@ -204,7 +256,8 @@ func main() {
 		}
 		go pop.Serve(ln) //nolint:errcheck // exits on Close
 		defer pop.Close()
-		log.Printf("smtpd: POP3 retrieval on %s", *pop3Addr)
+		events.Info("smtpd.start", 0,
+			eventlog.Str("component", "pop3"), eventlog.Str("addr", *pop3Addr))
 	}
 
 	if *adminAddr != "" {
@@ -212,12 +265,16 @@ func main() {
 		if err != nil {
 			log.Fatalf("smtpd: admin listen: %v", err)
 		}
+		handler := admin.NewHandler(reg, spans,
+			admin.WithEvents(events), admin.WithWorkload(tracker))
 		go func() {
-			if err := http.Serve(adminLn, admin.NewHandler(reg, spans)); err != nil {
-				log.Printf("smtpd: admin: %v", err)
+			if err := http.Serve(adminLn, handler); err != nil {
+				events.Error("smtpd.error", 0,
+					eventlog.Str("component", "admin"), eventlog.Str("err", err.Error()))
 			}
 		}()
-		log.Printf("smtpd: admin endpoint on http://%s/metrics", adminLn.Addr())
+		events.Info("smtpd.start", 0,
+			eventlog.Str("component", "admin"), eventlog.Str("addr", adminLn.Addr().String()))
 	}
 
 	sigCh := make(chan os.Signal, 1)
@@ -225,8 +282,13 @@ func main() {
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*listen) }()
 
-	log.Printf("smtpd: %s architecture, %s store, serving %s on %s",
-		arch, store.Name(), *domain, *listen)
+	events.Info("smtpd.start", 0,
+		eventlog.Str("component", "smtpd"),
+		eventlog.Str("arch", arch.String()),
+		eventlog.Str("store", store.Name()),
+		eventlog.Str("domain", *domain),
+		eventlog.Str("addr", *listen),
+	)
 
 	var ticker *time.Ticker
 	var tick <-chan time.Time
@@ -245,9 +307,10 @@ func main() {
 			}
 			return
 		case <-sigCh:
-			log.Print("smtpd: shutting down")
+			events.Info("smtpd.stop", 0, eventlog.Str("component", "smtpd"))
 			if err := srv.Close(); err != nil {
-				log.Printf("smtpd: close: %v", err)
+				events.Error("smtpd.error", 0,
+					eventlog.Str("component", "smtpd"), eventlog.Str("err", err.Error()))
 			}
 			qm.WaitIdle(5 * time.Second)
 			logStats(srv, qm, agent, pol)

@@ -13,6 +13,13 @@
 //
 //	curl -s localhost:8025/spans > spans.txt && traceinfo -spans spans.txt
 //	traceinfo -spans -   # read the stream from stdin
+//
+// With -follow it tails a running server's event log instead: it polls
+// the admin /events endpoint with a since-sequence cursor and prints
+// each new event line as it arrives, like tail -f for the mail server.
+//
+//	traceinfo -follow http://localhost:8025
+//	traceinfo -follow http://localhost:8025 -level warn -conn 42
 package main
 
 import (
@@ -20,11 +27,15 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
+	"net/url"
 	"os"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/eventlog"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
@@ -32,6 +43,11 @@ import (
 func main() {
 	var (
 		spansFile = flag.String("spans", "", "read a span stream from this file (\"-\" for stdin) instead of generating a trace")
+		follow    = flag.String("follow", "", "tail the event log of the admin endpoint at this base URL")
+		level     = flag.String("level", "", "follow: only events at or above this level")
+		connID    = flag.Uint64("conn", 0, "follow: only events for this connection id")
+		name      = flag.String("name", "", "follow: only events with this name")
+		poll      = flag.Duration("poll", time.Second, "follow: poll interval")
 		traceName = flag.String("trace", "sinkhole", "trace: sinkhole, univ, policy, or ecn")
 		conns     = flag.Int("conns", 20000, "connections to generate")
 		days      = flag.Int("days", 365, "ecn: days of daily ratios")
@@ -40,6 +56,13 @@ func main() {
 		window    = flag.Duration("window", time.Hour, "sliding window for repeat-source ratios")
 	)
 	flag.Parse()
+
+	if *follow != "" {
+		if err := followEvents(*follow, *level, *connID, *name, *poll, os.Stdout, nil); err != nil {
+			log.Fatalf("traceinfo: %v", err)
+		}
+		return
+	}
 
 	if *spansFile != "" {
 		if err := describeSpans(*spansFile); err != nil {
@@ -115,6 +138,61 @@ func describe(conns []trace.Conn, window time.Duration) {
 	ipRatio, prefRatio := trace.RepeatRatios(conns, window)
 	fmt.Printf("repeat sources within %v: %.1f%% by IP, %.1f%% by /25 — warm policy state on revisit\n",
 		window, 100*ipRatio, 100*prefRatio)
+}
+
+// followEvents tails the /events route of an admin endpoint: each poll
+// asks only for events past the last sequence number seen, so lines are
+// printed exactly once and restarts of the tail never replay history it
+// already showed. A nil stop follows forever; otherwise polling ends
+// once stop(totalPrinted) reports true (tests use this).
+func followEvents(base, level string, conn uint64, name string, poll time.Duration, w io.Writer, stop func(printed int) bool) error {
+	q := url.Values{}
+	if level != "" {
+		if _, err := eventlog.ParseLevel(level); err != nil {
+			return err
+		}
+		q.Set("level", level)
+	}
+	if conn != 0 {
+		q.Set("conn", strconv.FormatUint(conn, 10))
+	}
+	if name != "" {
+		q.Set("name", name)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	var since uint64
+	printed := 0
+	for {
+		q.Set("since", strconv.FormatUint(since, 10))
+		resp, err := client.Get(base + "/events?" + q.Encode())
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return fmt.Errorf("GET /events: %s", resp.Status)
+		}
+		events, err := eventlog.ParseEvents(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		var buf []byte
+		for _, e := range events {
+			buf = append(e.AppendText(buf[:0]), '\n')
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			if e.Seq > since {
+				since = e.Seq
+			}
+			printed++
+		}
+		if stop != nil && stop(printed) {
+			return nil
+		}
+		time.Sleep(poll)
+	}
 }
 
 // describeSpans reconstructs connection lives from a span stream and

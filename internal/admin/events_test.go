@@ -1,0 +1,145 @@
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/eventlog"
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
+)
+
+func eventsHandler(t *testing.T) (*eventlog.Log, *telemetry.Tracker, *httptest.Server) {
+	t.Helper()
+	tr := telemetry.New()
+	log := eventlog.New(eventlog.WithLevel(eventlog.LevelDebug), eventlog.WithObserver(tr))
+	srv := httptest.NewServer(NewHandler(metrics.NewRegistry(), nil, WithEvents(log), WithWorkload(tr)))
+	t.Cleanup(srv.Close)
+	return log, tr, srv
+}
+
+func TestEventsEndpointFilters(t *testing.T) {
+	log, _, srv := eventsHandler(t)
+	log.Info("smtpd.conn", 1, eventlog.Str("outcome", "quit"))
+	log.Debug("dnsbl.lookup", 1, eventlog.Bool("hit", true))
+	log.Warn("dnsbl.stale", 2, eventlog.Str("zone", "bl.test"))
+
+	code, body, ctype := get(t, srv, "/events")
+	if code != 200 || !strings.Contains(ctype, "text/plain") {
+		t.Fatalf("status = %d, ctype = %q", code, ctype)
+	}
+	if got := strings.Count(body, "evt "); got != 3 {
+		t.Fatalf("unfiltered /events has %d events, want 3:\n%s", got, body)
+	}
+	// Each line must parse back into an event (the traceinfo contract).
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if _, err := eventlog.ParseEvent(line); err != nil {
+			t.Fatalf("unparseable line %q: %v", line, err)
+		}
+	}
+
+	if _, body, _ := get(t, srv, "/events?level=warn"); strings.Count(body, "evt ") != 1 ||
+		!strings.Contains(body, "dnsbl.stale") {
+		t.Fatalf("level filter: %s", body)
+	}
+	if _, body, _ := get(t, srv, "/events?conn=1"); strings.Count(body, "evt ") != 2 {
+		t.Fatalf("conn filter: %s", body)
+	}
+	if _, body, _ := get(t, srv, "/events?name=smtpd.conn"); strings.Count(body, "evt ") != 1 {
+		t.Fatalf("name filter: %s", body)
+	}
+	if _, body, _ := get(t, srv, "/events?since=2"); strings.Count(body, "evt ") != 1 ||
+		!strings.Contains(body, "seq=3") {
+		t.Fatalf("since cursor: %s", body)
+	}
+	if _, body, _ := get(t, srv, "/events?max=1"); strings.Count(body, "evt ") != 1 {
+		t.Fatalf("max: %s", body)
+	}
+	if code, _, _ := get(t, srv, "/events?level=nonsense"); code != 400 {
+		t.Fatalf("bad level => %d, want 400", code)
+	}
+	if code, _, _ := get(t, srv, "/events?since=xyz"); code != 400 {
+		t.Fatalf("bad cursor => %d, want 400", code)
+	}
+}
+
+func TestWorkloadEndpoint(t *testing.T) {
+	log, _, srv := eventsHandler(t)
+	for i := 0; i < 4; i++ {
+		log.Info("smtpd.conn", 0,
+			eventlog.Str("ip", "10.0.0.9"),
+			eventlog.Str("outcome", "dropped"),
+			eventlog.Bool("bounce", true),
+			eventlog.Bool("worker", false),
+		)
+	}
+	log.Debug("dnsbl.lookup", 0, eventlog.IP("ip", addr.MustParseIPv4("10.0.0.9")), eventlog.Bool("hit", false))
+
+	code, body, ctype := get(t, srv, "/workload")
+	if code != 200 || !strings.Contains(ctype, "application/json") {
+		t.Fatalf("status = %d, ctype = %q", code, ctype)
+	}
+	var s telemetry.Snapshot
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if s.Conns != 4 || s.Bounced != 4 || s.BounceRatio != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.DNSBL.Lookups != 1 || s.DNSBL.UniquePrefixes != 1 {
+		t.Fatalf("dnsbl weather = %+v", s.DNSBL)
+	}
+	if len(s.TopTalkers) != 1 || s.TopTalkers[0].IP != "10.0.0.9" {
+		t.Fatalf("top talkers = %+v", s.TopTalkers)
+	}
+}
+
+// TestEventsWorkloadParallel hammers both handlers while writers emit —
+// the CI -race job's coverage for the admin surface.
+func TestEventsWorkloadParallel(t *testing.T) {
+	log, tr, srv := eventsHandler(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				log.Info("smtpd.conn", uint64(w*1000+i),
+					eventlog.Str("ip", fmt.Sprintf("10.0.%d.%d", w, i%8)),
+					eventlog.Str("outcome", "quit"),
+					eventlog.Bool("bounce", i%2 == 0),
+					eventlog.Bool("worker", true),
+				)
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if code, _, _ := get(t, srv, "/events?level=info"); code != 200 {
+					t.Errorf("/events status %d", code)
+					return
+				}
+				if code, body, _ := get(t, srv, "/workload"); code != 200 {
+					t.Errorf("/workload status %d", code)
+					return
+				} else if !json.Valid([]byte(body)) {
+					t.Errorf("/workload not JSON: %s", body)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s := tr.Snapshot(); s.Conns != 800 {
+		t.Fatalf("tracker saw %d conns, want 800", s.Conns)
+	}
+}

@@ -332,6 +332,47 @@ func TestParallelDelivery(t *testing.T) {
 	}
 }
 
+func TestSpamWeatherShape(t *testing.T) {
+	m := quick(t, "spam-weather")
+	// Both architectures replay the same trace end to end.
+	if m["conns_vanilla"] != m["conns_hybrid"] || m["conns_vanilla"] == 0 {
+		t.Errorf("conn counts: vanilla %v, hybrid %v", m["conns_vanilla"], m["conns_hybrid"])
+	}
+	// ~50% spam where ~30% carries no valid recipient, plus DNSBL rejects
+	// of delivered spam: the observed bounce ratio must sit near the mix
+	// under both architectures, and the EWMA near the cumulative ratio on
+	// a stationary trace.
+	for _, arch := range []string{"vanilla", "hybrid"} {
+		within(t, m, "bounce_"+arch, 0.30, 0.70)
+		if e, b := m["ewma_"+arch], m["bounce_"+arch]; e < b-0.25 || e > b+0.25 {
+			t.Errorf("%s ewma %v far from cumulative %v", arch, e, b)
+		}
+	}
+	// The paper's handoff contract, read back from live telemetry: vanilla
+	// pays a worker for every connection; hybrid skips one per bounce.
+	if m["savings_vanilla"] != 0 {
+		t.Errorf("vanilla handoff savings = %v, want 0", m["savings_vanilla"])
+	}
+	if m["savings_hybrid"] < 0.25 {
+		t.Errorf("hybrid handoff savings = %v, want ≥0.25", m["savings_hybrid"])
+	}
+	// Locality consistent with the trace mix: every ham source is a fresh
+	// /25 while the spam half recycles a handful of /25 blocks, so the
+	// repeat fraction lands at ≈ the spam ratio (199/400 at quick scale).
+	for _, arch := range []string{"vanilla", "hybrid"} {
+		if m["lookups_"+arch] == 0 {
+			t.Fatalf("%s saw no dnsbl.lookup events", arch)
+		}
+		within(t, m, "locality_"+arch, 0.40, 0.75)
+		if m["cachesave_"+arch] <= 0 {
+			t.Errorf("%s cache savings estimate = %v, want > 0", arch, m["cachesave_"+arch])
+		}
+		if m["talkers_"+arch] == 0 {
+			t.Errorf("%s reported no top talkers", arch)
+		}
+	}
+}
+
 func TestStageLatencyShape(t *testing.T) {
 	m := quick(t, "stage-latency")
 	// Every connection passes accept and dialog under vanilla; under

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/access"
+	"repro/internal/eventlog"
 	"repro/internal/mailstore"
 	"repro/internal/metrics"
 	"repro/internal/queue"
@@ -22,9 +23,10 @@ import (
 // counters are registry-vended atomics so the per-mail hot path takes no
 // lock here.
 type Agent struct {
-	db    *access.DB
-	store mailstore.Store
-	reg   *metrics.Registry
+	db     *access.DB
+	store  mailstore.Store
+	reg    *metrics.Registry
+	events *eventlog.Log
 
 	mails          *metrics.Counter
 	rcptDeliveries *metrics.Counter
@@ -53,6 +55,14 @@ type AgentOption func(*Agent)
 // default is a private registry.
 func WithRegistry(r *metrics.Registry) AgentOption {
 	return func(a *Agent) { a.reg = r }
+}
+
+// WithEventLog emits a delivery.commit debug event per store write
+// (queue id, mailbox fan-out, commit time) and a delivery.failed
+// warning per failed commit into log. Nil disables emission (the
+// default).
+func WithEventLog(log *eventlog.Log) AgentOption {
+	return func(a *Agent) { a.events = log }
 }
 
 // NewAgent returns a delivery agent writing through store, resolving
@@ -104,10 +114,20 @@ func (a *Agent) Deliver(item *queue.Item) error {
 	}
 	start := time.Now()
 	err := a.store.Deliver(item.ID, mailboxes, item.Data)
-	a.commitHist.ObserveDuration(time.Since(start))
+	took := time.Since(start)
+	a.commitHist.ObserveDuration(took)
 	if err != nil {
+		a.events.Warn("delivery.failed", 0,
+			eventlog.Str("id", item.ID),
+			eventlog.Str("err", err.Error()),
+		)
 		return fmt.Errorf("delivery: %s: %w", item.ID, err)
 	}
+	a.events.Debug("delivery.commit", 0,
+		eventlog.Str("id", item.ID),
+		eventlog.Int("mailboxes", int64(len(mailboxes))),
+		eventlog.Dur("took", took),
+	)
 	a.mails.Inc()
 	a.rcptDeliveries.Add(int64(len(mailboxes)))
 	a.droppedRcpts.Add(dropped)

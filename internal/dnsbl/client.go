@@ -9,6 +9,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/costmodel"
 	"repro/internal/dns"
+	"repro/internal/eventlog"
 	"repro/internal/metrics"
 )
 
@@ -88,6 +89,8 @@ type Client struct {
 
 	mu     sync.Mutex
 	nextID uint16
+
+	events *eventlog.Log
 
 	// Counters are registry-vended, labelled by zone, so a shared
 	// registry exposes every client's series side by side.
@@ -181,6 +184,15 @@ func WithNegativeTTL(d time.Duration) Option {
 // zone) into r. The default is a private registry.
 func WithRegistry(r *metrics.Registry) Option {
 	return func(c *Client) { c.reg = r }
+}
+
+// WithEventLog emits structured events into log: a dnsbl.lookup debug
+// event per lookup (source IP, cache hit, stale, listed — the stream
+// internal/telemetry derives /25 locality from; sample it under load)
+// and dnsbl.stale / dnsbl.down warnings when the resilience machinery
+// engages. Nil disables emission (the default).
+func WithEventLog(log *eventlog.Log) Option {
+	return func(c *Client) { c.events = log }
 }
 
 // New returns a lookup client for the given zone, configured by
@@ -295,16 +307,39 @@ func (c *Client) Lookup(ctx context.Context, ip addr.IPv4) (Result, error) {
 		ctx, cancel = context.WithTimeout(ctx, c.timeout)
 		defer cancel()
 	}
+	var r Result
+	var err error
 	switch c.policy {
 	case CacheNone:
-		return c.lookupV4(ctx, ip, false)
+		r, err = c.lookupV4(ctx, ip, false)
 	case CacheIP:
-		return c.lookupV4(ctx, ip, true)
+		r, err = c.lookupV4(ctx, ip, true)
 	case CachePrefix:
-		return c.lookupPrefix(ctx, ip)
+		r, err = c.lookupPrefix(ctx, ip)
 	default:
 		return Result{}, fmt.Errorf("dnsbl: unknown cache policy %d", c.policy)
 	}
+	if err != nil {
+		c.events.Warn("dnsbl.down", 0,
+			eventlog.IP("ip", ip),
+			eventlog.Str("zone", c.zone),
+			eventlog.Str("err", err.Error()),
+		)
+		return r, err
+	}
+	c.events.Debug("dnsbl.lookup", 0,
+		eventlog.IP("ip", ip),
+		eventlog.Str("zone", c.zone),
+		eventlog.Bool("hit", r.CacheHit),
+		eventlog.Bool("stale", r.Stale),
+		eventlog.Bool("listed", r.Listed),
+	)
+	if r.Stale {
+		// Lookup answered, but only because serve-stale papered over an
+		// unreachable upstream — worth a warning even when debug is off.
+		c.events.Warn("dnsbl.stale", 0, eventlog.IP("ip", ip), eventlog.Str("zone", c.zone))
+	}
+	return r, nil
 }
 
 func (c *Client) lookupV4(ctx context.Context, ip addr.IPv4, useCache bool) (Result, error) {

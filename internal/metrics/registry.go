@@ -58,6 +58,12 @@ type Label struct {
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*entry
+
+	// labelLimit caps distinct values per (family, label key); 0 = off.
+	// Past the cap, new values clamp to OverflowLabelValue (see
+	// SetLabelValueLimit).
+	labelLimit int
+	labelVals  map[string]map[string]struct{}
 }
 
 // entry is one registered metric.
@@ -142,13 +148,98 @@ func (r *Registry) lookup(key string) *entry {
 	return e
 }
 
+// OverflowLabelValue is the bucket a label value clamps to once its
+// family exceeds the registry's label-value limit.
+const OverflowLabelValue = "other"
+
+// SetLabelValueLimit caps the number of distinct values the registry
+// admits per (metric family, label key); further values are clamped to
+// OverflowLabelValue so one series absorbs the tail and unbounded input
+// (per-source IPs, user-supplied strings) cannot blow up /metrics.
+// Zero disables the guard (the default). Values already registered when
+// the limit is set are grandfathered in and count toward the cap.
+//
+// Clamping happens on the registration slow path only: calls that hit an
+// already-registered identity are untouched, and a clamped caller gets
+// the shared overflow series back, so instrument pointers keep working —
+// but Find with the raw (clamped) label values will miss; look up the
+// OverflowLabelValue series instead.
+func (r *Registry) SetLabelValueLimit(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.labelLimit = n
+	if n <= 0 {
+		r.labelVals = nil
+		return
+	}
+	r.labelVals = make(map[string]map[string]struct{})
+	for _, e := range r.entries {
+		for _, l := range e.labels {
+			r.admitLocked(e.name, l.Key, l.Value)
+		}
+	}
+}
+
+// admitLocked records a (family, key) label value, ignoring the cap —
+// for seeding from pre-existing entries.
+func (r *Registry) admitLocked(name, key, value string) {
+	fk := name + "\x00" + key
+	set := r.labelVals[fk]
+	if set == nil {
+		set = make(map[string]struct{})
+		r.labelVals[fk] = set
+	}
+	set[value] = struct{}{}
+}
+
+// clampLocked applies the label-value limit to a new registration,
+// returning the (possibly rewritten) label set and whether it changed.
+func (r *Registry) clampLocked(name string, labels []Label) ([]Label, bool) {
+	changed := false
+	for i, l := range labels {
+		if l.Value == OverflowLabelValue {
+			continue
+		}
+		fk := name + "\x00" + l.Key
+		set := r.labelVals[fk]
+		if set == nil {
+			set = make(map[string]struct{})
+			r.labelVals[fk] = set
+		}
+		if _, ok := set[l.Value]; ok {
+			continue
+		}
+		if len(set) < r.labelLimit {
+			set[l.Value] = struct{}{}
+			continue
+		}
+		if !changed {
+			labels = append([]Label(nil), labels...)
+			changed = true
+		}
+		labels[i].Value = OverflowLabelValue
+	}
+	return labels, changed
+}
+
 // register inserts e unless the key is already present, in which case
-// the existing entry is returned (first registration wins).
+// the existing entry is returned (first registration wins). When a
+// label-value limit is set, over-limit label values clamp to the
+// overflow bucket before insertion.
 func (r *Registry) register(key string, e *entry) *entry {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if existing, ok := r.entries[key]; ok {
 		return existing
+	}
+	if r.labelLimit > 0 {
+		if nl, changed := r.clampLocked(e.name, e.labels); changed {
+			e.labels = nl
+			key = keyFor(e.name, nl)
+			if existing, ok := r.entries[key]; ok {
+				return existing
+			}
+		}
 	}
 	r.entries[key] = e
 	return e
@@ -203,6 +294,17 @@ func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...string) {
 		existing.checkKind(KindGaugeFunc)
 		existing.fn = fn
 		return
+	}
+	if r.labelLimit > 0 {
+		if nl, changed := r.clampLocked(name, ls); changed {
+			ls = nl
+			key = keyFor(name, nl)
+			if existing, ok := r.entries[key]; ok {
+				existing.checkKind(KindGaugeFunc)
+				existing.fn = fn
+				return
+			}
+		}
 	}
 	r.entries[key] = &entry{name: name, labels: ls, kind: KindGaugeFunc, fn: fn}
 }

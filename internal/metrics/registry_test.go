@@ -298,3 +298,101 @@ func BenchmarkRegistryLookup(b *testing.B) {
 		r.Counter("conns_total", "arch", "hybrid").Inc()
 	}
 }
+
+func TestLabelValueLimitClampsToOther(t *testing.T) {
+	r := NewRegistry()
+	r.SetLabelValueLimit(2)
+	a := r.Counter("source_conns", "ip", "10.0.0.1")
+	b := r.Counter("source_conns", "ip", "10.0.0.2")
+	c := r.Counter("source_conns", "ip", "10.0.0.3")
+	d := r.Counter("source_conns", "ip", "10.0.0.4")
+	if a == b || a == c {
+		t.Fatal("admitted series must stay distinct")
+	}
+	if c != d {
+		t.Fatal("over-limit values must share the overflow series")
+	}
+	c.Add(3)
+	m, ok := r.Find("source_conns", "ip", OverflowLabelValue)
+	if !ok || m.Value != 3 {
+		t.Fatalf("overflow series = %+v (ok=%v), want value 3", m, ok)
+	}
+	// The admitted values keep resolving to their own series.
+	a.Inc()
+	if m, _ := r.Find("source_conns", "ip", "10.0.0.1"); m.Value != 1 {
+		t.Fatalf("admitted series = %+v", m)
+	}
+	// Raw lookup of a clamped value misses: the series was never created.
+	if _, ok := r.Find("source_conns", "ip", "10.0.0.3"); ok {
+		t.Fatal("clamped raw value must not be registered")
+	}
+}
+
+func TestLabelValueLimitPerKeyAndFamily(t *testing.T) {
+	r := NewRegistry()
+	r.SetLabelValueLimit(1)
+	r.Counter("fam_a", "ip", "10.0.0.1")
+	r.Counter("fam_a", "zone", "bl.example") // different key: own budget
+	r.Counter("fam_b", "ip", "10.9.9.9")     // different family: own budget
+	over := r.Counter("fam_a", "ip", "10.0.0.2", "zone", "bl.example")
+	over.Inc()
+	if m, ok := r.Find("fam_a", "ip", OverflowLabelValue, "zone", "bl.example"); !ok || m.Value != 1 {
+		t.Fatalf("mixed clamp = %+v (ok=%v)", m, ok)
+	}
+	if _, ok := r.Find("fam_b", "ip", "10.9.9.9"); !ok {
+		t.Fatal("fam_b budget must be independent")
+	}
+}
+
+func TestLabelValueLimitSeedsExisting(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("source_conns", "ip", "10.0.0.1")
+	r.Counter("source_conns", "ip", "10.0.0.2")
+	r.SetLabelValueLimit(2) // both existing values count toward the cap
+	c := r.Counter("source_conns", "ip", "10.0.0.3")
+	c.Inc()
+	if m, ok := r.Find("source_conns", "ip", OverflowLabelValue); !ok || m.Value != 1 {
+		t.Fatalf("post-seed clamp = %+v (ok=%v)", m, ok)
+	}
+}
+
+func TestLabelValueLimitGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	r.SetLabelValueLimit(1)
+	r.GaugeFunc("source_rate", func() float64 { return 1 }, "ip", "10.0.0.1")
+	r.GaugeFunc("source_rate", func() float64 { return 2 }, "ip", "10.0.0.2")
+	r.GaugeFunc("source_rate", func() float64 { return 3 }, "ip", "10.0.0.3")
+	if m, ok := r.Find("source_rate", "ip", "10.0.0.1"); !ok || m.Value != 1 {
+		t.Fatalf("admitted gauge-func = %+v (ok=%v)", m, ok)
+	}
+	// Over-limit registrations collapse onto the overflow series; the
+	// last fn wins (GaugeFunc re-registration semantics).
+	if m, ok := r.Find("source_rate", "ip", OverflowLabelValue); !ok || m.Value != 3 {
+		t.Fatalf("overflow gauge-func = %+v (ok=%v)", m, ok)
+	}
+	if len(r.Snapshot()) != 2 {
+		t.Fatalf("snapshot = %+v, want 2 series", r.Snapshot())
+	}
+}
+
+func TestLabelValueLimitOffByDefault(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 100; i++ {
+		r.Counter("source_conns", "ip", strings.Repeat("x", i+1))
+	}
+	if got := len(r.Snapshot()); got != 100 {
+		t.Fatalf("unguarded registry has %d series, want 100", got)
+	}
+}
+
+func TestLabelValueLimitOtherNeverCounts(t *testing.T) {
+	r := NewRegistry()
+	r.SetLabelValueLimit(1)
+	// Registering "other" explicitly must not consume the budget.
+	r.Counter("source_conns", "ip", OverflowLabelValue)
+	c := r.Counter("source_conns", "ip", "10.0.0.1")
+	c.Inc()
+	if m, ok := r.Find("source_conns", "ip", "10.0.0.1"); !ok || m.Value != 1 {
+		t.Fatalf("first real value = %+v (ok=%v), want admitted", m, ok)
+	}
+}

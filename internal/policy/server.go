@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/eventlog"
 	"repro/internal/metrics"
 )
 
@@ -20,6 +21,7 @@ type ServerPolicy struct {
 	nowFn  func() time.Duration
 
 	reg          *metrics.Registry
+	events       *eventlog.Log
 	admitLatency *metrics.Sample // Connect wall time in seconds (includes DNSBL scan)
 	scanCheck    *metrics.Histogram
 	admitCheck   *metrics.Histogram
@@ -33,6 +35,14 @@ type ServerPolicyOption func(*ServerPolicy)
 // into r. The default is a private registry.
 func WithRegistry(r *metrics.Registry) ServerPolicyOption {
 	return func(p *ServerPolicy) { p.reg = r }
+}
+
+// WithEventLog emits a policy.connect debug event per admission —
+// source, DNSBL score, verdict with the deciding checker and reason,
+// and the scan + admit wall time — into log. Nil disables emission (the
+// default).
+func WithEventLog(log *eventlog.Log) ServerPolicyOption {
+	return func(p *ServerPolicy) { p.events = log }
 }
 
 // NewServerPolicy wraps eng for wall-clock use; scorer may be nil when
@@ -92,6 +102,14 @@ func (p *ServerPolicy) Connect(ctx context.Context, ipStr string) Decision {
 	end := time.Now()
 	p.admitCheck.ObserveDuration(end.Sub(admitStart))
 	p.admitLatency.Observe(end.Sub(start).Seconds())
+	p.events.Debug("policy.connect", 0,
+		eventlog.IP("ip", ip),
+		eventlog.Float("score", score),
+		eventlog.Str("verdict", d.Verdict.String()),
+		eventlog.Str("checker", d.Checker),
+		eventlog.Str("reason", d.Reason),
+		eventlog.Dur("took", end.Sub(start)),
+	)
 	return d
 }
 

@@ -45,10 +45,28 @@ func NewClient(rw io.ReadWriteCloser) (*Client, error) {
 
 // Dial connects to addr over TCP with a timeout and reads the banner.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
+	return DialFrom(addr, "", timeout)
+}
+
+// DialFrom is Dial with an explicit local source address (an IP, port
+// chosen by the kernel). Trace replayers use it to present each trace
+// connection from its own loopback alias — 127.0.0.0/8 all routes to lo
+// on Linux — so per-source server state (policy reputation, DNSBL
+// verdicts, telemetry) keys on distinct addresses instead of collapsing
+// onto 127.0.0.1. An empty local address behaves exactly like Dial.
+func DialFrom(addr, local string, timeout time.Duration) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+	d := net.Dialer{Timeout: timeout}
+	if local != "" {
+		ip := net.ParseIP(local)
+		if ip == nil {
+			return nil, fmt.Errorf("smtp: bad local address %q", local)
+		}
+		d.LocalAddr = &net.TCPAddr{IP: ip}
+	}
+	nc, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("smtp: dial %s: %w", addr, err)
 	}

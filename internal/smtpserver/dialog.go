@@ -113,27 +113,31 @@ func (s *Server) vanillaWorker(conns <-chan accepted) {
 		// handoff wait: master blocked until a worker freed up.
 		s.observeStage(StageHandoffWait, a.id, a.at, "")
 		c := smtp.NewConn(nc)
+		ip := remoteIP(nc)
 		// The vanilla architecture pays a worker for the policy check
 		// itself — the cost contrast the policy-sweep experiment measures.
-		if !s.admitPolicy(nc, c, a.id) {
+		if !s.admitPolicy(nc, c, a.id, true) {
 			s.untrack(nc)
 			nc.Close()
 			continue
 		}
 		dialogStart := time.Now()
-		sess := smtp.NewSession(s.sessionConfig(remoteIP(nc)))
+		sess := smtp.NewSession(s.sessionConfig(ip, a.id))
 		if err := c.WriteReply(sess.Greeting()); err == nil {
 			out := s.runDialog(nc, c, sess, nil)
 			if out == outcomeQuit {
 				s.sessionsServed.Inc()
 			}
-			if !sess.HasValidRcpt() && sess.MailsCompleted() == 0 {
+			bounce := !sess.HasValidRcpt() && sess.MailsCompleted() == 0
+			if bounce {
 				s.preTrustClosed.Inc()
 				s.recordBounce(nc, sess)
 			}
 			s.observeStage(StageDialog, a.id, dialogStart, outcomeNote(out))
+			s.logConn(a.id, ip, outcomeNote(out), true, bounce)
 		} else {
 			s.observeStage(StageDialog, a.id, dialogStart, "dropped")
+			s.logConn(a.id, ip, "dropped", true, true)
 		}
 		s.untrack(nc)
 		nc.Close()
@@ -148,18 +152,20 @@ func (s *Server) vanillaWorker(conns <-chan accepted) {
 func (s *Server) hybridFrontEnd(nc net.Conn, id uint64) {
 	defer s.frontWG.Done()
 	c := smtp.NewConn(nc)
+	ip := remoteIP(nc)
 	// Policy runs in the master's event loop: a rejected connection is
 	// finished here, before any worker is committed — the paper's
 	// fork-after-trust thesis extended from bounces to policy verdicts.
-	if !s.admitPolicy(nc, c, id) {
+	if !s.admitPolicy(nc, c, id, false) {
 		s.untrack(nc)
 		nc.Close()
 		return
 	}
 	preTrustStart := time.Now()
-	sess := smtp.NewSession(s.sessionConfig(remoteIP(nc)))
+	sess := smtp.NewSession(s.sessionConfig(ip, id))
 	if err := c.WriteReply(sess.Greeting()); err != nil {
 		s.observeStage(StagePreTrust, id, preTrustStart, "dropped")
+		s.logConn(id, ip, "dropped", false, true)
 		s.untrack(nc)
 		nc.Close()
 		return
@@ -176,11 +182,15 @@ func (s *Server) hybridFrontEnd(nc net.Conn, id uint64) {
 		s.sessionsServed.Inc()
 		s.preTrustClosed.Inc()
 		s.recordBounce(nc, sess)
+		// Finished in the front end with no valid RCPT: a bounce that
+		// never cost a worker — the connection fork-after-trust saves.
+		s.logConn(id, ip, outcomeNote(out), false, true)
 		s.untrack(nc)
 		nc.Close()
 	default:
 		s.preTrustClosed.Inc()
 		s.recordBounce(nc, sess)
+		s.logConn(id, ip, outcomeNote(out), false, true)
 		s.untrack(nc)
 		nc.Close()
 	}
@@ -203,12 +213,15 @@ func (s *Server) hybridWorker(tasks <-chan *task) {
 		// Queue wait: from the front end's enqueue attempt to this
 		// pickup — the §5.3 socket-buffer throttle made visible.
 		s.observeStage(StageHandoffWait, t.id, t.at, "")
+		ip := remoteIP(t.nc)
 		dialogStart := time.Now()
 		out := s.runDialog(t.nc, t.c, t.sess, nil)
 		if out == outcomeQuit {
 			s.sessionsServed.Inc()
 		}
 		s.observeStage(StageDialog, t.id, dialogStart, outcomeNote(out))
+		// Trusted by definition (it was handed off), so never a bounce.
+		s.logConn(t.id, ip, outcomeNote(out), true, false)
 		s.untrack(t.nc)
 		t.nc.Close()
 	}

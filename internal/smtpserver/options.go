@@ -3,6 +3,7 @@ package smtpserver
 import (
 	"time"
 
+	"repro/internal/eventlog"
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/trace"
@@ -20,6 +21,7 @@ type settings struct {
 	Config
 	registry *metrics.Registry
 	spans    *trace.SpanRecorder
+	events   *eventlog.Log
 }
 
 // Option configures a Server (see New).
@@ -95,4 +97,14 @@ func WithRegistry(r *metrics.Registry) Option {
 // (the default).
 func WithSpans(rec *trace.SpanRecorder) Option {
 	return func(s *settings) { s.spans = rec }
+}
+
+// WithEventLog emits structured events into log: one smtpd.conn event
+// per finished connection (outcome, worker/bounce flags, source) and an
+// smtpd.policy event per verdict — the stream internal/telemetry derives
+// the live spam weather from. Event conn ids are the span connection
+// ids, so a connection's events and spans correlate. Nil disables
+// emission (the default).
+func WithEventLog(log *eventlog.Log) Option {
+	return func(s *settings) { s.events = log }
 }

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/costmodel"
+	"repro/internal/eventlog"
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/smtp"
@@ -147,9 +148,11 @@ type Stats struct {
 
 // Server is a runnable mail server front end.
 type Server struct {
-	cfg   Config
-	reg   *metrics.Registry
-	spans *trace.SpanRecorder
+	cfg    Config
+	reg    *metrics.Registry
+	spans  *trace.SpanRecorder
+	events *eventlog.Log
+	arch   string
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -253,10 +256,12 @@ func newServer(st settings) (*Server, error) {
 	}
 	arch := cfg.Arch.String()
 	s := &Server{
-		cfg:   cfg,
-		reg:   reg,
-		spans: st.spans,
-		conns: make(map[net.Conn]bool),
+		cfg:    cfg,
+		reg:    reg,
+		spans:  st.spans,
+		events: st.events,
+		arch:   arch,
+		conns:  make(map[net.Conn]bool),
 
 		connections:     reg.Counter("smtpd_connections_total", "arch", arch),
 		blacklisted:     reg.Counter("smtpd_blacklisted_total", "arch", arch),
@@ -303,6 +308,38 @@ func (s *Server) observeStage(stage string, id uint64, start time.Time, note str
 			Note:  note,
 		})
 	}
+}
+
+// logConn emits the one smtpd.conn event a connection gets when it
+// finishes: the record internal/telemetry folds into the live spam
+// weather. worker reports whether the connection ever occupied an smtpd
+// worker (always true under vanilla; only on handoff under hybrid), and
+// bounce whether it ended without delivering mail — the §4.1 signal.
+func (s *Server) logConn(id uint64, ip, outcome string, worker, bounce bool) {
+	s.events.Info("smtpd.conn", id,
+		eventlog.Str("ip", ip),
+		eventlog.Str("outcome", outcome),
+		eventlog.Bool("worker", worker),
+		eventlog.Bool("bounce", bounce),
+		eventlog.Str("arch", s.arch),
+	)
+}
+
+// logPolicy emits an smtpd.policy event for one verdict: Debug for
+// allows (high-volume; sample them), Info for rejects and tempfails.
+func (s *Server) logPolicy(id uint64, ip, phase string, d policy.Decision, took time.Duration) {
+	lv := eventlog.LevelInfo
+	if d.Verdict == policy.Allow {
+		lv = eventlog.LevelDebug
+	}
+	s.events.Log(lv, "smtpd.policy", id,
+		eventlog.Str("ip", ip),
+		eventlog.Str("phase", phase),
+		eventlog.Str("verdict", d.Verdict.String()),
+		eventlog.Str("checker", d.Checker),
+		eventlog.Str("reason", d.Reason),
+		eventlog.Dur("took", took),
+	)
 }
 
 // Stats returns a snapshot of the counters.
@@ -380,11 +417,13 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		if s.cfg.CheckClient != nil && s.cfg.CheckClient(remoteIP(nc)) {
 			s.blacklisted.Inc()
+			ip := remoteIP(nc)
 			c := smtp.NewConn(nc)
 			c.WriteReply(smtp.ReplyBlacklisted) //nolint:errcheck // closing anyway
 			s.untrack(nc)
 			nc.Close()
 			s.observeStage(StageAccept, id, acceptedAt, "blacklisted")
+			s.logConn(id, ip, "blacklisted", false, true)
 			continue
 		}
 		switch s.cfg.Arch {
@@ -474,7 +513,7 @@ func remoteIP(nc net.Conn) string {
 // hybrid architecture is the master's event loop until trust — a
 // greylisted recipient is never recorded, so the connection stays
 // un-trusted and is finished without costing a worker.
-func (s *Server) sessionConfig(ip string) smtp.Config {
+func (s *Server) sessionConfig(ip string, id uint64) smtp.Config {
 	cfg := smtp.Config{
 		Hostname:        s.cfg.Hostname,
 		ValidateRcpt:    s.cfg.ValidateRcpt,
@@ -486,10 +525,16 @@ func (s *Server) sessionConfig(ip string) smtp.Config {
 		// background context is bounded by the engine itself, and a dead
 		// connection is detected by the socket, not the verdict path.
 		cfg.CheckMail = func(sender string) *smtp.Reply {
-			return s.policyReply(p.Mail(context.Background(), ip, sender))
+			start := time.Now()
+			d := p.Mail(context.Background(), ip, sender)
+			s.logPolicy(id, ip, "mail", d, time.Since(start))
+			return s.policyReply(d)
 		}
 		cfg.CheckRcpt = func(sender, rcpt string) *smtp.Reply {
-			return s.policyReply(p.Rcpt(context.Background(), ip, sender, rcpt))
+			start := time.Now()
+			d := p.Rcpt(context.Background(), ip, sender, rcpt)
+			s.logPolicy(id, ip, "rcpt", d, time.Since(start))
+			return s.policyReply(d)
 		}
 	}
 	return cfg
@@ -516,7 +561,7 @@ func (s *Server) policyReply(d policy.Decision) *smtp.Reply {
 // end, never from the accept loop, so a slow DNSBL scan stalls only the
 // connection it concerns. The verdict is timed as the policy stage and
 // noted on the connection's span (allow/reject/tempfail).
-func (s *Server) admitPolicy(nc net.Conn, c *smtp.Conn, id uint64) bool {
+func (s *Server) admitPolicy(nc net.Conn, c *smtp.Conn, id uint64, worker bool) bool {
 	if s.cfg.Policy == nil {
 		return true
 	}
@@ -525,18 +570,22 @@ func (s *Server) admitPolicy(nc net.Conn, c *smtp.Conn, id uint64) bool {
 	// longer than a silent client could.
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.IdleTimeout)
 	defer cancel()
+	ip := remoteIP(nc)
 	start := time.Now()
-	d := s.cfg.Policy.Connect(ctx, remoteIP(nc))
+	d := s.cfg.Policy.Connect(ctx, ip)
+	s.logPolicy(id, ip, "connect", d, time.Since(start))
 	switch d.Verdict {
 	case policy.Reject:
 		s.observeStage(StagePolicy, id, start, "reject")
 		s.policyRejected.Inc()
 		c.WriteReply(smtp.Reply{Code: 554, Text: d.Reason}) //nolint:errcheck // closing anyway
+		s.logConn(id, ip, "policy_reject", worker, true)
 		return false
 	case policy.Tempfail:
 		s.observeStage(StagePolicy, id, start, "tempfail")
 		s.policyTempfail.Inc()
 		c.WriteReply(smtp.Reply{Code: 421, Text: d.Reason}) //nolint:errcheck // closing anyway
+		s.logConn(id, ip, "policy_tempfail", worker, true)
 		return false
 	default:
 		s.observeStage(StagePolicy, id, start, "allow")

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/addr"
 	"repro/internal/metrics"
 	"repro/internal/smtp"
 	"repro/internal/trace"
@@ -87,11 +88,23 @@ const (
 	outcomeGood
 )
 
+// LoopbackSource maps a trace source IP into 127.0.0.0/8 by keeping its
+// low three octets: 185.0.2.9 becomes 127.0.2.9. Linux routes the whole
+// /8 to the loopback interface and lets clients bind any address in it,
+// so a replayer dialing from the mapped address presents each trace
+// source as a distinct peer — and sources sharing a /25 (or /24) keep
+// sharing it, preserving the locality the caches and policy state key
+// on. Trace IPs differing only in their first octet collide; the
+// generators keep such overlaps to a handful per trace.
+func LoopbackSource(ip addr.IPv4) addr.IPv4 {
+	return addr.IPv4(127<<24 | uint32(ip)&0x00ffffff)
+}
+
 // replayConn performs one trace connection against the server and
 // records the outcome into r under mu.
-func replayConn(addr string, c *trace.Conn, timeout time.Duration, r *Result, mu *sync.Mutex) {
+func replayConn(dest string, c *trace.Conn, local string, timeout time.Duration, r *Result, mu *sync.Mutex) {
 	start := time.Now()
-	outcome := runConn(addr, c, timeout)
+	outcome := runConn(dest, c, local, timeout)
 	elapsed := time.Since(start)
 	mu.Lock()
 	defer mu.Unlock()
@@ -110,8 +123,8 @@ func replayConn(addr string, c *trace.Conn, timeout time.Duration, r *Result, mu
 	}
 }
 
-func runConn(addr string, c *trace.Conn, timeout time.Duration) connOutcome {
-	client, err := smtp.Dial(addr, timeout)
+func runConn(dest string, c *trace.Conn, local string, timeout time.Duration) connOutcome {
+	client, err := smtp.DialFrom(dest, local, timeout)
 	if err != nil {
 		var unexpected *smtp.UnexpectedReplyError
 		if errors.As(err, &unexpected) && unexpected.Reply.Code == 554 {
@@ -155,6 +168,19 @@ type ClosedConfig struct {
 	Think time.Duration
 	// Timeout bounds each dial and protocol step.
 	Timeout time.Duration
+	// SourceLoopback dials each connection from LoopbackSource of its
+	// trace ClientIP, so the server sees distinct per-source peers over
+	// loopback (Linux; requires the target to listen on 127.0.0.1, not a
+	// specific other address).
+	SourceLoopback bool
+}
+
+// localFor returns the source address one connection dials from.
+func localFor(sourceLoopback bool, c *trace.Conn) string {
+	if !sourceLoopback {
+		return ""
+	}
+	return LoopbackSource(c.ClientIP).String()
 }
 
 // RunClosed replays the trace through the closed-system client: each of
@@ -177,7 +203,7 @@ func RunClosed(cfg ClosedConfig, conns []trace.Conn) Result {
 		go func() {
 			defer wg.Done()
 			for c := range next {
-				replayConn(cfg.Addr, c, cfg.Timeout, &res, &mu)
+				replayConn(cfg.Addr, c, localFor(cfg.SourceLoopback, c), cfg.Timeout, &res, &mu)
 				if cfg.Think > 0 {
 					time.Sleep(cfg.Think)
 				}
@@ -202,6 +228,8 @@ type OpenConfig struct {
 	Rate float64
 	// Timeout bounds each dial and protocol step.
 	Timeout time.Duration
+	// SourceLoopback is as in ClosedConfig.
+	SourceLoopback bool
 }
 
 // RunOpen replays the trace through the open-system client: connection i
@@ -228,7 +256,7 @@ func RunOpen(cfg OpenConfig, conns []trace.Conn) Result {
 		wg.Add(1)
 		go func(c *trace.Conn) {
 			defer wg.Done()
-			replayConn(cfg.Addr, c, cfg.Timeout, &res, &mu)
+			replayConn(cfg.Addr, c, localFor(cfg.SourceLoopback, c), cfg.Timeout, &res, &mu)
 		}(&conns[i])
 	}
 	wg.Wait()
