@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
@@ -25,8 +26,10 @@ import (
 	"repro/internal/fsim"
 	"repro/internal/mailstore"
 	"repro/internal/mfs"
+	"repro/internal/queue"
 	"repro/internal/sim"
 	"repro/internal/smtp"
+	"repro/internal/spool"
 	"repro/internal/trace"
 )
 
@@ -165,6 +168,16 @@ func BenchmarkCombinedOptimizations(b *testing.B) {
 		"gain_spam":     "spam-gain",
 		"gain_univ":     "univ-gain",
 		"querycut_spam": "spam-query-cut",
+	})
+}
+
+// --- Outbound outage extension ---
+
+func BenchmarkOutboundOutage(b *testing.B) {
+	benchExperiment(b, "outbound-outage", map[string]string{
+		"amplification_hybrid": "attempts/mail",
+		"drain_ms_hybrid":      "drain-ms",
+		"peak_spool_hybrid":    "peak-spool",
 	})
 }
 
@@ -373,5 +386,60 @@ func BenchmarkSinkholeGenerate(b *testing.B) {
 		if got := len(s.Generate()); got != 5000 {
 			b.Fatalf("generated %d", got)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Queue and spool hot paths (cmd/benchjson turns these into BENCH_queue.json).
+
+// BenchmarkSpoolAppend measures the durable-accept hot path: one
+// envelope+body framed write per accepted mail. The store is recreated
+// every 8k appends so the benchmark stays append-only without growing
+// the in-memory lane without bound.
+func BenchmarkSpoolAppend(b *testing.B) {
+	body := make([]byte, 1024)
+	rcpts := []string{"a@remote.test", "b@remote.test"}
+	store := spool.New(fsim.NewMem(costmodel.FSModel{}), "queue")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%8192 == 0 && i > 0 {
+			b.StopTimer()
+			store = spool.New(fsim.NewMem(costmodel.FSModel{}), "queue")
+			b.StartTimer()
+		}
+		env := spool.Envelope{ID: fmt.Sprintf("Q%016X", i), Sender: "s@origin.test", Rcpts: rcpts}
+		if err := store.Append(env, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueueThroughput measures end-to-end queue throughput with the
+// durable spool in the loop: Enqueue (spool append) → worker pickup →
+// instant delivery → Ack (spool remove).
+func BenchmarkQueueThroughput(b *testing.B) {
+	qm, err := queue.NewManager(queue.Config{
+		Deliverer:   queue.DelivererFunc(func(item *queue.Item) error { return nil }),
+		Spool:       fsim.NewMem(costmodel.FSModel{}),
+		ActiveLimit: 8,
+		IntakeLimit: b.N + 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer qm.Close()
+	body := make([]byte, 1024)
+	rcpts := []string{"a@remote.test"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qm.Enqueue("s@origin.test", rcpts, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !qm.WaitIdle(60 * time.Second) {
+		b.Fatal("queue did not drain")
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "mails/s")
 	}
 }

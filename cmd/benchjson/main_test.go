@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSpoolAppend-8     	 1108016	      2251 ns/op	    2746 B/op	       9 allocs/op
+BenchmarkQueueThroughput-8 	  514088	      4886 ns/op	    204676 mails/s	    3843 B/op	      13 allocs/op
+PASS
+ok  	repro	6.806s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Package != "repro" {
+		t.Errorf("header fields: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	sp := rep.Benchmarks[0]
+	if sp.Name != "SpoolAppend" || sp.Iterations != 1108016 || sp.NsPerOp != 2251 ||
+		sp.BytesPerOp != 2746 || sp.AllocsPerOp != 9 {
+		t.Errorf("spool line parsed as %+v", sp)
+	}
+	if sp.OpsPerSec < 444000 || sp.OpsPerSec > 445000 {
+		t.Errorf("ops/sec = %v, want ≈444247", sp.OpsPerSec)
+	}
+	qt := rep.Benchmarks[1]
+	if qt.Name != "QueueThroughput" || qt.Metrics["mails/s"] != 204676 {
+		t.Errorf("queue line parsed as %+v", qt)
+	}
+	if qt.AllocsPerOp != 13 {
+		t.Errorf("allocs/op = %d, want 13", qt.AllocsPerOp)
+	}
+}
+
+func TestParseBenchSubBenchAndNoise(t *testing.T) {
+	res, ok := parseBench("BenchmarkMFSParallelDeliver/workers=4-8  100  5000 ns/op  12 mails/commit")
+	if !ok {
+		t.Fatal("sub-benchmark line must parse")
+	}
+	if res.Name != "MFSParallelDeliver/workers=4" {
+		t.Errorf("name = %q", res.Name)
+	}
+	if res.Metrics["mails/commit"] != 12 {
+		t.Errorf("metrics = %v", res.Metrics)
+	}
+	if _, ok := parseBench("BenchmarkBroken no numbers here"); ok {
+		t.Error("garbage line must not parse")
+	}
+}

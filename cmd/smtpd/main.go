@@ -27,6 +27,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/addr"
 	"repro/internal/admin"
+	"repro/internal/bounce"
 	"repro/internal/delivery"
 	"repro/internal/dnsbl"
 	"repro/internal/eventlog"
@@ -43,23 +44,26 @@ import (
 
 func main() {
 	var (
-		listen     = flag.String("addr", "127.0.0.1:2525", "listen address")
-		adminAddr  = flag.String("admin", "", "serve /metrics, /debug/vars, /debug/pprof, and /spans on this address (empty disables)")
-		archName   = flag.String("arch", "hybrid", "architecture: vanilla or hybrid")
-		storeName  = flag.String("store", "mfs", "mailbox store: mbox, maildir, hardlink, mfs")
-		root       = flag.String("root", "", "mail root directory (required)")
-		domain     = flag.String("domain", "dept.example.edu", "local domain")
-		mailboxes  = flag.Int("mailboxes", 400, "number of local user mailboxes (user0000…)")
-		workers    = flag.Int("workers", 100, "smtpd worker limit")
-		pop3Addr   = flag.String("pop3", "", "also serve POP3 on this address (empty disables)")
-		dnsblAddr  = flag.String("dnsbl", "", "comma-separated DNSBL replica addresses (host:port,...); empty disables")
-		dnsblZone  = flag.String("dnsbl-zone", "bl.example.org", "DNSBL zone name")
-		dnsblHedge = flag.Duration("dnsbl-hedge", 20*time.Millisecond, "hedge DNSBL queries to the next replica after this delay (0 disables)")
-		dnsblStale = flag.Duration("dnsbl-stale", time.Hour, "serve expired DNSBL cache entries up to this long past expiry when the blacklist is unreachable (0 disables)")
-		statsSec   = flag.Int("stats", 10, "stats period in seconds (0 disables)")
-		policyOn   = flag.Bool("policy", false, "enable the pre-trust policy engine (rate limits, greylist, reputation; DNSBL scoring when -dnsbl is set)")
-		greyRetry  = flag.Duration("grey-retry", time.Minute, "policy: greylist minimum retry window (0 disables greylisting)")
-		connRate   = flag.Float64("conn-rate", 2, "policy: connections/sec admitted per client IP (0 disables rate limiting)")
+		listen      = flag.String("addr", "127.0.0.1:2525", "listen address")
+		adminAddr   = flag.String("admin", "", "serve /metrics, /debug/vars, /debug/pprof, and /spans on this address (empty disables)")
+		archName    = flag.String("arch", "hybrid", "architecture: vanilla or hybrid")
+		storeName   = flag.String("store", "mfs", "mailbox store: mbox, maildir, hardlink, mfs")
+		root        = flag.String("root", "", "mail root directory (required)")
+		domain      = flag.String("domain", "dept.example.edu", "local domain")
+		mailboxes   = flag.Int("mailboxes", 400, "number of local user mailboxes (user0000…)")
+		workers     = flag.Int("workers", 100, "smtpd worker limit")
+		pop3Addr    = flag.String("pop3", "", "also serve POP3 on this address (empty disables)")
+		dnsblAddr   = flag.String("dnsbl", "", "comma-separated DNSBL replica addresses (host:port,...); empty disables")
+		dnsblZone   = flag.String("dnsbl-zone", "bl.example.org", "DNSBL zone name")
+		dnsblHedge  = flag.Duration("dnsbl-hedge", 20*time.Millisecond, "hedge DNSBL queries to the next replica after this delay (0 disables)")
+		dnsblStale  = flag.Duration("dnsbl-stale", time.Hour, "serve expired DNSBL cache entries up to this long past expiry when the blacklist is unreachable (0 disables)")
+		statsSec    = flag.Int("stats", 10, "stats period in seconds (0 disables)")
+		spoolDir    = flag.String("spool-dir", "queue", "spool directory (under -root) holding the active/deferred/hold lanes")
+		maxAttempts = flag.Int("max-attempts", 3, "delivery attempts before a mail bounces")
+		bounceOn    = flag.Bool("bounce", true, "synthesize DSN bounces for undeliverable mail (off: drop dead)")
+		policyOn    = flag.Bool("policy", false, "enable the pre-trust policy engine (rate limits, greylist, reputation; DNSBL scoring when -dnsbl is set)")
+		greyRetry   = flag.Duration("grey-retry", time.Minute, "policy: greylist minimum retry window (0 disables greylisting)")
+		connRate    = flag.Float64("conn-rate", 2, "policy: connections/sec admitted per client IP (0 disables rate limiting)")
 
 		eventsLevel  = flag.String("events-level", "info", "event log ring retention level: debug, info, warn, error, or off")
 		eventsCap    = flag.Int("events-cap", 4096, "event log ring capacity (events retained for /events)")
@@ -161,13 +165,19 @@ func main() {
 	}
 
 	agent := delivery.NewAgent(db, store, delivery.WithRegistry(reg), delivery.WithEventLog(events))
-	qm, err := queue.NewManager(queue.Config{
+	qcfg := queue.Config{
 		Deliverer:   agent,
 		Spool:       fs,
+		SpoolDir:    *spoolDir,
 		ActiveLimit: 8,
+		MaxAttempts: *maxAttempts,
 		Registry:    reg,
 		Events:      events,
-	})
+	}
+	if *bounceOn {
+		qcfg.Bounce = bounce.New("mx." + *domain).Synthesize
+	}
+	qm, err := queue.NewManager(qcfg)
 	if err != nil {
 		log.Fatalf("smtpd: %v", err)
 	}
@@ -351,6 +361,8 @@ func logStats(srv *smtpserver.Server, qm *queue.Manager, agent *delivery.Agent, 
 	t.AddRow("queued", q.Enqueued)
 	t.AddRow("delivered", q.Delivered)
 	t.AddRow("deferred", q.Deferred)
+	t.AddRow("bounced (DSN)", q.Bounced)
+	t.AddRow("held", q.Held)
 	t.AddRow("mailbox writes", d.RcptDeliveries)
 	fmt.Fprint(log.Writer(), t.String())
 }

@@ -1,0 +1,98 @@
+// Package bounce synthesizes delivery status notifications (DSNs) in
+// the RFC 3464 multipart/report shape: when the queue exhausts a mail's
+// delivery attempts, the mail does not vanish — its sender gets a
+// machine-parsable failure report from the null reverse-path, exactly
+// as a production MTA behaves. The §4.1 measurement that motivates the
+// paper (a quarter of all SMTP connections are bounces) is this
+// mechanism seen from the receiving side.
+package bounce
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Generator builds DSNs for one reporting MTA.
+type Generator struct {
+	// Hostname is the Reporting-MTA (e.g. "mx.dept.example.edu").
+	Hostname string
+	// MaxOriginal bounds how many bytes of the original message are
+	// returned in the third part (default 4096; headers-plus-a-little,
+	// like postfix's bounce_size_limit).
+	MaxOriginal int
+}
+
+// New returns a Generator reporting as hostname.
+func New(hostname string) *Generator {
+	return &Generator{Hostname: hostname, MaxOriginal: 4096}
+}
+
+// Synthesize builds the DSN for a permanently undeliverable mail. It
+// returns the bounce recipients (the original envelope sender) and the
+// message body; ok is false when no bounce must be sent — the original
+// sender was the null reverse-path, i.e. the failed mail was itself a
+// DSN, and generating another would start a mail loop (RFC 5321 §6.1).
+//
+// The envelope sender of the returned mail is always the null sender
+// ""; callers enqueue it with that.
+func (g *Generator) Synthesize(id, sender string, rcpts []string, data []byte, reason string) (brcpts []string, bdata []byte, ok bool) {
+	if sender == "" {
+		return nil, nil, false
+	}
+	host := g.Hostname
+	if host == "" {
+		host = "localhost"
+	}
+	maxOrig := g.MaxOriginal
+	if maxOrig <= 0 {
+		maxOrig = 4096
+	}
+	boundary := "=_bounce_" + id
+
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "From: MAILER-DAEMON@%s\r\n", host)
+	fmt.Fprintf(&b, "To: <%s>\r\n", sender)
+	fmt.Fprintf(&b, "Subject: Undelivered Mail Returned to Sender\r\n")
+	fmt.Fprintf(&b, "Auto-Submitted: auto-replied\r\n")
+	fmt.Fprintf(&b, "MIME-Version: 1.0\r\n")
+	fmt.Fprintf(&b, "Content-Type: multipart/report; report-type=delivery-status;\r\n\tboundary=\"%s\"\r\n", boundary)
+	fmt.Fprintf(&b, "\r\n")
+
+	// Part 1: human-readable notification.
+	fmt.Fprintf(&b, "--%s\r\nContent-Type: text/plain; charset=us-ascii\r\n\r\n", boundary)
+	fmt.Fprintf(&b, "This is the mail system at host %s.\r\n\r\n", host)
+	fmt.Fprintf(&b, "I'm sorry to have to inform you that your message could not\r\n")
+	fmt.Fprintf(&b, "be delivered to one or more recipients.\r\n\r\n")
+	for _, r := range rcpts {
+		fmt.Fprintf(&b, "<%s>: %s\r\n", r, reason)
+	}
+	fmt.Fprintf(&b, "\r\n")
+
+	// Part 2: the machine-parsable delivery status (RFC 3464).
+	fmt.Fprintf(&b, "--%s\r\nContent-Type: message/delivery-status\r\n\r\n", boundary)
+	fmt.Fprintf(&b, "Reporting-MTA: dns; %s\r\n", host)
+	fmt.Fprintf(&b, "X-Queue-ID: %s\r\n\r\n", id)
+	for _, r := range rcpts {
+		fmt.Fprintf(&b, "Final-Recipient: rfc822; %s\r\n", r)
+		fmt.Fprintf(&b, "Action: failed\r\n")
+		fmt.Fprintf(&b, "Status: 4.4.1\r\n")
+		fmt.Fprintf(&b, "Diagnostic-Code: smtp; %s\r\n\r\n", reason)
+	}
+
+	// Part 3: the original message, truncated.
+	orig := data
+	truncated := false
+	if len(orig) > maxOrig {
+		orig = orig[:maxOrig]
+		truncated = true
+	}
+	if truncated {
+		fmt.Fprintf(&b, "--%s\r\nContent-Type: text/rfc822-headers\r\n\r\n", boundary)
+	} else {
+		fmt.Fprintf(&b, "--%s\r\nContent-Type: message/rfc822\r\n\r\n", boundary)
+	}
+	b.Write(orig)
+	fmt.Fprintf(&b, "\r\n--%s--\r\n", boundary)
+
+	return []string{sender}, b.Bytes(), true
+}

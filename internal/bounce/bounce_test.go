@@ -1,0 +1,69 @@
+package bounce
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSynthesizeShape(t *testing.T) {
+	g := New("mx.dept.example.edu")
+	rcpts, data, ok := g.Synthesize("Q0001", "alice@origin.test",
+		[]string{"bob@remote.test", "carol@remote.test"},
+		[]byte("Subject: hi\r\n\r\nbody"), "connect to remote.test failed after 5 attempts")
+	if !ok {
+		t.Fatal("bounce suppressed for a non-null sender")
+	}
+	if len(rcpts) != 1 || rcpts[0] != "alice@origin.test" {
+		t.Fatalf("bounce rcpts = %v, want the original sender", rcpts)
+	}
+	s := string(data)
+	for _, want := range []string{
+		"From: MAILER-DAEMON@mx.dept.example.edu",
+		"To: <alice@origin.test>",
+		"multipart/report; report-type=delivery-status",
+		"Reporting-MTA: dns; mx.dept.example.edu",
+		"X-Queue-ID: Q0001",
+		"Final-Recipient: rfc822; bob@remote.test",
+		"Final-Recipient: rfc822; carol@remote.test",
+		"Action: failed",
+		"Status: 4.4.1",
+		"Diagnostic-Code: smtp; connect to remote.test failed after 5 attempts",
+		"message/rfc822",
+		"Subject: hi",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DSN missing %q", want)
+		}
+	}
+	// Exactly two Action lines: one per failed recipient.
+	if n := strings.Count(s, "Action: failed"); n != 2 {
+		t.Errorf("Action lines = %d, want 2", n)
+	}
+}
+
+func TestSynthesizeSuppressesDoubleBounce(t *testing.T) {
+	g := New("mx.test")
+	if _, _, ok := g.Synthesize("Q2", "", []string{"r@b.test"}, nil, "x"); ok {
+		t.Fatal("DSN generated for a null-sender mail (mail loop)")
+	}
+}
+
+func TestSynthesizeTruncatesOriginal(t *testing.T) {
+	g := New("mx.test")
+	g.MaxOriginal = 16
+	big := make([]byte, 1000)
+	for i := range big {
+		big[i] = 'A'
+	}
+	_, data, ok := g.Synthesize("Q3", "s@a.test", []string{"r@b.test"}, big, "too slow")
+	if !ok {
+		t.Fatal("not ok")
+	}
+	s := string(data)
+	if !strings.Contains(s, "text/rfc822-headers") {
+		t.Error("truncated DSN should switch to text/rfc822-headers")
+	}
+	if len(s) > 2000 {
+		t.Errorf("DSN did not truncate the original: %d bytes", len(s))
+	}
+}

@@ -63,6 +63,7 @@ func TestRegistry(t *testing.T) {
 		"table1", "fig1", "fig3", "fig4", "fig5", "tuning", "fig8",
 		"fig10", "fig11", "mfs-sinkhole", "fig12", "fig13", "fig14",
 		"fig15", "combined", "parallel-delivery", "stage-latency",
+		"outbound-outage",
 	} {
 		if !seen[want] {
 			t.Errorf("missing experiment %s", want)
@@ -399,6 +400,36 @@ func TestStageLatencyShape(t *testing.T) {
 	for _, key := range []string{"vanilla_dialog_p99_ms", "hybrid_dialog_p99_ms"} {
 		if m[key] <= 0 {
 			t.Errorf("%s = %v, want > 0", key, m[key])
+		}
+	}
+}
+
+func TestOutboundOutageShape(t *testing.T) {
+	m := quick(t, "outbound-outage")
+	for _, arch := range []string{"vanilla", "hybrid"} {
+		accepted := m["accepted_"+arch]
+		if accepted <= 0 {
+			t.Fatalf("%s accepted %v mails", arch, accepted)
+		}
+		// Every accepted mail must end as a delivery or a DSN — the
+		// outage may not lose mail.
+		if got := m["delivered_"+arch] + m["bounced_"+arch]; got < accepted {
+			t.Errorf("%s: delivered+bounced = %v < accepted %v", arch, got, accepted)
+		}
+		if m["bounced_"+arch] < 2 {
+			t.Errorf("%s: bounced = %v, want ≥2 (dead-domain mails must DSN)", arch, m["bounced_"+arch])
+		}
+		// The spool must visibly absorb the outage backlog...
+		if m["peak_spool_"+arch] < 0.5*accepted {
+			t.Errorf("%s: peak spool %v too shallow for %v accepted", arch, m["peak_spool_"+arch], accepted)
+		}
+		// ...and retries must amplify (remote was down) but stay bounded
+		// by the exponential backoff.
+		if amp := m["amplification_"+arch]; amp < 1 || amp > 16 {
+			t.Errorf("%s: amplification = %v, want in [1, 16]", arch, amp)
+		}
+		if m["drain_ms_"+arch] <= 0 {
+			t.Errorf("%s: drain_ms = %v, want > 0", arch, m["drain_ms_"+arch])
 		}
 	}
 }

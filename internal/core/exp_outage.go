@@ -1,0 +1,353 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bounce"
+	"repro/internal/costmodel"
+	"repro/internal/eventlog"
+	"repro/internal/fsim"
+	"repro/internal/metrics"
+	"repro/internal/outbound"
+	"repro/internal/queue"
+	"repro/internal/smtp"
+	"repro/internal/smtpserver"
+	"repro/internal/spool"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "outbound-outage",
+		Title: "Remote-site outage and recovery: spool depth, retry amplification, time-to-drain",
+		Paper: "Figure 2's queue/outbound split under an unreachable destination: the durable spool absorbs the outage, the per-destination backoff bounds retry amplification, and the queue drains once the remote recovers",
+		Run:   runOutboundOutage,
+	})
+}
+
+// outageSink is a minimal accept-everything SMTP server standing in for
+// the remote site once it comes back up.
+type outageSink struct {
+	ln        net.Listener
+	delivered atomic.Int64
+}
+
+func startOutageSink() (*outageSink, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &outageSink{ln: ln}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.serve(conn)
+		}
+	}()
+	return s, nil
+}
+
+func (s *outageSink) addr() string { return s.ln.Addr().String() }
+func (s *outageSink) close()       { s.ln.Close() }
+
+func (s *outageSink) serve(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	fmt.Fprintf(conn, "220 remote back online\r\n")
+	inData := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if inData {
+			if line == "." {
+				inData = false
+				s.delivered.Add(1)
+				fmt.Fprintf(conn, "250 queued\r\n")
+			}
+			continue
+		}
+		switch verb := strings.ToUpper(line); {
+		case strings.HasPrefix(verb, "HELO"), strings.HasPrefix(verb, "EHLO"),
+			strings.HasPrefix(verb, "MAIL"), strings.HasPrefix(verb, "RCPT"),
+			strings.HasPrefix(verb, "RSET"):
+			fmt.Fprintf(conn, "250 ok\r\n")
+		case strings.HasPrefix(verb, "DATA"):
+			inData = true
+			fmt.Fprintf(conn, "354 go\r\n")
+		case strings.HasPrefix(verb, "QUIT"):
+			fmt.Fprintf(conn, "221 bye\r\n")
+			return
+		default:
+			fmt.Fprintf(conn, "500 what\r\n")
+		}
+	}
+}
+
+// outageResult is one architecture's measurement.
+type outageResult struct {
+	accepted       int64
+	delivered      int64
+	bounced        int64
+	deferrals      int64
+	peakSpool      int
+	outageAttempts float64
+	totalAttempts  float64
+	drain          time.Duration
+}
+
+// amplification is total delivery attempts per mail that ultimately
+// needed them (delivered + bounced originals): 1.0 means every mail
+// went through on its first try.
+func (r outageResult) amplification() float64 {
+	mails := float64(r.delivered + r.bounced)
+	if mails == 0 {
+		return 0
+	}
+	return r.totalAttempts / mails
+}
+
+// outageRun boots one full pipeline — SMTP front end over loopback TCP,
+// durable spool on a simulated disk, backoff scheduler, MX-resolving
+// outbound deliverer — and walks it through a remote-site outage:
+//
+//  1. Every destination MX refuses connections. n mails arrive and pile
+//     up in the deferred lane under exponential backoff; deadN of them
+//     aim at a permanently dead domain.
+//  2. After a hold period the remote "comes back": the MX table repoints
+//     at a live sink, and the drain clock starts.
+//  3. The queue drains. The dead-domain mails exhaust their attempts and
+//     bounce; the DSNs themselves deliver to the recovered remote.
+func outageRun(arch smtpserver.Architecture, n, deadN int, hold time.Duration) (outageResult, error) {
+	const (
+		localDomain  = "origin.test"
+		remoteDomain = "remote.test"
+		deadDomain   = "nohost.test"
+	)
+	var res outageResult
+
+	// A port that refuses connections: listen, grab the address, close.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	resolver := outbound.NewStatic()
+	resolver.Set(remoteDomain, outbound.MX{Host: deadAddr, Pref: 10})
+	resolver.Set(localDomain, outbound.MX{Host: deadAddr, Pref: 10})
+	resolver.Set(deadDomain, outbound.MX{Host: deadAddr, Pref: 10})
+
+	reg := metrics.NewRegistry()
+	events := eventlog.New(eventlog.WithLevel(eventlog.LevelOff))
+	deliverer, err := outbound.New(outbound.Config{
+		Resolver:       resolver,
+		Helo:           "mx." + localDomain,
+		DialTimeout:    500 * time.Millisecond,
+		CommandTimeout: 2 * time.Second,
+		Registry:       reg,
+		Events:         events,
+	})
+	if err != nil {
+		return res, err
+	}
+	qm, err := queue.NewManager(queue.Config{
+		Deliverer:       deliverer,
+		Spool:           fsim.NewMem(costmodel.FSModel{}),
+		ActiveLimit:     8,
+		MaxAttempts:     8,
+		RetryDelay:      25 * time.Millisecond,
+		MaxRetryDelay:   250 * time.Millisecond,
+		DestConcurrency: 8,
+		IntakeLimit:     2*n + 16,
+		Bounce:          bounce.New("mx." + localDomain).Synthesize,
+		Registry:        reg,
+		Events:          events,
+	})
+	if err != nil {
+		return res, err
+	}
+	srv, err := smtpserver.New(qm.Enqueue,
+		smtpserver.WithHostname("mx."+localDomain),
+		smtpserver.WithArchitecture(arch),
+		smtpserver.WithMaxWorkers(8),
+		smtpserver.WithIdleTimeout(5*time.Second),
+		smtpserver.WithRegistry(reg),
+		smtpserver.WithEventLog(events),
+	)
+	if err != nil {
+		qm.Close()
+		return res, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		qm.Close()
+		return res, err
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }() //nolint:errcheck // exits on Close
+
+	// Sample the spool depth while the outage lasts; the peak is the
+	// headline "how much disk did the outage cost" number.
+	var peak atomic.Int64
+	stopSampling := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSampling:
+				return
+			case <-tick.C:
+				depth := int64(qm.LaneDepth(spool.LaneActive) +
+					qm.LaneDepth(spool.LaneDeferred) + qm.LaneDepth(spool.LaneHold))
+				if depth > peak.Load() {
+					peak.Store(depth)
+				}
+			}
+		}
+	}()
+
+	// Inject n mails while the remote is down. A slice aims at the
+	// permanently dead domain to exercise the exhaustion→DSN path.
+	body := []byte("Subject: outage drill\r\n\r\n" + strings.Repeat("payload ", 32) + "\r\n")
+	const senders = 4
+	var inject sync.WaitGroup
+	injectErr := make([]error, senders)
+	for g := 0; g < senders; g++ {
+		inject.Add(1)
+		go func(g int) {
+			defer inject.Done()
+			for i := g; i < n; i += senders {
+				rcptDomain := remoteDomain
+				if i < deadN {
+					rcptDomain = deadDomain
+				}
+				c, err := smtp.Dial(ln.Addr().String(), 2*time.Second)
+				if err != nil {
+					injectErr[g] = err
+					return
+				}
+				if err := c.Helo("relay." + localDomain); err == nil {
+					sender := fmt.Sprintf("user%d@%s", i, localDomain)
+					rcpt := fmt.Sprintf("rcpt%d@%s", i, rcptDomain)
+					if _, err := c.Send(sender, []string{rcpt}, body); err != nil {
+						injectErr[g] = err
+					}
+				}
+				_ = c.Quit()
+			}
+		}(g)
+	}
+	inject.Wait()
+	for _, err := range injectErr {
+		if err != nil {
+			qm.Close()
+			srv.Close()
+			<-done
+			return res, fmt.Errorf("inject: %w", err)
+		}
+	}
+
+	// Let the outage bite: retries accumulate against the dead address.
+	time.Sleep(hold)
+	res.outageAttempts = float64(reg.Counter("outbound_attempts_total").Value())
+	close(stopSampling)
+	sampler.Wait()
+	res.peakSpool = int(peak.Load())
+
+	// Recovery: the remote (and the origin domain, for DSNs) come back.
+	sink, err := startOutageSink()
+	if err != nil {
+		qm.Close()
+		srv.Close()
+		<-done
+		return res, err
+	}
+	defer sink.close()
+	resolver.Set(remoteDomain, outbound.MX{Host: sink.addr(), Pref: 10})
+	resolver.Set(localDomain, outbound.MX{Host: sink.addr(), Pref: 10})
+	recoverStart := time.Now()
+	if !qm.WaitIdle(60 * time.Second) {
+		qm.Close()
+		srv.Close()
+		<-done
+		return res, fmt.Errorf("queue did not drain after recovery")
+	}
+	res.drain = time.Since(recoverStart)
+
+	if err := srv.Close(); err != nil {
+		qm.Close()
+		return res, err
+	}
+	<-done
+	if err := qm.Close(); err != nil {
+		return res, err
+	}
+
+	stats := qm.Stats()
+	res.accepted = stats.Enqueued
+	res.delivered = stats.Delivered
+	res.bounced = stats.Bounced
+	res.deferrals = stats.Deferred
+	res.totalAttempts = float64(reg.Counter("outbound_attempts_total").Value())
+	return res, nil
+}
+
+func runOutboundOutage(w io.Writer, opts Options) (Metrics, error) {
+	n := opts.scale(240, 32)
+	deadN := n / 16
+	if deadN < 2 {
+		deadN = 2
+	}
+	hold := 400 * time.Millisecond
+	if opts.Quick {
+		hold = 200 * time.Millisecond
+	}
+
+	t := metrics.NewTable("arch", "accepted", "peak spool", "outage attempts",
+		"total attempts", "amp", "bounced", "drain ms")
+	m := Metrics{}
+	for _, arch := range []smtpserver.Architecture{smtpserver.Vanilla, smtpserver.Hybrid} {
+		r, err := outageRun(arch, n, deadN, hold)
+		if err != nil {
+			return nil, fmt.Errorf("outbound-outage %s: %v", arch, err)
+		}
+		t.AddRow(arch.String(), r.accepted, r.peakSpool, r.outageAttempts,
+			r.totalAttempts, r.amplification(), r.bounced, float64(r.drain.Milliseconds()))
+		key := arch.String()
+		m["accepted_"+key] = float64(r.accepted)
+		m["delivered_"+key] = float64(r.delivered)
+		m["bounced_"+key] = float64(r.bounced)
+		m["deferrals_"+key] = float64(r.deferrals)
+		m["peak_spool_"+key] = float64(r.peakSpool)
+		m["outage_attempts_"+key] = r.outageAttempts
+		m["total_attempts_"+key] = r.totalAttempts
+		m["amplification_"+key] = r.amplification()
+		m["drain_ms_"+key] = float64(r.drain.Milliseconds())
+	}
+	fmt.Fprint(w, t.String())
+	fmt.Fprintf(w, "\nboth architectures accept at full speed while the remote is down: "+
+		"the spool absorbs the backlog (peak %.0f mails), exponential per-destination "+
+		"backoff caps retry amplification at %.1f attempts/mail, and the queue drains "+
+		"in %.0f ms once the remote returns; %.0f mails aimed at a permanently dead "+
+		"domain exhausted their attempts and bounced as DSNs\n",
+		m["peak_spool_hybrid"], m["amplification_hybrid"], m["drain_ms_hybrid"],
+		m["bounced_hybrid"])
+	return m, nil
+}

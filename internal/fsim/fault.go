@@ -1,0 +1,333 @@
+package fsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrCrashed is returned by every operation on a Fault filesystem after
+// its crash point has been reached: the simulated process is dead and
+// nothing works until Recover.
+var ErrCrashed = errors.New("fsim: crashed")
+
+// Fault is an in-memory FS for crash-point enumeration tests. It models
+// the durability contract the spool and MFS layers are written against:
+//
+//   - File data is volatile until Sync: a crash discards every byte
+//     written (Write or WriteAt) since the file's last Sync.
+//   - Namespace operations (create, link, remove) are journaled metadata
+//     and survive a crash as soon as they return — the ext3
+//     ordered-journal model. A file created but never synced survives as
+//     a name whose content reverts to its last-synced bytes (empty for a
+//     fresh file), which is exactly the torn-record case recovery scans
+//     must tolerate.
+//
+// CrashAfter arms a countdown over mutating operations; when it reaches
+// zero the filesystem "crashes": the triggering operation and everything
+// after it fail with ErrCrashed. Recover reverts volatile data and
+// brings the filesystem back, as if the process restarted on the same
+// disk. Enumerating CrashAfter(0..Steps()) therefore kills a scenario at
+// every distinct intermediate state.
+type Fault struct {
+	mu      sync.Mutex
+	nodes   map[string]*faultNode
+	steps   int64 // mutating ops performed (successfully)
+	armed   bool
+	left    int64 // ops remaining until crash when armed
+	crashed bool
+}
+
+var _ FS = (*Fault)(nil)
+
+// faultNode is one inode: data is the live view, durable the last-synced
+// image. Hardlinked names share the node.
+type faultNode struct {
+	data    []byte
+	durable []byte
+	links   int
+}
+
+// NewFault returns an empty fault-injecting filesystem.
+func NewFault() *Fault {
+	return &Fault{nodes: make(map[string]*faultNode)}
+}
+
+// CrashAfter arms the crash countdown: the next n mutating operations
+// succeed, and the one after them (and everything else) fails with
+// ErrCrashed. CrashAfter(0) crashes on the next mutating op.
+func (f *Fault) CrashAfter(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed = true
+	f.left = int64(n)
+}
+
+// Crash kills the filesystem immediately.
+func (f *Fault) Crash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = true
+}
+
+// Crashed reports whether the crash point has been reached.
+func (f *Fault) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Steps returns the number of mutating operations performed so far; run
+// a scenario once uncrashed to size a CrashAfter enumeration loop.
+func (f *Fault) Steps() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int(f.steps)
+}
+
+// Recover restarts the filesystem after a crash: volatile (unsynced)
+// data is discarded, durable data and the namespace survive, and the
+// countdown is disarmed. It is a no-op on a live filesystem.
+func (f *Fault) Recover() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.crashed {
+		f.armed = false
+		return
+	}
+	seen := make(map[*faultNode]bool, len(f.nodes))
+	for _, n := range f.nodes {
+		if !seen[n] {
+			seen[n] = true
+			n.data = append(n.data[:0], n.durable...)
+		}
+	}
+	f.crashed = false
+	f.armed = false
+}
+
+// step accounts one mutating operation against the countdown; it returns
+// ErrCrashed when the crash point has been reached (the op must not take
+// effect). f.mu must be held.
+func (f *Fault) step() error {
+	if f.crashed {
+		return ErrCrashed
+	}
+	if f.armed {
+		if f.left <= 0 {
+			f.crashed = true
+			return ErrCrashed
+		}
+		f.left--
+	}
+	f.steps++
+	return nil
+}
+
+// checkLive is the read-path guard: no countdown charge, but a crashed
+// filesystem refuses everything.
+func (f *Fault) checkLive() error {
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+type faultFile struct {
+	fs   *Fault
+	node *faultNode
+	name string
+}
+
+var _ File = (*faultFile)(nil)
+
+func (f *Fault) Create(name string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	n, ok := f.nodes[name]
+	if ok {
+		n.data = n.data[:0]
+	} else {
+		n = &faultNode{links: 1}
+		f.nodes[name] = n
+	}
+	return &faultFile{fs: f, node: n, name: name}, nil
+}
+
+func (f *Fault) OpenAppend(name string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, ok := f.nodes[name]
+	if !ok {
+		if err := f.step(); err != nil {
+			return nil, err
+		}
+		n = &faultNode{links: 1}
+		f.nodes[name] = n
+	} else if err := f.checkLive(); err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, node: n, name: name}, nil
+}
+
+func (f *Fault) OpenRead(name string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkLive(); err != nil {
+		return nil, err
+	}
+	n, ok := f.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("fsim: open %s: %w", name, ErrNotExist)
+	}
+	return &faultFile{fs: f, node: n, name: name}, nil
+}
+
+func (f *Fault) Link(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return err
+	}
+	n, ok := f.nodes[oldname]
+	if !ok {
+		return fmt.Errorf("fsim: link %s: %w", oldname, ErrNotExist)
+	}
+	if _, taken := f.nodes[newname]; taken {
+		return fmt.Errorf("fsim: link %s: %w", newname, ErrExist)
+	}
+	n.links++
+	f.nodes[newname] = n
+	return nil
+}
+
+func (f *Fault) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return err
+	}
+	n, ok := f.nodes[name]
+	if !ok {
+		return fmt.Errorf("fsim: remove %s: %w", name, ErrNotExist)
+	}
+	n.links--
+	delete(f.nodes, name)
+	return nil
+}
+
+func (f *Fault) Exists(name string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return false
+	}
+	_, ok := f.nodes[name]
+	return ok
+}
+
+func (f *Fault) Size(name string) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkLive(); err != nil {
+		return 0, err
+	}
+	n, ok := f.nodes[name]
+	if !ok {
+		return 0, fmt.Errorf("fsim: size %s: %w", name, ErrNotExist)
+	}
+	return int64(len(n.data)), nil
+}
+
+func (f *Fault) List(prefix string) []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil
+	}
+	var names []string
+	for name := range f.nodes {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (ff *faultFile) Close() error { return nil }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if err := ff.fs.step(); err != nil {
+		return 0, err
+	}
+	ff.node.data = append(ff.node.data, p...)
+	return len(p), nil
+}
+
+func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if err := ff.fs.step(); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("fsim: negative write offset %d", off)
+	}
+	end := off + int64(len(p))
+	if grow := end - int64(len(ff.node.data)); grow > 0 {
+		ff.node.data = append(ff.node.data, make([]byte, grow)...)
+	}
+	copy(ff.node.data[off:end], p)
+	return len(p), nil
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if err := ff.fs.checkLive(); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("fsim: negative read offset %d", off)
+	}
+	if off >= int64(len(ff.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, ff.node.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (ff *faultFile) Size() (int64, error) {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if err := ff.fs.checkLive(); err != nil {
+		return 0, err
+	}
+	return int64(len(ff.node.data)), nil
+}
+
+// Sync makes the file's current bytes durable: after this call a crash
+// no longer loses them.
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if err := ff.fs.step(); err != nil {
+		return err
+	}
+	ff.node.durable = append(ff.node.durable[:0], ff.node.data...)
+	return nil
+}
+
+func (ff *faultFile) Name() string { return ff.name }

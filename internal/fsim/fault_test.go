@@ -1,0 +1,132 @@
+package fsim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultUnsyncedDataLostOnCrash(t *testing.T) {
+	fs := NewFault()
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(" volatile")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	if _, err := fs.OpenRead("a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read on crashed fs = %v", err)
+	}
+	fs.Recover()
+	g, err := fs.OpenRead("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	n, _ := g.ReadAt(buf, 0)
+	if string(buf[:n]) != "durable" {
+		t.Fatalf("post-crash content = %q, want only the synced bytes", buf[:n])
+	}
+}
+
+func TestFaultNamespaceSurvivesCrash(t *testing.T) {
+	fs := NewFault()
+	f, _ := fs.Create("dir/a")
+	f.Write([]byte("x")) //nolint:errcheck
+	f.Sync()             //nolint:errcheck
+	if err := fs.Link("dir/a", "dir/b"); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := fs.Create("dir/unsynced")
+	g.Write([]byte("gone")) //nolint:errcheck
+	fs.Crash()
+	fs.Recover()
+	if !fs.Exists("dir/a") || !fs.Exists("dir/b") {
+		t.Fatal("links lost across crash")
+	}
+	// The created-but-unsynced file survives as a torn (empty) name.
+	sz, err := fs.Size("dir/unsynced")
+	if err != nil || sz != 0 {
+		t.Fatalf("unsynced file: size %d err %v, want empty survivor", sz, err)
+	}
+}
+
+func TestFaultCrashAfterCountdown(t *testing.T) {
+	// Count the steps of a small scenario, then verify the countdown
+	// kills exactly at each op.
+	run := func(fs *Fault) error {
+		f, err := fs.Create("a") // step 1
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte("x")); err != nil { // step 2
+			return err
+		}
+		if err := f.Sync(); err != nil { // step 3
+			return err
+		}
+		return fs.Remove("a") // step 4
+	}
+	dry := NewFault()
+	if err := run(dry); err != nil {
+		t.Fatal(err)
+	}
+	if dry.Steps() != 4 {
+		t.Fatalf("steps = %d, want 4", dry.Steps())
+	}
+	for k := 0; k < 4; k++ {
+		fs := NewFault()
+		fs.CrashAfter(k)
+		if err := run(fs); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("CrashAfter(%d): err = %v", k, err)
+		}
+		if !fs.Crashed() {
+			t.Fatalf("CrashAfter(%d): not crashed", k)
+		}
+	}
+	fs := NewFault()
+	fs.CrashAfter(4)
+	if err := run(fs); err != nil {
+		t.Fatalf("CrashAfter(4) should let the whole run finish: %v", err)
+	}
+}
+
+func TestFaultRecoverIsNoopWhenLive(t *testing.T) {
+	fs := NewFault()
+	f, _ := fs.Create("a")
+	f.Write([]byte("live")) //nolint:errcheck
+	fs.Recover()            // disarms only; volatile data intact on a live fs
+	sz, err := fs.Size("a")
+	if err != nil || sz != 4 {
+		t.Fatalf("live recover clobbered data: size %d err %v", sz, err)
+	}
+}
+
+func TestFaultHardlinkSharesData(t *testing.T) {
+	fs := NewFault()
+	f, _ := fs.Create("a")
+	f.Write([]byte("shared")) //nolint:errcheck
+	f.Sync()                  //nolint:errcheck
+	if err := fs.Link("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs.OpenRead("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, _ := g.ReadAt(buf, 0)
+	if string(buf[:n]) != "shared" {
+		t.Fatalf("content via second link = %q", buf[:n])
+	}
+}

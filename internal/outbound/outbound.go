@@ -1,0 +1,332 @@
+// Package outbound implements the SMTP client side of the queue: a
+// Deliverer that resolves a destination domain's MX records, dials the
+// candidates in preference order, and runs one SMTP transaction per
+// destination with per-command deadlines. It is the "smtp client"
+// process of the paper's Figure 2 architecture — the piece that turns a
+// spooled queue item into a remote delivery, and the piece whose
+// failures feed the per-destination backoff scheduler and, eventually,
+// the DSN generator.
+package outbound
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dns"
+	"repro/internal/eventlog"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/queue"
+	"repro/internal/smtp"
+)
+
+// MX is one mail-exchanger candidate for a destination domain.
+type MX struct {
+	Host string
+	Pref uint16
+}
+
+// Resolver turns a destination domain into MX candidates.
+type Resolver interface {
+	LookupMX(ctx context.Context, domain string) ([]MX, error)
+}
+
+// ---------------------------------------------------------------------------
+// Static resolver
+
+// Static is a fixed MX table for simulations and tests: deterministic,
+// no sockets. Unknown domains resolve to nothing and fail delivery.
+type Static struct {
+	table atomic.Value // map[string][]MX, copy-on-write
+}
+
+// NewStatic returns an empty static resolver.
+func NewStatic() *Static {
+	s := &Static{}
+	s.table.Store(map[string][]MX{})
+	return s
+}
+
+// Set replaces domain's MX candidates.
+func (s *Static) Set(domain string, mxs ...MX) {
+	old, _ := s.table.Load().(map[string][]MX)
+	next := make(map[string][]MX, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[strings.ToLower(domain)] = append([]MX(nil), mxs...)
+	s.table.Store(next)
+}
+
+// LookupMX implements Resolver.
+func (s *Static) LookupMX(_ context.Context, domain string) ([]MX, error) {
+	m, _ := s.table.Load().(map[string][]MX)
+	mxs, ok := m[strings.ToLower(domain)]
+	if !ok {
+		return nil, fmt.Errorf("outbound: no MX table entry for %q", domain)
+	}
+	return append([]MX(nil), mxs...), nil
+}
+
+// ---------------------------------------------------------------------------
+// DNS resolver
+
+// DNSResolver resolves MX sets through a dns.Transport (the same
+// transport layer the DNSBL path uses, so MX lookups ride the pipelined
+// resolver when one is configured).
+type DNSResolver struct {
+	transport dns.Transport
+	nextID    atomic.Uint32
+}
+
+// NewDNSResolver returns a resolver querying transport.
+func NewDNSResolver(t dns.Transport) *DNSResolver {
+	return &DNSResolver{transport: t}
+}
+
+// LookupMX implements Resolver: a TypeMX query, falling back to the
+// implicit MX (the domain itself at preference 0, RFC 5321 §5.1) when
+// the answer section has no usable MX records.
+func (r *DNSResolver) LookupMX(ctx context.Context, domain string) ([]MX, error) {
+	id := uint16(r.nextID.Add(1))
+	resp, err := r.transport.Query(ctx, dns.NewQuery(id, domain, dns.TypeMX))
+	if err != nil {
+		return nil, fmt.Errorf("outbound: MX %s: %w", domain, err)
+	}
+	if resp.RCode == dns.RCodeNXDomain {
+		return nil, fmt.Errorf("outbound: MX %s: no such domain", domain)
+	}
+	if resp.RCode != dns.RCodeNoError {
+		return nil, fmt.Errorf("outbound: MX %s: rcode %d", domain, resp.RCode)
+	}
+	var mxs []MX
+	for _, rr := range resp.Answers {
+		if rr.Type != dns.TypeMX {
+			continue
+		}
+		pref, host, err := rr.MX()
+		if err != nil {
+			continue // one bad record must not poison the answer set
+		}
+		mxs = append(mxs, MX{Host: host, Pref: pref})
+	}
+	if len(mxs) == 0 {
+		// Implicit MX: a domain with no MX records is its own exchanger.
+		mxs = []MX{{Host: domain, Pref: 0}}
+	}
+	return mxs, nil
+}
+
+// ---------------------------------------------------------------------------
+// Deliverer
+
+// Config parameterizes a Deliverer.
+type Config struct {
+	// Resolver maps destination domains to MX candidates; required.
+	Resolver Resolver
+	// Helo is the EHLO/HELO name presented to remote servers (default
+	// "localhost").
+	Helo string
+	// Port is appended to MX hosts that carry no port (default "25";
+	// simulations use loopback hosts with explicit ports).
+	Port string
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// CommandTimeout bounds each SMTP command round trip (default 30s),
+	// applied via smtp.WithCommandTimeout.
+	CommandTimeout time.Duration
+	// ResolveTimeout bounds each MX lookup (default 5s).
+	ResolveTimeout time.Duration
+	// Tracker, if non-nil, receives per-destination success/failure for
+	// the reputation EWMA.
+	Tracker *policy.DestTracker
+	// Registry receives outbound metrics; nil means a private registry.
+	Registry *metrics.Registry
+	// Events, if non-nil, receives outbound.delivered / outbound.fail.
+	Events *eventlog.Log
+	// DialFunc overrides the dialer (tests). It must return a connected,
+	// greeted client.
+	DialFunc func(addr string) (*smtp.Client, error)
+}
+
+// Deliverer delivers queue items to their destination domains over
+// SMTP. It implements queue.Deliverer.
+type Deliverer struct {
+	cfg Config
+
+	attempts  *metrics.Counter
+	delivered *metrics.Counter
+	failures  *metrics.Counter
+	failovers *metrics.Counter
+}
+
+var _ queue.Deliverer = (*Deliverer)(nil)
+
+// New returns a Deliverer.
+func New(cfg Config) (*Deliverer, error) {
+	if cfg.Resolver == nil {
+		return nil, errors.New("outbound: Resolver is required")
+	}
+	if cfg.Helo == "" {
+		cfg.Helo = "localhost"
+	}
+	if cfg.Port == "" {
+		cfg.Port = "25"
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.CommandTimeout <= 0 {
+		cfg.CommandTimeout = 30 * time.Second
+	}
+	if cfg.ResolveTimeout <= 0 {
+		cfg.ResolveTimeout = 5 * time.Second
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	d := &Deliverer{
+		cfg:       cfg,
+		attempts:  reg.Counter("outbound_attempts_total"),
+		delivered: reg.Counter("outbound_delivered_total"),
+		failures:  reg.Counter("outbound_failures_total"),
+		failovers: reg.Counter("outbound_mx_failover_total"),
+	}
+	if cfg.DialFunc == nil {
+		d.cfg.DialFunc = d.dial
+	}
+	return d, nil
+}
+
+func (d *Deliverer) dial(addr string) (*smtp.Client, error) {
+	return smtp.Dial(addr, d.cfg.DialTimeout,
+		smtp.WithCommandTimeout(d.cfg.CommandTimeout))
+}
+
+// Deliver implements queue.Deliverer. Recipients are grouped by
+// destination domain and each group gets its own MX walk and SMTP
+// transaction. On partial failure it shrinks item.Rcpts to the
+// recipients still owed delivery — the queue persists that shrunk
+// envelope on deferral, so retries (and post-crash recoveries) never
+// redeliver to a domain that already accepted the mail.
+func (d *Deliverer) Deliver(item *queue.Item) error {
+	groups, order := groupByDomain(item.Rcpts)
+	var failed []string
+	var errs []string
+	for _, domain := range order {
+		rcpts := groups[domain]
+		if err := d.deliverDomain(domain, item.Sender, rcpts, item.Data); err != nil {
+			failed = append(failed, rcpts...)
+			errs = append(errs, err.Error())
+			continue
+		}
+		d.cfg.Events.Debug("outbound.delivered", 0,
+			eventlog.Str("id", item.ID),
+			eventlog.Str("dest", domain),
+			eventlog.Int("rcpts", int64(len(rcpts))),
+		)
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	item.Rcpts = failed
+	return fmt.Errorf("outbound: %s", strings.Join(errs, "; "))
+}
+
+// deliverDomain walks domain's MX candidates in preference order and
+// runs one transaction against the first that works.
+func (d *Deliverer) deliverDomain(domain, sender string, rcpts []string, data []byte) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.ResolveTimeout)
+	mxs, err := d.cfg.Resolver.LookupMX(ctx, domain)
+	cancel()
+	if err != nil {
+		d.attempts.Inc()
+		d.fail(domain, err)
+		return err
+	}
+	sort.SliceStable(mxs, func(i, j int) bool { return mxs[i].Pref < mxs[j].Pref })
+	var last error
+	for i, mx := range mxs {
+		if i > 0 {
+			d.failovers.Inc()
+		}
+		d.attempts.Inc()
+		if err := d.transact(mx.Host, sender, rcpts, data); err != nil {
+			last = err
+			d.fail(domain, fmt.Errorf("mx %s: %w", mx.Host, err))
+			continue
+		}
+		d.delivered.Inc()
+		if d.cfg.Tracker != nil {
+			d.cfg.Tracker.RecordSuccess(domain)
+		}
+		return nil
+	}
+	if last == nil {
+		last = fmt.Errorf("outbound: no MX candidates for %q", domain)
+		d.fail(domain, last)
+	}
+	return last
+}
+
+// transact runs one SMTP transaction against host.
+func (d *Deliverer) transact(host, sender string, rcpts []string, data []byte) error {
+	addr := host
+	if _, _, err := net.SplitHostPort(host); err != nil {
+		addr = net.JoinHostPort(host, d.cfg.Port)
+	}
+	c, err := d.cfg.DialFunc(addr)
+	if err != nil {
+		return err
+	}
+	if err := c.Helo(d.cfg.Helo); err != nil {
+		_ = c.Abort()
+		return err
+	}
+	accepted, err := c.Send(sender, rcpts, data)
+	if err != nil {
+		_ = c.Abort()
+		return err
+	}
+	_ = c.Quit()
+	if accepted == 0 {
+		return fmt.Errorf("all %d recipients rejected by %s", len(rcpts), host)
+	}
+	return nil
+}
+
+// fail records one failed delivery attempt against a destination.
+func (d *Deliverer) fail(domain string, err error) {
+	d.failures.Inc()
+	if d.cfg.Tracker != nil {
+		d.cfg.Tracker.RecordFailure(domain)
+	}
+	d.cfg.Events.Info("outbound.fail", 0,
+		eventlog.Str("dest", domain),
+		eventlog.Str("err", err.Error()),
+	)
+}
+
+// groupByDomain buckets recipients by destination domain, preserving
+// first-seen domain order. Recipients with no domain part group under
+// "" (delivered to the implicit local exchanger — simulations resolve
+// it explicitly).
+func groupByDomain(rcpts []string) (map[string][]string, []string) {
+	groups := make(map[string][]string)
+	var order []string
+	for _, r := range rcpts {
+		dom := smtp.Domain(r)
+		if _, ok := groups[dom]; !ok {
+			order = append(order, dom)
+		}
+		groups[dom] = append(groups[dom], r)
+	}
+	return groups, order
+}

@@ -1,0 +1,148 @@
+package policy
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DestTracker is the outbound counterpart of the inbound reputation
+// store: a per-destination (next-hop domain) exponentially decayed
+// failure score, fed by the delivery path and read by operators and the
+// retry scheduler. It reuses the same EWMA decay as the inbound
+// reputation maps — the aggregated-historical-data idea pointed at the
+// remote sites we deliver to instead of the sources that deliver to us.
+type DestTracker struct {
+	mu       sync.Mutex
+	halfLife time.Duration
+	scores   map[string]*ewma
+	fails    map[string]int64
+	oks      map[string]int64
+	epoch    time.Time
+	now      func() time.Time
+	max      int
+}
+
+// DestTrackerOption configures a DestTracker.
+type DestTrackerOption func(*DestTracker)
+
+// WithDestHalfLife sets the failure-score decay half-life (default
+// 10 min: outbound health moves faster than sender reputation).
+func WithDestHalfLife(d time.Duration) DestTrackerOption {
+	return func(t *DestTracker) {
+		if d > 0 {
+			t.halfLife = d
+		}
+	}
+}
+
+// WithDestClock overrides the wall clock (tests).
+func WithDestClock(now func() time.Time) DestTrackerOption {
+	return func(t *DestTracker) { t.now = now }
+}
+
+// WithDestMaxEntries caps tracked destinations (default 1<<15); fully
+// decayed entries are swept when the cap is hit.
+func WithDestMaxEntries(n int) DestTrackerOption {
+	return func(t *DestTracker) {
+		if n > 0 {
+			t.max = n
+		}
+	}
+}
+
+// NewDestTracker returns an empty tracker.
+func NewDestTracker(opts ...DestTrackerOption) *DestTracker {
+	t := &DestTracker{
+		halfLife: 10 * time.Minute,
+		scores:   make(map[string]*ewma),
+		fails:    make(map[string]int64),
+		oks:      make(map[string]int64),
+		now:      time.Now,
+		max:      1 << 15,
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	t.epoch = t.now()
+	return t
+}
+
+func (t *DestTracker) sinceEpoch() time.Duration { return t.now().Sub(t.epoch) }
+
+// RecordFailure charges one failed delivery attempt against dest.
+func (t *DestTracker) RecordFailure(dest string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.sinceEpoch()
+	e, ok := t.scores[dest]
+	if !ok {
+		if len(t.scores) >= t.max {
+			sweepEwma(t.scores, now, t.halfLife)
+		}
+		e = &ewma{last: now}
+		t.scores[dest] = e
+	}
+	e.add(now, t.halfLife, 1)
+	t.fails[dest]++
+}
+
+// RecordSuccess records a successful delivery to dest; the failure
+// score keeps decaying but is not charged.
+func (t *DestTracker) RecordSuccess(dest string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.oks[dest]++
+}
+
+// Score returns dest's decayed failure score (0 = healthy or unknown).
+func (t *DestTracker) Score(dest string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.scores[dest]
+	if !ok {
+		return 0
+	}
+	return e.decayed(t.sinceEpoch(), t.halfLife)
+}
+
+// DestStat is one destination's outbound record.
+type DestStat struct {
+	Dest      string
+	Score     float64
+	Failures  int64
+	Successes int64
+}
+
+// Snapshot returns every tracked destination, worst score first.
+func (t *DestTracker) Snapshot() []DestStat {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.sinceEpoch()
+	seen := make(map[string]bool, len(t.scores)+len(t.oks))
+	var out []DestStat
+	add := func(dest string) {
+		if seen[dest] {
+			return
+		}
+		seen[dest] = true
+		st := DestStat{Dest: dest, Failures: t.fails[dest], Successes: t.oks[dest]}
+		if e, ok := t.scores[dest]; ok {
+			st.Score = e.decayed(now, t.halfLife)
+		}
+		out = append(out, st)
+	}
+	for dest := range t.scores {
+		add(dest)
+	}
+	for dest := range t.oks {
+		add(dest)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Dest < out[j].Dest
+	})
+	return out
+}

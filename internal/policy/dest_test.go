@@ -1,0 +1,49 @@
+package policy
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDestTrackerScoresAndDecay(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	tr := NewDestTracker(
+		WithDestHalfLife(time.Minute),
+		WithDestClock(func() time.Time { return clock }),
+	)
+	if tr.Score("b.test") != 0 {
+		t.Fatal("unknown destination must score 0")
+	}
+	tr.RecordFailure("b.test")
+	tr.RecordFailure("b.test")
+	tr.RecordSuccess("c.test")
+	if s := tr.Score("b.test"); s < 1.9 || s > 2.1 {
+		t.Fatalf("score = %v, want ≈2", s)
+	}
+	if tr.Score("c.test") != 0 {
+		t.Fatal("successes must not charge the failure score")
+	}
+	// One half-life later the score halves.
+	clock = clock.Add(time.Minute)
+	if s := tr.Score("b.test"); s < 0.9 || s > 1.1 {
+		t.Fatalf("decayed score = %v, want ≈1", s)
+	}
+}
+
+func TestDestTrackerSnapshotOrder(t *testing.T) {
+	tr := NewDestTracker()
+	tr.RecordFailure("bad.test")
+	tr.RecordFailure("bad.test")
+	tr.RecordFailure("meh.test")
+	tr.RecordSuccess("good.test")
+	snap := tr.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].Dest != "bad.test" || snap[0].Failures != 2 {
+		t.Fatalf("worst first broken: %+v", snap)
+	}
+	if snap[2].Dest != "good.test" || snap[2].Successes != 1 {
+		t.Fatalf("healthy destination missing: %+v", snap)
+	}
+}

@@ -3,12 +3,16 @@ package queue
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/bounce"
 	"repro/internal/costmodel"
 	"repro/internal/fsim"
+	"repro/internal/spool"
 )
 
 // collector is a Deliverer recording items, with an optional failure
@@ -167,9 +171,10 @@ func TestSpoolLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// While undelivered, the spool file exists with envelope + body.
-	waitFor(t, func() bool { return fs.Exists("queue/incoming/" + id) })
-	sz, _ := fs.Size("queue/incoming/" + id)
+	// While undelivered, the mail sits in the active lane with envelope
+	// + body.
+	waitFor(t, func() bool { return fs.Exists("queue/active/" + id) })
+	sz, _ := fs.Size("queue/active/" + id)
 	if sz == 0 {
 		t.Fatal("spool file empty")
 	}
@@ -177,7 +182,7 @@ func TestSpoolLifecycle(t *testing.T) {
 	if !m.WaitIdle(2 * time.Second) {
 		t.Fatal("queue never idle")
 	}
-	waitFor(t, func() bool { return !fs.Exists("queue/incoming/" + id) })
+	waitFor(t, func() bool { return !fs.Exists("queue/active/" + id) })
 }
 
 func waitFor(t *testing.T, cond func() bool) {
@@ -273,5 +278,319 @@ func TestItemDataIsolated(t *testing.T) {
 	buf[0] = 'X' // caller mutates after enqueue
 	if string(got) != "original" {
 		t.Fatalf("queued data aliased caller buffer: %q", got)
+	}
+}
+
+func TestBackoffShape(t *testing.T) {
+	m, _ := NewManager(Config{
+		Deliverer:     &collector{},
+		RetryDelay:    10 * time.Millisecond,
+		MaxRetryDelay: 80 * time.Millisecond,
+		RetryJitter:   -1, // deterministic
+	})
+	defer m.Close()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, tc := range []struct {
+		streak int
+		want   time.Duration
+	}{
+		{1, 10 * time.Millisecond},
+		{2, 20 * time.Millisecond},
+		{3, 40 * time.Millisecond},
+		{4, 80 * time.Millisecond},
+		{10, 80 * time.Millisecond}, // capped
+		{60, 80 * time.Millisecond}, // shift-overflow guard
+	} {
+		if got := m.backoffLocked(tc.streak); got != tc.want {
+			t.Errorf("backoff(streak=%d) = %v, want %v", tc.streak, got, tc.want)
+		}
+	}
+}
+
+func TestBackoffJitterBounded(t *testing.T) {
+	m, _ := NewManager(Config{
+		Deliverer:     &collector{},
+		RetryDelay:    100 * time.Millisecond,
+		MaxRetryDelay: time.Second,
+		RetryJitter:   0.2,
+	})
+	defer m.Close()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	varied := false
+	for i := 0; i < 64; i++ {
+		d := m.backoffLocked(1)
+		if d < 80*time.Millisecond || d > 120*time.Millisecond {
+			t.Fatalf("jittered delay %v outside ±20%% of 100ms", d)
+		}
+		if d != 100*time.Millisecond {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter never varied the delay")
+	}
+}
+
+func TestDestConcurrencyLimit(t *testing.T) {
+	var cur, peak int32
+	slow := DelivererFunc(func(item *Item) error {
+		n := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+		atomic.AddInt32(&cur, -1)
+		return nil
+	})
+	m, _ := NewManager(Config{
+		Deliverer:       slow,
+		ActiveLimit:     4,
+		DestConcurrency: 1,
+		RetryDelay:      2 * time.Millisecond,
+	})
+	defer m.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := m.Enqueue("s@a.test", []string{fmt.Sprintf("r%d@same.test", i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.WaitIdle(5 * time.Second) {
+		t.Fatal("queue never idle")
+	}
+	if st := m.Stats(); st.Delivered != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if p := atomic.LoadInt32(&peak); p != 1 {
+		t.Fatalf("peak same-destination concurrency = %d, want 1", p)
+	}
+}
+
+func TestExhaustedMailBounces(t *testing.T) {
+	fs := fsim.NewMem(costmodel.FSModel{})
+	var bounces []*Item
+	var mu sync.Mutex
+	del := DelivererFunc(func(item *Item) error {
+		if item.Sender == "" { // the DSN coming back around
+			mu.Lock()
+			cp := *item
+			bounces = append(bounces, &cp)
+			mu.Unlock()
+			return nil
+		}
+		return errors.New("remote down")
+	})
+	m, _ := NewManager(Config{
+		Deliverer:   del,
+		Spool:       fs,
+		MaxAttempts: 2,
+		RetryDelay:  time.Millisecond,
+		RetryJitter: -1,
+		Bounce:      bounce.New("mx.test").Synthesize,
+	})
+	defer m.Close()
+	id, err := m.Enqueue("alice@origin.test", []string{"bob@remote.test"}, []byte("Subject: hi\r\n\r\nx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.WaitIdle(5 * time.Second) {
+		t.Fatal("queue never idle")
+	}
+	st := m.Stats()
+	if st.Bounced != 1 || st.Dead != 0 || st.Delivered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bounces) != 1 {
+		t.Fatalf("bounces delivered = %d", len(bounces))
+	}
+	b := bounces[0]
+	if len(b.Rcpts) != 1 || b.Rcpts[0] != "alice@origin.test" {
+		t.Fatalf("bounce rcpts = %v", b.Rcpts)
+	}
+	if !strings.Contains(string(b.Data), "X-Queue-ID: "+id) {
+		t.Fatal("DSN does not reference the failed queue id")
+	}
+	// Everything finished: all lanes empty.
+	for _, lane := range spool.Lanes {
+		if d := m.LaneDepth(lane); d != 0 {
+			t.Fatalf("lane %s depth = %d after drain", lane, d)
+		}
+	}
+}
+
+func TestDoubleBounceGoesToHold(t *testing.T) {
+	fs := fsim.NewMem(costmodel.FSModel{})
+	failing := DelivererFunc(func(item *Item) error { return errors.New("remote down") })
+	m, _ := NewManager(Config{
+		Deliverer:   failing,
+		Spool:       fs,
+		MaxAttempts: 2,
+		RetryDelay:  time.Millisecond,
+		RetryJitter: -1,
+		Bounce:      bounce.New("mx.test").Synthesize,
+	})
+	defer m.Close()
+	// A mail from the null sender (itself a DSN) that cannot be
+	// delivered must park in hold, not generate another bounce.
+	id, err := m.Enqueue("", []string{"gone@remote.test"}, []byte("dsn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.WaitIdle(5 * time.Second) {
+		t.Fatal("queue never idle")
+	}
+	st := m.Stats()
+	if st.Held != 1 || st.Bounced != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !fs.Exists("queue/hold/" + id) {
+		t.Fatal("held mail missing from the hold lane")
+	}
+}
+
+// TestKillAndReopenRecoversAll is the acceptance scenario: a manager
+// crash-cut (fsim fault) with N accepted-but-undelivered mails must
+// recover all N on reopen and deliver each exactly once.
+func TestKillAndReopenRecoversAll(t *testing.T) {
+	fault := fsim.NewFault()
+	gate := make(chan struct{})
+	blocked := DelivererFunc(func(item *Item) error {
+		<-gate
+		return errors.New("power lost")
+	})
+	m1, err := NewManager(Config{
+		Deliverer:   blocked,
+		Spool:       fault,
+		ActiveLimit: 1,
+		MaxAttempts: 5,
+		RetryDelay:  time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	accepted := map[string]bool{}
+	for i := 0; i < n; i++ {
+		id, err := m1.Enqueue("s@a.test", []string{fmt.Sprintf("r%d@b.test", i)}, []byte("m"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted[id] = true
+	}
+	waitFor(t, func() bool { return m1.LaneDepth(spool.LaneActive) == n })
+	fault.Crash() // the machine dies with all n spooled, none delivered
+	close(gate)
+	m1.Close()
+
+	fault.Recover()
+	col := &collector{}
+	m2, err := NewManager(Config{Deliverer: col, Spool: fault})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if got := m2.RecoveryStats().Recovered[spool.LaneActive]; got != n {
+		t.Fatalf("recovered active = %d, want %d", got, n)
+	}
+	if !m2.WaitIdle(5 * time.Second) {
+		t.Fatal("recovered queue never drained")
+	}
+	seen := map[string]int{}
+	col.mu.Lock()
+	for _, it := range col.delivered {
+		seen[it.ID]++
+	}
+	col.mu.Unlock()
+	for id := range accepted {
+		if seen[id] != 1 {
+			t.Errorf("mail %s delivered %d times, want exactly 1", id, seen[id])
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("delivered %d distinct mails, want %d", len(seen), n)
+	}
+	// The restarted manager must not reissue recovered ids.
+	id, err := m2.Enqueue("s@a.test", []string{"r@b.test"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted[id] {
+		t.Fatalf("restarted manager reissued id %s", id)
+	}
+	for _, lane := range spool.Lanes {
+		waitFor(t, func() bool { return m2.LaneDepth(lane) == 0 })
+	}
+}
+
+// TestQueueCrashPointEnumeration drives a full enqueue → defer → retry
+// → deliver workload against a fault FS that crashes after every
+// possible count of mutating filesystem operations, then reopens and
+// checks the invariants: no accepted mail lost, and no mail delivered
+// twice by the recovered manager.
+func TestQueueCrashPointEnumeration(t *testing.T) {
+	for n := 0; n <= 36; n++ {
+		fault := fsim.NewFault()
+		fault.CrashAfter(n)
+		col1 := &collector{failUntil: map[string]int{"Q0000000000000002": 2}}
+		m1, err := NewManager(Config{
+			Deliverer:   col1,
+			Spool:       fault,
+			MaxAttempts: 3,
+			RetryDelay:  time.Millisecond,
+			RetryJitter: -1,
+		})
+		if err != nil {
+			// The crash landed inside the (empty) recovery scan.
+			fault.Recover()
+			continue
+		}
+		accepted := map[string]bool{}
+		for i := 0; i < 3; i++ {
+			if id, err := m1.Enqueue("s@a.test",
+				[]string{fmt.Sprintf("r%d@b.test", i)}, []byte("m")); err == nil {
+				accepted[id] = true
+			}
+		}
+		m1.WaitIdle(time.Second)
+		m1.Close()
+
+		fault.Recover()
+		col2 := &collector{}
+		m2, err := NewManager(Config{Deliverer: col2, Spool: fault})
+		if err != nil {
+			t.Fatalf("crash@%d: reopen: %v", n, err)
+		}
+		m2.WaitIdle(2 * time.Second)
+		m2.Close()
+
+		got := map[string]int{}
+		col1.mu.Lock()
+		for _, it := range col1.delivered {
+			got[it.ID]++
+		}
+		col1.mu.Unlock()
+		run2 := map[string]int{}
+		col2.mu.Lock()
+		for _, it := range col2.delivered {
+			run2[it.ID]++
+			got[it.ID]++
+		}
+		col2.mu.Unlock()
+		for id := range accepted {
+			if got[id] == 0 {
+				t.Errorf("crash@%d: accepted mail %s lost", n, id)
+			}
+		}
+		for id, c := range run2 {
+			if c > 1 {
+				t.Errorf("crash@%d: recovered manager delivered %s %d times", n, id, c)
+			}
+		}
 	}
 }

@@ -10,11 +10,24 @@ import (
 
 // Client speaks the client side of SMTP over any stream — the engine of
 // the paper's two load generators ("Client program 1" and "Client
-// program 2" in Table 1).
+// program 2" in Table 1) and of the outbound MX-failover deliverer.
 type Client struct {
-	conn   *Conn
-	raw    io.Closer
-	banner Reply
+	conn       *Conn
+	raw        io.Closer
+	banner     Reply
+	cmdTimeout time.Duration
+}
+
+// ClientOption configures a Client at construction.
+type ClientOption func(*Client)
+
+// WithCommandTimeout bounds every command round trip (write + reply
+// read) and the DATA body transfer to d, when the underlying stream
+// supports deadlines (net.Conn does). A stalled next hop then surfaces
+// as a *CommandTimeoutError instead of pinning the caller — a delivery
+// worker, typically — forever. Zero disables (the default).
+func WithCommandTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.cmdTimeout = d }
 }
 
 // UnexpectedReplyError reports a server reply outside the expected class.
@@ -27,14 +40,63 @@ func (e *UnexpectedReplyError) Error() string {
 	return fmt.Sprintf("smtp: %s: unexpected reply %s", e.Op, e.Reply)
 }
 
+// CommandTimeoutError reports a command that exceeded the client's
+// per-command timeout. It implements net.Error's Timeout contract, so
+// errors.Is(err, context.DeadlineExceeded) callers and net-style
+// timeout checks both work.
+type CommandTimeoutError struct {
+	// Op is the command that stalled (HELO, MAIL, DATA, ...).
+	Op string
+	// After is the configured per-command timeout.
+	After time.Duration
+}
+
+func (e *CommandTimeoutError) Error() string {
+	return fmt.Sprintf("smtp: %s: no reply within %v", e.Op, e.After)
+}
+
+// Timeout marks the error as a timeout (net.Error convention).
+func (e *CommandTimeoutError) Timeout() bool { return true }
+
+// Temporary marks the error as retryable: a stalled hop may recover.
+func (e *CommandTimeoutError) Temporary() bool { return true }
+
+// deadliner is the subset of net.Conn the command timeout needs.
+type deadliner interface {
+	SetDeadline(t time.Time) error
+}
+
+// armDeadline starts the per-command countdown; the returned func
+// clears it and translates a deadline-exceeded error.
+func (c *Client) armDeadline(op string) func(err error) error {
+	d, ok := c.raw.(deadliner)
+	if c.cmdTimeout <= 0 || !ok {
+		return func(err error) error { return err }
+	}
+	d.SetDeadline(time.Now().Add(c.cmdTimeout)) //nolint:errcheck // best effort: a failed arm surfaces as the op error
+	return func(err error) error {
+		d.SetDeadline(time.Time{}) //nolint:errcheck
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return &CommandTimeoutError{Op: op, After: c.cmdTimeout}
+		}
+		return err
+	}
+}
+
 // NewClient wraps an established stream and reads the server banner.
-func NewClient(rw io.ReadWriteCloser) (*Client, error) {
+func NewClient(rw io.ReadWriteCloser, opts ...ClientOption) (*Client, error) {
 	c := &Client{conn: NewConn(rw), raw: rw}
+	for _, o := range opts {
+		o(c)
+	}
+	done := c.armDeadline("banner")
 	banner, err := c.conn.ReadReply()
 	if err != nil {
 		rw.Close()
-		return nil, fmt.Errorf("smtp: reading banner: %w", err)
+		return nil, fmt.Errorf("smtp: reading banner: %w", done(err))
 	}
+	done(nil)
 	if banner.Code != 220 {
 		rw.Close()
 		return nil, &UnexpectedReplyError{Op: "banner", Reply: banner}
@@ -44,8 +106,8 @@ func NewClient(rw io.ReadWriteCloser) (*Client, error) {
 }
 
 // Dial connects to addr over TCP with a timeout and reads the banner.
-func Dial(addr string, timeout time.Duration) (*Client, error) {
-	return DialFrom(addr, "", timeout)
+func Dial(addr string, timeout time.Duration, opts ...ClientOption) (*Client, error) {
+	return DialFrom(addr, "", timeout, opts...)
 }
 
 // DialFrom is Dial with an explicit local source address (an IP, port
@@ -54,7 +116,7 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 // on Linux — so per-source server state (policy reputation, DNSBL
 // verdicts, telemetry) keys on distinct addresses instead of collapsing
 // onto 127.0.0.1. An empty local address behaves exactly like Dial.
-func DialFrom(addr, local string, timeout time.Duration) (*Client, error) {
+func DialFrom(addr, local string, timeout time.Duration, opts ...ClientOption) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
@@ -70,20 +132,22 @@ func DialFrom(addr, local string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("smtp: dial %s: %w", addr, err)
 	}
-	return NewClient(nc)
+	return NewClient(nc, opts...)
 }
 
 // Banner returns the server's 220 greeting.
 func (c *Client) Banner() Reply { return c.banner }
 
 // cmd sends a command and checks the reply against wantCode (0 = any
-// positive).
+// positive). The whole round trip runs under the per-command deadline
+// when one is configured.
 func (c *Client) cmd(op, line string, wantCode int) (Reply, error) {
+	done := c.armDeadline(op)
 	if err := c.conn.WriteLine(line); err != nil {
-		return Reply{}, fmt.Errorf("smtp: %s: %w", op, err)
+		return Reply{}, fmt.Errorf("smtp: %s: %w", op, done(err))
 	}
 	r, err := c.conn.ReadReply()
-	if err != nil {
+	if err = done(err); err != nil {
 		return Reply{}, fmt.Errorf("smtp: %s: %w", op, err)
 	}
 	if wantCode != 0 && r.Code != wantCode {
@@ -124,11 +188,12 @@ func (c *Client) Data(body []byte) error {
 	if _, err := c.cmd("DATA", "DATA", 354); err != nil {
 		return err
 	}
+	done := c.armDeadline("DATA body")
 	if err := c.conn.WriteData(body); err != nil {
-		return fmt.Errorf("smtp: sending data: %w", err)
+		return fmt.Errorf("smtp: sending data: %w", done(err))
 	}
 	r, err := c.conn.ReadReply()
-	if err != nil {
+	if err = done(err); err != nil {
 		return fmt.Errorf("smtp: data reply: %w", err)
 	}
 	if r.Code != 250 {

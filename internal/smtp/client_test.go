@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // serveSession drives a full SMTP session over conn using the shared
@@ -220,4 +221,58 @@ func TestClientRejectsBadBanner(t *testing.T) {
 	if _, err := NewClient(clientConn); err == nil {
 		t.Fatal("554 banner accepted")
 	}
+}
+
+func TestClientCommandTimeout(t *testing.T) {
+	// A server that greets and then goes silent: without a per-command
+	// deadline the HELO would block forever.
+	serverConn, clientConn := net.Pipe()
+	defer serverConn.Close()
+	go func() {
+		NewConn(serverConn).WriteReply(Reply{220, "slow.example ESMTP"})
+		// Drain the HELO line but never answer.
+		buf := make([]byte, 256)
+		serverConn.Read(buf) //nolint:errcheck
+	}()
+	c, err := NewClient(clientConn, WithCommandTimeout(30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = c.Helo("me")
+	if err == nil {
+		t.Fatal("HELO against a stalled server succeeded")
+	}
+	var te *CommandTimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v (%T), want *CommandTimeoutError", err, err)
+	}
+	if !te.Timeout() || te.Op != "HELO" {
+		t.Fatalf("timeout error = %+v", te)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("timeout took %v, deadline not applied", took)
+	}
+}
+
+func TestClientBannerTimeout(t *testing.T) {
+	serverConn, clientConn := net.Pipe()
+	defer serverConn.Close()
+	// Server never sends the banner.
+	_, err := NewClient(clientConn, WithCommandTimeout(30*time.Millisecond))
+	var te *CommandTimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *CommandTimeoutError", err)
+	}
+}
+
+func TestClientNoTimeoutStreamsStillWork(t *testing.T) {
+	// Streams without SetDeadline (not net.Conn) must keep working with
+	// the option set: the deadline is simply not armed.
+	client, _, wg := startTestServer(t, validCfg())
+	if err := client.Helo("h"); err != nil {
+		t.Fatal(err)
+	}
+	client.Quit()
+	wg.Wait()
 }

@@ -1,0 +1,306 @@
+package spool
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/fsim"
+)
+
+func env(id string, attempts int) Envelope {
+	return Envelope{
+		ID:       id,
+		Sender:   "s@a.test",
+		Rcpts:    []string{"r1@b.test", "r2@c.test"},
+		Attempts: attempts,
+	}
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	fs := fsim.NewMem(costmodel.FSModel{})
+	s := New(fs, "queue")
+	nb := time.Unix(0, 1234567890)
+	e := env("Q1", 2)
+	e.NotBefore = nb
+	if err := s.Append(e, []byte("body bytes")); err != nil {
+		t.Fatal(err)
+	}
+	mails, stats, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mails) != 1 || stats.Torn != 0 || stats.Duplicates != 0 {
+		t.Fatalf("recover = %d mails, stats %+v", len(mails), stats)
+	}
+	m := mails[0]
+	if m.ID != "Q1" || m.Sender != "s@a.test" || m.Attempts != 2 || m.Lane != LaneActive {
+		t.Fatalf("mail = %+v", m.Envelope)
+	}
+	if !m.NotBefore.Equal(nb) {
+		t.Fatalf("notBefore = %v, want %v", m.NotBefore, nb)
+	}
+	if len(m.Rcpts) != 2 || m.Rcpts[0] != "r1@b.test" || m.Rcpts[1] != "r2@c.test" {
+		t.Fatalf("rcpts = %v", m.Rcpts)
+	}
+	if string(m.Body) != "body bytes" {
+		t.Fatalf("body = %q", m.Body)
+	}
+}
+
+func TestNullSenderAndEmptyBody(t *testing.T) {
+	fs := fsim.NewMem(costmodel.FSModel{})
+	s := New(fs, "queue")
+	e := Envelope{ID: "Q1", Sender: "", Rcpts: []string{"r@b.test"}}
+	if err := s.Append(e, nil); err != nil {
+		t.Fatal(err)
+	}
+	mails, _, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mails) != 1 || mails[0].Sender != "" || len(mails[0].Body) != 0 {
+		t.Fatalf("mails = %+v", mails)
+	}
+}
+
+func TestMoveBetweenLanes(t *testing.T) {
+	fs := fsim.NewMem(costmodel.FSModel{})
+	s := New(fs, "queue")
+	if err := s.Append(env("Q1", 0), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Move("Q1", LaneActive, LaneDeferred); err != nil {
+		t.Fatal(err)
+	}
+	if s.LaneDepth(LaneActive) != 0 || s.LaneDepth(LaneDeferred) != 1 {
+		t.Fatalf("depths: active %d deferred %d", s.LaneDepth(LaneActive), s.LaneDepth(LaneDeferred))
+	}
+	mails, _, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mails) != 1 || mails[0].Lane != LaneDeferred {
+		t.Fatalf("mails = %+v", mails)
+	}
+}
+
+func TestRewriteUpdatesEnvelope(t *testing.T) {
+	fs := fsim.NewMem(costmodel.FSModel{})
+	s := New(fs, "queue")
+	if err := s.Append(env("Q1", 0), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	e := env("Q1", 3)
+	e.Rcpts = []string{"left@b.test"} // partial delivery shrank the list
+	e.NotBefore = time.Unix(50, 0)
+	if err := s.Rewrite(e, []byte("x"), LaneActive, LaneDeferred); err != nil {
+		t.Fatal(err)
+	}
+	mails, _, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mails) != 1 {
+		t.Fatalf("mails = %+v", mails)
+	}
+	m := mails[0]
+	if m.Lane != LaneDeferred || m.Attempts != 3 || len(m.Rcpts) != 1 || m.Rcpts[0] != "left@b.test" {
+		t.Fatalf("mail = %+v lane %s", m.Envelope, m.Lane)
+	}
+}
+
+func TestAckRemoves(t *testing.T) {
+	fs := fsim.NewMem(costmodel.FSModel{})
+	s := New(fs, "queue")
+	if err := s.Append(env("Q1", 0), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ack("Q1", LaneActive); err != nil {
+		t.Fatal(err)
+	}
+	if s.LaneDepth(LaneActive) != 0 {
+		t.Fatal("ack left the file behind")
+	}
+	// Acking twice (or a mail that never spooled) is not an error.
+	if err := s.Ack("Q1", LaneActive); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverDropsTornFiles(t *testing.T) {
+	fs := fsim.NewMem(costmodel.FSModel{})
+	s := New(fs, "queue")
+	if err := s.Append(env("Q1", 0), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-write leaves a short file.
+	f, _ := fs.Create("queue/active/Q2")
+	f.Write([]byte{9, 0, 0}) //nolint:errcheck
+	f.Close()
+	// And an empty one (created, nothing durable).
+	f2, _ := fs.Create("queue/deferred/Q3")
+	f2.Close()
+	mails, stats, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mails) != 1 || mails[0].ID != "Q1" {
+		t.Fatalf("mails = %+v", mails)
+	}
+	if stats.Torn != 2 {
+		t.Fatalf("torn = %d, want 2", stats.Torn)
+	}
+	if fs.Exists("queue/active/Q2") || fs.Exists("queue/deferred/Q3") {
+		t.Fatal("torn files not cleaned up")
+	}
+}
+
+func TestRecoverResolvesCrashedMove(t *testing.T) {
+	fs := fsim.NewMem(costmodel.FSModel{})
+	s := New(fs, "queue")
+	if err := s.Append(env("Q1", 1), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash between link and remove: both names exist.
+	if err := fs.Link("queue/active/Q1", "queue/deferred/Q1"); err != nil {
+		t.Fatal(err)
+	}
+	mails, stats, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mails) != 1 || mails[0].Lane != LaneDeferred {
+		t.Fatalf("mails = %+v", mails)
+	}
+	if stats.Duplicates != 1 {
+		t.Fatalf("duplicates = %d", stats.Duplicates)
+	}
+	if fs.Exists("queue/active/Q1") {
+		t.Fatal("losing duplicate not removed")
+	}
+}
+
+func TestRecoverPrecedenceHold(t *testing.T) {
+	fs := fsim.NewMem(costmodel.FSModel{})
+	s := New(fs, "queue")
+	if err := s.Append(env("Q1", 0), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link("queue/active/Q1", "queue/hold/Q1"); err != nil {
+		t.Fatal(err)
+	}
+	mails, _, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mails) != 1 || mails[0].Lane != LaneHold {
+		t.Fatalf("mails = %+v", mails)
+	}
+}
+
+// TestCrashPointEnumeration kills the filesystem at every mutating
+// operation of an append → defer-rewrite → redispatch → ack lifecycle
+// and asserts the recovery invariant at each point: a mail is either
+// fully absent (crash before its append synced) or recovered exactly
+// once with a consistent envelope; after the ack it is gone.
+func TestCrashPointEnumeration(t *testing.T) {
+	scenario := func(fs *fsim.Fault) error {
+		s := New(fs, "queue")
+		if err := s.Append(env("Q1", 0), []byte("payload")); err != nil {
+			return err
+		}
+		e := env("Q1", 1)
+		e.NotBefore = time.Unix(10, 0)
+		if err := s.Rewrite(e, []byte("payload"), LaneActive, LaneDeferred); err != nil {
+			return err
+		}
+		if err := s.Move("Q1", LaneDeferred, LaneActive); err != nil {
+			return err
+		}
+		return s.Ack("Q1", LaneActive)
+	}
+	// Dry run sizes the enumeration.
+	dry := fsim.NewFault()
+	if err := scenario(dry); err != nil {
+		t.Fatal(err)
+	}
+	total := dry.Steps()
+	if total < 6 {
+		t.Fatalf("scenario too short to be interesting: %d steps", total)
+	}
+	for k := 0; k <= total; k++ {
+		fs := fsim.NewFault()
+		fs.CrashAfter(k)
+		err := scenario(fs)
+		if k < total && !errors.Is(err, fsim.ErrCrashed) {
+			t.Fatalf("crash point %d: scenario err = %v, want ErrCrashed", k, err)
+		}
+		fs.Recover()
+		s := New(fs, "queue")
+		mails, stats, rerr := s.Recover()
+		if rerr != nil {
+			t.Fatalf("crash point %d: recover: %v", k, rerr)
+		}
+		if len(mails) > 1 {
+			t.Fatalf("crash point %d: mail recovered twice: %+v", k, mails)
+		}
+		if k == total && len(mails) != 0 {
+			t.Fatalf("acked mail survived full run: %+v", mails)
+		}
+		for _, m := range mails {
+			if m.ID != "Q1" || string(m.Body) != "payload" {
+				t.Fatalf("crash point %d: inconsistent recovery %+v body %q", k, m.Envelope, m.Body)
+			}
+			if m.Attempts != 0 && m.Attempts != 1 {
+				t.Fatalf("crash point %d: impossible attempts %d", k, m.Attempts)
+			}
+		}
+		// A second recover returns the same view (idempotent cleanup).
+		again, stats2, rerr := s.Recover()
+		if rerr != nil || len(again) != len(mails) {
+			t.Fatalf("crash point %d: second recover: %v (%d vs %d mails)", k, rerr, len(again), len(mails))
+		}
+		if stats2.Torn != 0 || stats2.Duplicates != 0 {
+			t.Fatalf("crash point %d: second recover not clean: first %+v then %+v", k, stats, stats2)
+		}
+	}
+}
+
+func TestManyMailsRecoverAcrossLanes(t *testing.T) {
+	fs := fsim.NewMem(costmodel.FSModel{})
+	s := New(fs, "queue")
+	for i := 0; i < 30; i++ {
+		id := fmt.Sprintf("Q%03d", i)
+		if err := s.Append(env(id, 0), []byte(id)); err != nil {
+			t.Fatal(err)
+		}
+		switch i % 3 {
+		case 1:
+			if err := s.Move(id, LaneActive, LaneDeferred); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			if err := s.Move(id, LaneActive, LaneHold); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mails, stats, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mails) != 30 {
+		t.Fatalf("recovered %d mails", len(mails))
+	}
+	if stats.Recovered[LaneActive] != 10 || stats.Recovered[LaneDeferred] != 10 || stats.Recovered[LaneHold] != 10 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	for _, m := range mails {
+		if string(m.Body) != m.ID {
+			t.Fatalf("body mismatch for %s: %q", m.ID, m.Body)
+		}
+	}
+}
