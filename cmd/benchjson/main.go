@@ -8,6 +8,12 @@
 // For every benchmark line it records iterations, ns/op (plus the
 // derived ops/sec), B/op and allocs/op when -benchmem is on, and any
 // custom b.ReportMetric series under "metrics".
+//
+// With -merge it instead combines several suite files into one
+// trajectory document, keyed by suite name (the file's basename without
+// the BENCH_ prefix and .json suffix):
+//
+//	go run ./cmd/benchjson -merge -o BENCH_all.json BENCH_queue.json BENCH_smtp.json
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -41,20 +48,41 @@ type Report struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
+// Merged is the multi-suite trajectory document -merge writes.
+type Merged struct {
+	Suites map[string]Report `json:"suites"`
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	merge := flag.Bool("merge", false, "merge suite JSON files given as arguments instead of parsing bench output")
 	flag.Parse()
 
-	report, err := parse(os.Stdin)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	var doc any
+	if *merge {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -merge needs suite files as arguments")
+			os.Exit(1)
+		}
+		m, err := mergeFiles(flag.Args())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		doc = m
+	} else {
+		report, err := parse(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if len(report.Benchmarks) == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+			os.Exit(1)
+		}
+		doc = report
 	}
-	if len(report.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
-		os.Exit(1)
-	}
-	enc, err := json.MarshalIndent(report, "", "  ")
+	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
@@ -68,6 +96,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// mergeFiles loads suite reports and combines them keyed by suite name.
+func mergeFiles(paths []string) (Merged, error) {
+	m := Merged{Suites: make(map[string]Report, len(paths))}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return Merged{}, err
+		}
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return Merged{}, fmt.Errorf("%s: %w", path, err)
+		}
+		name := suiteName(path)
+		if _, dup := m.Suites[name]; dup {
+			return Merged{}, fmt.Errorf("duplicate suite %q (from %s)", name, path)
+		}
+		m.Suites[name] = rep
+	}
+	return m, nil
+}
+
+// suiteName derives the suite key from a report filename:
+// "BENCH_queue.json" → "queue".
+func suiteName(path string) string {
+	base := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return strings.TrimPrefix(base, "BENCH_")
 }
 
 // parse reads `go test -bench` output and collects benchmark lines,

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -56,5 +58,70 @@ func TestParseBenchSubBenchAndNoise(t *testing.T) {
 	}
 	if _, ok := parseBench("BenchmarkBroken no numbers here"); ok {
 		t.Error("garbage line must not parse")
+	}
+}
+
+func TestSuiteName(t *testing.T) {
+	cases := map[string]string{
+		"BENCH_queue.json":          "queue",
+		"artifacts/BENCH_smtp.json": "smtp",
+		"custom.json":               "custom",
+		"BENCH_all":                 "all",
+	}
+	for path, want := range cases {
+		if got := suiteName(path); got != want {
+			t.Errorf("suiteName(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestMergeFiles(t *testing.T) {
+	dir := t.TempDir()
+	queue := filepath.Join(dir, "BENCH_queue.json")
+	smtp := filepath.Join(dir, "BENCH_smtp.json")
+	writeJSON := func(path, body string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeJSON(queue, `{"goos":"linux","benchmarks":[{"name":"QueueThroughput","iterations":10,"ns_per_op":4886,"ops_per_sec":204666,"metrics":{"mails/s":204676}}]}`)
+	writeJSON(smtp, `{"goos":"linux","benchmarks":[{"name":"SMTPDialog","iterations":100,"ns_per_op":659,"ops_per_sec":1517450}]}`)
+
+	m, err := mergeFiles([]string{queue, smtp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Suites) != 2 {
+		t.Fatalf("suites = %d, want 2", len(m.Suites))
+	}
+	q, ok := m.Suites["queue"]
+	if !ok || len(q.Benchmarks) != 1 || q.Benchmarks[0].Name != "QueueThroughput" {
+		t.Errorf("queue suite parsed as %+v", q)
+	}
+	if q.Benchmarks[0].Metrics["mails/s"] != 204676 {
+		t.Errorf("queue metrics = %v", q.Benchmarks[0].Metrics)
+	}
+	s, ok := m.Suites["smtp"]
+	if !ok || len(s.Benchmarks) != 1 || s.Benchmarks[0].Name != "SMTPDialog" {
+		t.Errorf("smtp suite parsed as %+v", s)
+	}
+
+	// Two files collapsing to the same suite key must be rejected, not
+	// silently last-writer-wins.
+	dup := filepath.Join(dir, "sub")
+	if err := os.Mkdir(dup, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeJSON(filepath.Join(dup, "BENCH_queue.json"), `{"benchmarks":[]}`)
+	if _, err := mergeFiles([]string{queue, filepath.Join(dup, "BENCH_queue.json")}); err == nil {
+		t.Error("duplicate suite names must error")
+	}
+	if _, err := mergeFiles([]string{filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing file must error")
+	}
+	writeJSON(filepath.Join(dir, "BENCH_bad.json"), `not json`)
+	if _, err := mergeFiles([]string{filepath.Join(dir, "BENCH_bad.json")}); err == nil {
+		t.Error("malformed JSON must error")
 	}
 }

@@ -52,6 +52,7 @@ func main() {
 		domain      = flag.String("domain", "dept.example.edu", "local domain")
 		mailboxes   = flag.Int("mailboxes", 400, "number of local user mailboxes (user0000…)")
 		workers     = flag.Int("workers", 100, "smtpd worker limit")
+		shards      = flag.Int("accept-shards", 1, "independent accept shards, each with its own listener (SO_REUSEPORT on Linux) and worker ring; 1 keeps the classic single accept loop")
 		pop3Addr    = flag.String("pop3", "", "also serve POP3 on this address (empty disables)")
 		dnsblAddr   = flag.String("dnsbl", "", "comma-separated DNSBL replica addresses (host:port,...); empty disables")
 		dnsblZone   = flag.String("dnsbl-zone", "bl.example.org", "DNSBL zone name")
@@ -187,7 +188,9 @@ func main() {
 		smtpserver.WithHostname("mx." + *domain),
 		smtpserver.WithArchitecture(arch),
 		smtpserver.WithMaxWorkers(*workers),
+		smtpserver.WithAcceptShards(*shards),
 		smtpserver.WithValidateRcpt(db.Valid),
+		smtpserver.WithValidateRcptBytes(db.ValidBytes),
 		smtpserver.WithRegistry(reg),
 		smtpserver.WithSpans(spans),
 		smtpserver.WithEventLog(events),

@@ -93,7 +93,12 @@ const maxAliasDepth = 8
 func (db *DB) Resolve(addr string) (string, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	a := canonical(addr)
+	return db.resolveLocked(canonical(addr))
+}
+
+// resolveLocked is Resolve's body; the caller holds at least a read lock
+// and passes an already-canonical address.
+func (db *DB) resolveLocked(a string) (string, bool) {
 	for i := 0; i <= maxAliasDepth; i++ {
 		if users, ok := db.domains[smtp.Domain(a)]; ok && users[smtp.LocalPart(a)] {
 			return a, true
@@ -111,6 +116,61 @@ func (db *DB) Resolve(addr string) (string, bool) {
 // smtpd RCPT check.
 func (db *DB) Valid(addr string) bool {
 	_, ok := db.Resolve(addr)
+	return ok
+}
+
+// ValidBytes is Valid on a byte view, built for the server's
+// zero-allocation RCPT path: the address is case-folded into a stack
+// buffer and looked up with non-allocating map probes, so the trust
+// decision for every probe a sinkhole workload throws costs no heap
+// traffic. Addresses that are oversized or non-ASCII take the string
+// path, whose Unicode canonicalization the fast path cannot reproduce.
+func (db *DB) ValidBytes(addr []byte) bool {
+	var buf [256]byte
+	// Trim the blanks canonical() would.
+	start, end := 0, len(addr)
+	for start < end && (addr[start] == ' ' || addr[start] == '\t') {
+		start++
+	}
+	for end > start && (addr[end-1] == ' ' || addr[end-1] == '\t') {
+		end--
+	}
+	if end-start > len(buf) {
+		return db.Valid(string(addr))
+	}
+	n := 0
+	at := -1
+	for i := start; i < end; i++ {
+		c := addr[i]
+		if c >= 0x80 {
+			// Unicode addresses need ToLower's full folding.
+			return db.Valid(string(addr))
+		}
+		if 'A' <= c && c <= 'Z' {
+			c |= 0x20
+		}
+		if c == '@' && at < 0 {
+			at = n
+		}
+		buf[n] = c
+		n++
+	}
+	if at < 0 || at == n-1 {
+		return false // no domain: never a local mailbox
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	// m[string(b)] map probes compile without allocating.
+	if users, ok := db.domains[string(buf[at+1:n])]; ok && users[string(buf[:at])] {
+		return true
+	}
+	next, ok := db.aliases[string(buf[:n])]
+	if !ok {
+		return false
+	}
+	// Alias chains are rare and their targets are already canonical
+	// strings; follow them on the ordinary path.
+	_, ok = db.resolveLocked(next)
 	return ok
 }
 

@@ -121,3 +121,37 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("users = %d", db.Users())
 	}
 }
+
+func TestValidBytesMatchesValid(t *testing.T) {
+	db := NewDB("d.test")
+	db.AddUser("user@d.test")
+	db.AddAlias("alias@d.test", "user@d.test")
+	cases := []string{
+		"user@d.test", "USER@D.TEST", " user@d.test ", "alias@d.test",
+		"ALIAS@d.test", "ghost@d.test", "user@other.test", "user",
+		"user@", "@d.test", "", "üser@d.test", "user@d.tesT",
+	}
+	for _, addr := range cases {
+		if got, want := db.ValidBytes([]byte(addr)), db.Valid(addr); got != want {
+			t.Errorf("ValidBytes(%q) = %v, Valid = %v", addr, got, want)
+		}
+	}
+}
+
+func TestValidBytesZeroAlloc(t *testing.T) {
+	db := NewDB("d.test")
+	db.AddUser("user@d.test")
+	hit := []byte("USER@D.TEST")
+	miss := []byte("ghost@d.test")
+	allocs := testing.AllocsPerRun(1000, func() {
+		if !db.ValidBytes(hit) {
+			t.Fatal("hit missed")
+		}
+		if db.ValidBytes(miss) {
+			t.Fatal("miss hit")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ValidBytes allocates %.1f times per pair, want 0", allocs)
+	}
+}

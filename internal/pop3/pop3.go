@@ -185,7 +185,7 @@ func (s *Server) serveConn(nc net.Conn) {
 		if err != nil {
 			return
 		}
-		verb, arg := splitCommand(line)
+		verb, arg := splitCommand(string(line))
 		quit, err := sess.dispatch(verb, arg)
 		if err != nil || quit {
 			return

@@ -1,0 +1,171 @@
+package smtp
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// loopReader serves the same script forever without allocating — the
+// read side of the steady-state dialog harness.
+type loopReader struct {
+	script []byte
+	off    int
+}
+
+func (l *loopReader) Read(p []byte) (int, error) {
+	if l.off == len(l.script) {
+		l.off = 0
+	}
+	n := copy(p, l.script[l.off:])
+	l.off += n
+	return n, nil
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+type loopRW struct {
+	*loopReader
+	discard
+}
+
+// dialogScript is the pre-trust command mix the alloc gate and
+// BenchmarkSMTPDialog both drive: greeting, sender, an accepted
+// recipient, a case-variant duplicate, a rejected recipient (the §4.1
+// bounce probe), an unknown verb, a syntax error, and a reset — every
+// reply class the hot path produces, with no DATA (envelope
+// materialization is the one deliberately allocating step).
+const dialogScript = "HELO client.example\r\n" +
+	"MAIL FROM:<probe@spam.example>\r\n" +
+	"RCPT TO:<good@valid.example>\r\n" +
+	"RCPT TO:<GOOD@VALID.EXAMPLE>\r\n" +
+	"RCPT TO:<ghost@trap.example>\r\n" +
+	"FROBNICATE\r\n" +
+	"MAIL FROM:oops\r\n" +
+	"RSET\r\n"
+
+const dialogScriptCmds = 8
+
+var validSuffix = []byte("@valid.example")
+
+func dialogConfig() Config {
+	return Config{
+		Hostname: "mx.bench.example",
+		ValidateRcptBytes: func(addr []byte) bool {
+			return len(addr) >= len(validSuffix) &&
+				equalFoldBytes(addr[len(addr)-len(validSuffix):], validSuffix)
+		},
+	}
+}
+
+// runDialogScript pushes one full script iteration through the conn and
+// session, batching replies into one flush like the server's dialog loop.
+func runDialogScript(tb testing.TB, c *Conn, sess *Session) {
+	for i := 0; i < dialogScriptCmds; i++ {
+		line, err := c.ReadLine()
+		if err != nil {
+			tb.Fatalf("ReadLine: %v", err)
+		}
+		reply, action := sess.CommandBytes(line)
+		if action != ActionNone {
+			tb.Fatalf("script produced action %v on %q", action, line)
+		}
+		if err := c.WriteReplyLazy(reply); err != nil {
+			tb.Fatalf("WriteReplyLazy: %v", err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		tb.Fatalf("Flush: %v", err)
+	}
+}
+
+// TestDialogZeroAllocPerCommand is the in-package form of the CI
+// regression gate: after warmup, the full command dialog — read, parse,
+// state machine, reply — costs zero heap allocations per command. This
+// mirrors the 0-alloc smokes in internal/metrics and internal/eventlog.
+func TestDialogZeroAllocPerCommand(t *testing.T) {
+	rw := loopRW{loopReader: &loopReader{script: []byte(dialogScript)}}
+	c := NewConn(rw)
+	sess := NewSession(dialogConfig())
+	for i := 0; i < 3; i++ {
+		runDialogScript(t, c, sess) // warmup: grow buffers, size the rcpt index
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		runDialogScript(t, c, sess)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state dialog allocates %.1f times per %d commands, want 0",
+			allocs, dialogScriptCmds)
+	}
+}
+
+// TestDialogScriptSemantics pins what the alloc harness actually
+// exercises, so a silent parser regression can't turn the 0-alloc loop
+// into a stream of errors that trivially allocates nothing.
+func TestDialogScriptSemantics(t *testing.T) {
+	rw := loopRW{loopReader: &loopReader{script: []byte(dialogScript)}}
+	c := NewConn(rw)
+	sess := NewSession(dialogConfig())
+	wantReplies := []int{250, 250, 250, 250, 550, 500, 501, 250}
+	for i, want := range wantReplies {
+		line, err := c.ReadLine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply, _ := sess.CommandBytes(line)
+		if reply.Code != want {
+			t.Fatalf("command %d (%q) = %d, want %d", i, line, reply.Code, want)
+		}
+		switch i {
+		case 3:
+			if got := sess.Rcpts(); len(got) != 1 {
+				t.Fatalf("after duplicate RCPT, rcpts = %v, want 1", got)
+			}
+		case 4:
+			if sess.RejectedRcpts() != 1 {
+				t.Fatalf("rejected = %d, want 1", sess.RejectedRcpts())
+			}
+		}
+	}
+}
+
+func TestConnPoolRoundTrip(t *testing.T) {
+	in := bytes.NewBufferString("HELO a\r\n")
+	c := AcquireConn(struct {
+		io.Reader
+		io.Writer
+	}{in, discard{}})
+	line, err := c.ReadLine()
+	if err != nil || string(line) != "HELO a" {
+		t.Fatalf("pooled ReadLine = %q, %v", line, err)
+	}
+	c.data = make([]byte, 0, maxPooledData+1)
+	ReleaseConn(c)
+	c2 := AcquireConn(struct {
+		io.Reader
+		io.Writer
+	}{bytes.NewBufferString("x\r\n"), discard{}})
+	if cap(c2.data) > maxPooledData {
+		t.Fatalf("oversized data buffer (%d) survived the pool", cap(c2.data))
+	}
+	ReleaseConn(c2)
+}
+
+func TestSessionPoolResets(t *testing.T) {
+	s := AcquireSession(Config{Hostname: "one.example"})
+	s.Command("HELO a")
+	s.Command("MAIL FROM:<x@y.z>")
+	s.Command("RCPT TO:<u@v.w>")
+	ReleaseSession(s)
+	s2 := AcquireSession(Config{Hostname: "two.example"})
+	if s2.State() != StateStart || s2.HasValidRcpt() || s2.Helo() != "" || s2.Sender() != "" {
+		t.Fatalf("pooled session not reset: state=%v helo=%q sender=%q rcpts=%v",
+			s2.State(), s2.Helo(), s2.Sender(), s2.Rcpts())
+	}
+	if s2.cfg.Hostname != "two.example" {
+		t.Fatalf("pooled session kept old config: %q", s2.cfg.Hostname)
+	}
+	ReleaseSession(s2)
+}

@@ -29,7 +29,7 @@ func serveSession(conn net.Conn, cfg Config, envs chan<- Envelope) {
 			}
 			return
 		}
-		reply, action := s.Command(line)
+		reply, action := s.CommandBytes(line)
 		switch action {
 		case ActionData:
 			if err := c.WriteReply(reply); err != nil {

@@ -1,43 +1,54 @@
 package smtp
 
 import (
-	"strings"
+	"bytes"
 	"testing"
 )
+
+// parseSeeds is the shared corpus for the parser fuzz targets: the
+// protocol lines the workloads generate plus the malformed shapes the
+// parser must reject.
+var parseSeeds = []string{
+	"HELO client.example",
+	"EHLO [127.0.0.1]",
+	"MAIL FROM:<a@b.c>",
+	"MAIL FROM:<> SIZE=1000",
+	"mail from:<USER@Example.COM>",
+	"RCPT TO:<u@d.example>",
+	"RCPT TO:<@relay.example:u@d.example>",
+	"RCPT TO:<>",
+	"VRFY <root@localhost>",
+	"DATA",
+	"RSET ",
+	"NOOP",
+	"QUIT",
+	"MAIL FROM:a@b.c",
+	"RCPT TO:<a@>",
+	"MAIL FROM:<a b@c>",
+	"BDAT 86 LAST",
+	"",
+	"   ",
+	"MAIL FROM:<\x00@d>",
+	"MAIL FROM:<a@b.c>\tSIZE=1",
+	"rCpT tO:<MiXeD@CaSe.Org>",
+	"MAIL ſrom:<a@b.c>", // long s: ToUpper("ſ") == "S"
+	"HELO é.example",
+}
 
 // FuzzParseCommand hammers the command parser with arbitrary client
 // input — the first untrusted bytes the server touches — and checks its
 // invariants: no panic, deterministic output, and any accepted MAIL/RCPT
 // address is well-formed.
 func FuzzParseCommand(f *testing.F) {
-	for _, seed := range []string{
-		"HELO client.example",
-		"EHLO [127.0.0.1]",
-		"MAIL FROM:<a@b.c>",
-		"MAIL FROM:<> SIZE=1000",
-		"mail from:<USER@Example.COM>",
-		"RCPT TO:<u@d.example>",
-		"RCPT TO:<@relay.example:u@d.example>",
-		"RCPT TO:<>",
-		"VRFY <root@localhost>",
-		"DATA",
-		"RSET ",
-		"NOOP",
-		"QUIT",
-		"MAIL FROM:a@b.c",
-		"RCPT TO:<a@>",
-		"MAIL FROM:<a b@c>",
-		"BDAT 86 LAST",
-		"",
-		"   ",
-		"MAIL FROM:<\x00@d>",
-	} {
+	for _, seed := range parseSeeds {
 		f.Add(seed)
 	}
-	f.Fuzz(func(t *testing.T, line string) {
+	f.Fuzz(func(t *testing.T, s string) {
+		line := []byte(s)
 		cmd, err := ParseCommand(line)
 		cmd2, err2 := ParseCommand(line)
-		if cmd != cmd2 || (err == nil) != (err2 == nil) {
+		if cmd.Verb != cmd2.Verb || !bytes.Equal(cmd.Arg, cmd2.Arg) ||
+			!bytes.Equal(cmd.Addr, cmd2.Addr) || (err == nil) != (err2 == nil) {
 			t.Fatalf("non-deterministic parse of %q", line)
 		}
 		if err != nil {
@@ -45,22 +56,55 @@ func FuzzParseCommand(f *testing.F) {
 		}
 		switch cmd.Verb {
 		case VerbMAIL:
-			if cmd.Addr != "" {
-				if verr := ValidateAddress(cmd.Addr); verr != nil {
+			if len(cmd.Addr) > 0 {
+				if verr := ValidateAddress(string(cmd.Addr)); verr != nil {
 					t.Fatalf("MAIL accepted invalid address %q from %q: %v", cmd.Addr, line, verr)
 				}
 			}
 		case VerbRCPT:
-			if cmd.Addr == "" {
+			if len(cmd.Addr) == 0 {
 				t.Fatalf("RCPT accepted the null path from %q", line)
 			}
-			if verr := ValidateAddress(cmd.Addr); verr != nil {
+			if verr := ValidateAddress(string(cmd.Addr)); verr != nil {
 				t.Fatalf("RCPT accepted invalid address %q from %q: %v", cmd.Addr, line, verr)
 			}
 		case VerbHELO, VerbEHLO, VerbVRFY:
-			if cmd.Arg == "" {
+			if len(cmd.Arg) == 0 {
 				t.Fatalf("%s accepted an empty argument from %q", cmd.Verb, line)
 			}
+		}
+	})
+}
+
+// FuzzParseEquivalence is the differential target for the byte-parser
+// rewrite: on every input, the zero-allocation parser must agree with the
+// pre-rewrite string parser (kept verbatim in oracle_test.go) on
+// accept/reject, on the error class, and on the parsed argument and
+// address text. The one deliberate divergence is excluded structurally:
+// the byte parser leaves Command.Verb empty on unknown verbs instead of
+// echoing the uppercased text, so verbs are only compared on success,
+// where both parsers recognized the command.
+func FuzzParseEquivalence(f *testing.F) {
+	for _, seed := range parseSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got, gotErr := ParseCommand([]byte(s))
+		want, wantErr := oracleParseCommand(s)
+		if errClass(gotErr) != errClass(wantErr) {
+			t.Fatalf("ParseCommand(%q) err = %v, oracle err = %v", s, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			return
+		}
+		if got.Verb != want.Verb {
+			t.Fatalf("ParseCommand(%q) verb = %q, oracle = %q", s, got.Verb, want.Verb)
+		}
+		if string(got.Arg) != want.Arg {
+			t.Fatalf("ParseCommand(%q) arg = %q, oracle = %q", s, got.Arg, want.Arg)
+		}
+		if string(got.Addr) != want.Addr {
+			t.Fatalf("ParseCommand(%q) addr = %q, oracle = %q", s, got.Addr, want.Addr)
 		}
 	})
 }
@@ -89,20 +133,20 @@ func FuzzParsePath(f *testing.F) {
 			// parsePath is only ever called with these two keywords.
 			keyword = "FROM"
 		}
-		addr, err := parsePath(arg, keyword)
+		addr, err := parsePath([]byte(arg), keyword)
 		if err != nil {
-			if addr != "" {
+			if len(addr) != 0 {
 				t.Fatalf("parsePath(%q) returned %q alongside error %v", arg, addr, err)
 			}
 			return
 		}
-		if addr == "" {
+		if len(addr) == 0 {
 			return // the null reverse-path
 		}
-		if verr := ValidateAddress(addr); verr != nil {
+		if verr := ValidateAddress(string(addr)); verr != nil {
 			t.Fatalf("parsePath(%q) returned invalid address %q: %v", arg, addr, verr)
 		}
-		if strings.ContainsAny(addr, "<> \t") {
+		if bytes.ContainsAny(addr, "<> \t") {
 			t.Fatalf("parsePath(%q) leaked path syntax into %q", arg, addr)
 		}
 	})

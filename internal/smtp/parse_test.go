@@ -2,6 +2,7 @@ package smtp
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -34,17 +35,17 @@ func TestParseCommandVerbs(t *testing.T) {
 		{"VRFY user", VerbVRFY, "user", true},
 		{"VRFY <u@d.com>", VerbVRFY, "u@d.com", true},
 		{"VRFY", VerbVRFY, "", false},
-		{"BOGUS arg", Verb("BOGUS"), "", false},
+		{"BOGUS arg", Verb(""), "", false},
 		{"", Verb(""), "", false},
 	}
 	for _, c := range cases {
-		cmd, err := ParseCommand(c.line)
+		cmd, err := ParseCommand([]byte(c.line))
 		if c.ok {
 			if err != nil {
 				t.Errorf("ParseCommand(%q) = %v", c.line, err)
 				continue
 			}
-			if cmd.Verb != c.verb || cmd.Addr != c.addr {
+			if cmd.Verb != c.verb || string(cmd.Addr) != c.addr {
 				t.Errorf("ParseCommand(%q) = %+v, want verb %s addr %q", c.line, cmd, c.verb, c.addr)
 			}
 		} else if err == nil {
@@ -53,16 +54,52 @@ func TestParseCommandVerbs(t *testing.T) {
 	}
 }
 
-func TestParseUnknownVerbErrorType(t *testing.T) {
-	_, err := ParseCommand("FROBNICATE now")
+func TestParseErrorTypes(t *testing.T) {
+	_, err := ParseCommand([]byte("FROBNICATE now"))
 	var unknown *ErrUnknownVerb
-	if !errors.As(err, &unknown) || unknown.VerbText != "FROBNICATE" {
+	if !errors.As(err, &unknown) {
 		t.Fatalf("err = %v, want ErrUnknownVerb", err)
 	}
-	_, err = ParseCommand("MAIL oops")
+	_, err = ParseCommand([]byte("MAIL oops"))
 	var syn *ErrSyntax
 	if !errors.As(err, &syn) {
 		t.Fatalf("err = %v, want ErrSyntax", err)
+	}
+}
+
+func TestParseErrorsFormatLazily(t *testing.T) {
+	// The shared hot-path instances carry no captured text but still
+	// produce a usable message; the detailed forms keep the old output.
+	if msg := errSyntax.Error(); !strings.Contains(msg, "syntax") {
+		t.Errorf("bare syntax error message = %q", msg)
+	}
+	if msg := errUnknownVerb.Error(); !strings.Contains(msg, "unknown") {
+		t.Errorf("bare unknown-verb message = %q", msg)
+	}
+	if msg := (&ErrSyntax{Line: "MAIL oops"}).Error(); !strings.Contains(msg, `"MAIL oops"`) {
+		t.Errorf("detailed syntax message = %q", msg)
+	}
+	if msg := (&ErrUnknownVerb{VerbText: "BDAT"}).Error(); !strings.Contains(msg, `"BDAT"`) {
+		t.Errorf("detailed unknown-verb message = %q", msg)
+	}
+}
+
+func TestMatchVerbFolding(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Verb
+	}{
+		{"HELO", VerbHELO}, {"helo", VerbHELO}, {"HeLo", VerbHELO},
+		{"EHLO", VerbEHLO}, {"MAIL", VerbMAIL}, {"rcpt", VerbRCPT},
+		{"DATA", VerbDATA}, {"RSET", VerbRSET}, {"NOOP", VerbNOOP},
+		{"VRFY", VerbVRFY}, {"quit", VerbQUIT},
+		// Non-letters must not fold into verbs: '(' is 'H'^0x60 away…
+		{"HEL\x2f", ""}, {"H\x05LO", ""}, {"HEL", ""}, {"HELOX", ""},
+		{"@#$%", ""}, {"", ""},
+	} {
+		if got := matchVerb([]byte(c.in)); got != c.want {
+			t.Errorf("matchVerb(%q) = %q, want %q", c.in, got, c.want)
+		}
 	}
 }
 
@@ -94,7 +131,7 @@ func TestLocalPartDomain(t *testing.T) {
 }
 
 func TestParseNeverPanicsProperty(t *testing.T) {
-	f := func(line string) bool {
+	f := func(line []byte) bool {
 		ParseCommand(line) //nolint:errcheck // only checking for panics
 		return true
 	}
@@ -107,11 +144,11 @@ func TestParsedAddressAlwaysValidProperty(t *testing.T) {
 	// Property: any address ParseCommand returns passes ValidateAddress
 	// (or is the empty null path for MAIL).
 	f := func(s string) bool {
-		cmd, err := ParseCommand("MAIL FROM:<" + s + ">")
+		cmd, err := ParseCommand([]byte("MAIL FROM:<" + s + ">"))
 		if err != nil {
 			return true
 		}
-		return cmd.Addr == "" || ValidateAddress(cmd.Addr) == nil
+		return len(cmd.Addr) == 0 || ValidateAddress(string(cmd.Addr)) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
 		t.Fatal(err)

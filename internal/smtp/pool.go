@@ -1,0 +1,74 @@
+package smtp
+
+import (
+	"bufio"
+	"io"
+	"sync"
+)
+
+// Per-connection state pooling. An accepted connection needs a bufio
+// reader/writer pair (4 KiB each), a Conn with its scratch and DATA
+// buffers, and a Session with its recipient slots. Allocating those per
+// accept dominates the heap profile of a sinkhole workload where most
+// connections are short bounce dialogs; pooling them makes the accept
+// path allocation-free in steady state, which is exactly the regime the
+// paper's front end lives in (thousands of short-lived spam connections
+// per second).
+//
+// maxPooledData bounds the DATA buffer a pooled Conn may retain: one
+// outsized message should not pin 16 MiB in the pool forever.
+const maxPooledData = 256 << 10
+
+var connPool = sync.Pool{
+	New: func() any {
+		return &Conn{
+			r: bufio.NewReaderSize(nil, connBufSize),
+			w: bufio.NewWriterSize(nil, connBufSize),
+		}
+	},
+}
+
+var sessionPool = sync.Pool{
+	New: func() any { return &Session{} },
+}
+
+// AcquireConn returns a pooled Conn reset onto rw. Release it with
+// ReleaseConn when the connection is done.
+func AcquireConn(rw io.ReadWriter) *Conn {
+	c := connPool.Get().(*Conn)
+	c.r.Reset(rw)
+	c.w.Reset(rw)
+	return c
+}
+
+// ReleaseConn returns c to the pool. The caller must not use c (or any
+// line/body view obtained from it) afterwards.
+func ReleaseConn(c *Conn) {
+	if c == nil {
+		return
+	}
+	c.r.Reset(nil)
+	c.w.Reset(nil)
+	if cap(c.data) > maxPooledData {
+		c.data = nil
+	}
+	connPool.Put(c)
+}
+
+// AcquireSession returns a pooled Session reset with cfg. Release it with
+// ReleaseSession when the connection is done.
+func AcquireSession(cfg Config) *Session {
+	s := sessionPool.Get().(*Session)
+	s.Reset(cfg)
+	return s
+}
+
+// ReleaseSession returns s to the pool, dropping the config so pooled
+// sessions do not pin policy closures (and the servers they capture).
+func ReleaseSession(s *Session) {
+	if s == nil {
+		return
+	}
+	s.cfg = Config{}
+	sessionPool.Put(s)
+}

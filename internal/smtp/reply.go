@@ -28,6 +28,8 @@ func (r Reply) IsPositive() bool { return r.Code >= 200 && r.Code < 400 }
 var (
 	ReplyBye            = Reply{221, "Bye"}
 	ReplyOK             = Reply{250, "Ok"}
+	ReplyOKQueued       = Reply{250, "Ok: queued"}
+	ReplyVrfy           = Reply{252, "Cannot VRFY user, but will accept message and attempt delivery"}
 	ReplyStartData      = Reply{354, "End data with <CR><LF>.<CR><LF>"}
 	ReplyShutdown       = Reply{421, "Service not available, closing transmission channel"}
 	ReplyTooManyRcpts   = Reply{452, "Too many recipients"}
@@ -38,9 +40,46 @@ var (
 	ReplyBadSequence    = Reply{503, "Bad sequence of commands"}
 	ReplyNeedHelo       = Reply{503, "Send HELO/EHLO first"}
 	ReplyUserUnknown    = Reply{550, "User unknown"}
+	ReplyNoValidRcpts   = Reply{554, "No valid recipients"}
 	ReplyBlacklisted    = Reply{554, "Service unavailable; client host blocked using DNSBL"}
 	ReplyTooBig         = Reply{552, "Message size exceeds fixed limit"}
 )
+
+// replyWires holds the preformatted wire form ("250 Ok\r\n") of every
+// canonical reply, so the hot reply path is a map probe plus one
+// buffered write — no per-reply formatting, no allocation. Replies not
+// in the table (dynamic policy texts, banners) are formatted into the
+// connection's scratch buffer instead, which is still allocation-free
+// after warmup.
+var replyWires = map[Reply][]byte{}
+
+func init() {
+	for _, r := range []Reply{
+		ReplyBye, ReplyOK, ReplyOKQueued, ReplyVrfy, ReplyStartData,
+		ReplyShutdown, ReplyTooManyRcpts, ReplyInsufficient,
+		ReplyLineTooLong, ReplyUnknownCommand, ReplySyntax,
+		ReplyBadSequence, ReplyNeedHelo, ReplyUserUnknown,
+		ReplyNoValidRcpts, ReplyBlacklisted, ReplyTooBig,
+	} {
+		replyWires[r] = appendReply(nil, r)
+	}
+}
+
+// appendReply appends the single-line wire form of r (code, space, text,
+// CRLF) to dst without fmt.
+func appendReply(dst []byte, r Reply) []byte {
+	code := r.Code
+	if code >= 100 && code <= 999 {
+		dst = append(dst, byte('0'+code/100), byte('0'+code/10%10), byte('0'+code%10))
+	} else {
+		// Out-of-range codes never happen in practice; fall back to the
+		// slow path rather than emit garbage digits.
+		dst = append(dst, fmt.Sprintf("%d", code)...)
+	}
+	dst = append(dst, ' ')
+	dst = append(dst, r.Text...)
+	return append(dst, '\r', '\n')
+}
 
 // Banner returns the 220 greeting for a hostname.
 func Banner(hostname string) Reply {

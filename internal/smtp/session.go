@@ -1,10 +1,5 @@
 package smtp
 
-import (
-	"errors"
-	"strings"
-)
-
 // State is the SMTP session state.
 type State int
 
@@ -46,6 +41,11 @@ type Config struct {
 	// ValidateRcpt reports whether a recipient mailbox exists. nil
 	// accepts everything.
 	ValidateRcpt func(addr string) bool
+	// ValidateRcptBytes is the allocation-free form of ValidateRcpt,
+	// preferred when both are set: the session passes the address as a
+	// view into the command line instead of converting it to a string.
+	// The callee must not retain the slice past the call.
+	ValidateRcptBytes func(addr []byte) bool
 	// CheckMail, if non-nil, is the policy hook for MAIL FROM: a non-nil
 	// reply (e.g. a 450 rate-limit tempfail) overrides acceptance and
 	// leaves the session awaiting another MAIL.
@@ -74,15 +74,27 @@ type Envelope struct {
 // the whole dialog, the hybrid master runs it in the event loop until the
 // first valid RCPT and then hands it to a worker (§5.3 transfers exactly
 // the state this struct holds: client identity, sender, recipients).
+//
+// The machine is allocation-free in steady state: HELO name, sender, and
+// recipients are copied into buffers that are reused across transactions
+// (and, via AcquireSession, across connections), and duplicate-recipient
+// detection runs over an open-addressed index instead of a string scan.
+// Heap traffic only happens on first growth and when FinishData
+// materializes the Envelope the queue keeps.
 type Session struct {
 	cfg   Config
 	state State
 
-	helo   string
-	sender string
+	helo   []byte
+	sender []byte
 	// senderSet distinguishes MAIL FROM:<> (bounce sender) from no MAIL.
 	senderSet bool
-	rcpts     []string
+
+	// Accepted recipients live in nrcpts reused slot buffers; rcptIdx is
+	// the case-folded duplicate index over them.
+	nrcpts   int
+	rcptBufs [][]byte
+	rcptIdx  rcptIndex
 
 	rejectedRcpts int
 	mailsDone     int
@@ -90,6 +102,15 @@ type Session struct {
 
 // NewSession returns a session awaiting HELO.
 func NewSession(cfg Config) *Session {
+	s := &Session{}
+	s.Reset(cfg)
+	return s
+}
+
+// Reset re-initializes the session for a new connection with cfg,
+// keeping grown buffers so a pooled session serves its next connection
+// without allocating.
+func (s *Session) Reset(cfg Config) {
 	if cfg.Hostname == "" {
 		cfg.Hostname = "mail.example.org"
 	}
@@ -99,7 +120,12 @@ func NewSession(cfg Config) *Session {
 	if cfg.MaxMessageBytes == 0 {
 		cfg.MaxMessageBytes = MaxMessageBytes
 	}
-	return &Session{cfg: cfg, state: StateStart}
+	s.cfg = cfg
+	s.state = StateStart
+	s.helo = s.helo[:0]
+	s.resetMail()
+	s.rejectedRcpts = 0
+	s.mailsDone = 0
 }
 
 // Greeting returns the 220 banner to send on accept.
@@ -109,19 +135,28 @@ func (s *Session) Greeting() Reply { return Banner(s.cfg.Hostname) }
 func (s *Session) State() State { return s.state }
 
 // Helo returns the client's HELO/EHLO name.
-func (s *Session) Helo() string { return s.helo }
+func (s *Session) Helo() string { return string(s.helo) }
 
 // Sender returns the MAIL FROM address ("" for the null sender).
-func (s *Session) Sender() string { return s.sender }
+func (s *Session) Sender() string { return string(s.sender) }
 
 // Rcpts returns the accepted recipients so far.
-func (s *Session) Rcpts() []string { return append([]string(nil), s.rcpts...) }
+func (s *Session) Rcpts() []string {
+	if s.nrcpts == 0 {
+		return nil
+	}
+	out := make([]string, s.nrcpts)
+	for i := 0; i < s.nrcpts; i++ {
+		out[i] = string(s.rcptBufs[i])
+	}
+	return out
+}
 
 // HasValidRcpt reports whether at least one recipient has been accepted —
 // the fork-after-trust delegation trigger (§5.1: "if even a single
 // recipient address is confirmed to be valid, the master process
 // delegates the connection").
-func (s *Session) HasValidRcpt() bool { return len(s.rcpts) > 0 }
+func (s *Session) HasValidRcpt() bool { return s.nrcpts > 0 }
 
 // RejectedRcpts returns the number of 550-rejected recipients — the
 // bounce signal of §4.1.
@@ -133,16 +168,23 @@ func (s *Session) MailsCompleted() int { return s.mailsDone }
 // MaxMessageBytes returns the configured DATA cap for Conn.ReadData.
 func (s *Session) MaxMessageBytes() int { return s.cfg.MaxMessageBytes }
 
-// Command feeds one raw command line to the state machine and returns the
-// reply to send plus the driver action.
+// Command feeds one raw command line as a string. It is the convenience
+// form of CommandBytes for tests and tools; the server's dialog loop
+// calls CommandBytes directly with the ReadLine view.
 func (s *Session) Command(line string) (Reply, Action) {
+	return s.CommandBytes([]byte(line))
+}
+
+// CommandBytes feeds one raw command line (without CRLF) to the state
+// machine and returns the reply to send plus the driver action. The line
+// is only read during the call; the session copies anything it keeps.
+func (s *Session) CommandBytes(line []byte) (Reply, Action) {
 	if s.state == StateQuit {
 		return ReplyBadSequence, ActionQuit
 	}
 	cmd, err := ParseCommand(line)
 	if err != nil {
-		var unknownErr *ErrUnknownVerb
-		if errors.As(err, &unknownErr) {
+		if _, ok := err.(*ErrUnknownVerb); ok {
 			return ReplyUnknownCommand, ActionNone
 		}
 		return ReplySyntax, ActionNone
@@ -162,9 +204,9 @@ func (s *Session) Command(line string) (Reply, Action) {
 	case VerbVRFY:
 		// Postfix answers 252 without disclosing mailbox existence;
 		// mirroring that avoids turning VRFY into a harvesting oracle.
-		return Reply{252, "Cannot VRFY user, but will accept message and attempt delivery"}, ActionNone
+		return ReplyVrfy, ActionNone
 	case VerbHELO, VerbEHLO:
-		s.helo = cmd.Arg
+		s.helo = append(s.helo[:0], cmd.Arg...)
 		s.resetMail()
 		s.state = StateGreeted
 		return HeloReply(s.cfg.Hostname), ActionNone
@@ -176,11 +218,11 @@ func (s *Session) Command(line string) (Reply, Action) {
 			return ReplyBadSequence, ActionNone
 		}
 		if s.cfg.CheckMail != nil {
-			if r := s.cfg.CheckMail(cmd.Addr); r != nil {
+			if r := s.cfg.CheckMail(string(cmd.Addr)); r != nil {
 				return *r, ActionNone
 			}
 		}
-		s.sender = cmd.Addr
+		s.sender = append(s.sender[:0], cmd.Addr...)
 		s.senderSet = true
 		s.state = StateMail
 		return ReplyOK, ActionNone
@@ -188,31 +230,32 @@ func (s *Session) Command(line string) (Reply, Action) {
 		if s.state != StateMail && s.state != StateRcpt {
 			return ReplyBadSequence, ActionNone
 		}
-		if len(s.rcpts) >= s.cfg.MaxRcpts {
+		if s.nrcpts >= s.cfg.MaxRcpts {
 			return ReplyTooManyRcpts, ActionNone
 		}
-		if s.cfg.ValidateRcpt != nil && !s.cfg.ValidateRcpt(cmd.Addr) {
+		if !s.validRcpt(cmd.Addr) {
 			// "550 User unknown" — the bounce of §4.1. State is
 			// unchanged; the client may try other recipients.
 			s.rejectedRcpts++
 			return ReplyUserUnknown, ActionNone
 		}
-		if s.hasRcpt(cmd.Addr) {
+		pos, dup := s.rcptIdx.lookup(s.rcptBufs[:s.nrcpts], cmd.Addr)
+		if dup {
 			// Accepted duplicate collapses silently, as postfix does.
 			return ReplyOK, ActionNone
 		}
 		if s.cfg.CheckRcpt != nil {
-			if r := s.cfg.CheckRcpt(s.sender, cmd.Addr); r != nil {
+			if r := s.cfg.CheckRcpt(string(s.sender), string(cmd.Addr)); r != nil {
 				return *r, ActionNone
 			}
 		}
-		s.rcpts = append(s.rcpts, cmd.Addr)
+		s.appendRcpt(pos, cmd.Addr)
 		s.state = StateRcpt
 		return ReplyOK, ActionNone
 	case VerbDATA:
 		if s.state == StateMail {
 			// MAIL but no accepted RCPT.
-			return Reply{554, "No valid recipients"}, ActionNone
+			return ReplyNoValidRcpts, ActionNone
 		}
 		if s.state != StateRcpt {
 			return ReplyBadSequence, ActionNone
@@ -223,21 +266,46 @@ func (s *Session) Command(line string) (Reply, Action) {
 	}
 }
 
+// validRcpt runs the recipient validator, preferring the byte form.
+func (s *Session) validRcpt(addr []byte) bool {
+	if s.cfg.ValidateRcptBytes != nil {
+		return s.cfg.ValidateRcptBytes(addr)
+	}
+	if s.cfg.ValidateRcpt != nil {
+		return s.cfg.ValidateRcpt(string(addr))
+	}
+	return true
+}
+
+// appendRcpt stores addr in the next recipient slot (reusing its buffer)
+// and records it in the duplicate index at the probed position.
+func (s *Session) appendRcpt(pos int, addr []byte) {
+	if s.nrcpts < len(s.rcptBufs) {
+		s.rcptBufs[s.nrcpts] = append(s.rcptBufs[s.nrcpts][:0], addr...)
+	} else {
+		s.rcptBufs = append(s.rcptBufs, append([]byte(nil), addr...))
+	}
+	s.nrcpts++
+	s.rcptIdx.insert(pos, s.nrcpts) // 1-based slot id
+}
+
 // FinishData completes the DATA transaction with the decoded body and
 // returns the envelope plus the reply to send. The session returns to the
 // greeted state, ready for the next MAIL (postfix allows pipelined
-// transactions on one connection).
+// transactions on one connection). The Envelope's strings are fresh
+// copies — this is the one deliberately allocating step, because the
+// queue keeps the envelope past the session's lifetime.
 func (s *Session) FinishData(body []byte) (Envelope, Reply) {
 	env := Envelope{
-		Helo:   s.helo,
-		Sender: s.sender,
-		Rcpts:  append([]string(nil), s.rcpts...),
+		Helo:   string(s.helo),
+		Sender: string(s.sender),
+		Rcpts:  s.Rcpts(),
 		Data:   body,
 	}
 	s.mailsDone++
 	s.resetMail()
 	s.state = StateGreeted
-	return env, Reply{250, "Ok: queued"}
+	return env, ReplyOKQueued
 }
 
 // AbortData reports a failed body read (oversize) and resets the
@@ -249,16 +317,94 @@ func (s *Session) AbortData() Reply {
 }
 
 func (s *Session) resetMail() {
-	s.sender = ""
+	s.sender = s.sender[:0]
 	s.senderSet = false
-	s.rcpts = nil
+	s.nrcpts = 0
+	s.rcptIdx.clear()
 }
 
-func (s *Session) hasRcpt(addr string) bool {
-	for _, r := range s.rcpts {
-		if strings.EqualFold(r, addr) {
-			return true
+// ---------------------------------------------------------------------------
+// Duplicate-recipient index.
+
+// rcptIndex is a small open-addressed hash index over the session's
+// accepted-recipient slots, keyed by the ASCII-case-folded address. It
+// replaces the old O(n²) EqualFold scan: a mailbomb pushing thousands of
+// RCPTs into a generously configured session now costs O(1) per command
+// instead of a quadratic CPU burn before any trust decision. Folding is
+// ASCII-only (addresses are validated to be control-free single-@
+// tokens); exotic Unicode case pairs are treated as distinct recipients.
+type rcptIndex struct {
+	// tab holds 1-based recipient slot ids; 0 is empty. Sized to a power
+	// of two at least 2× MaxRcpts, allocated once and reused.
+	tab []int32
+}
+
+func (ri *rcptIndex) clear() {
+	for i := range ri.tab {
+		ri.tab[i] = 0
+	}
+}
+
+// ensure sizes the table for capacity n.
+func (ri *rcptIndex) ensure(n int) {
+	want := 16
+	for want < 2*n {
+		want *= 2
+	}
+	if len(ri.tab) < want {
+		ri.tab = make([]int32, want)
+	}
+}
+
+// lookup probes for addr among the populated slots. It returns the probe
+// position for a later insert and whether the address is already
+// present.
+func (ri *rcptIndex) lookup(slots [][]byte, addr []byte) (pos int, found bool) {
+	ri.ensure(cap(slots) + 1)
+	mask := uint32(len(ri.tab) - 1)
+	h := foldHash(addr)
+	for i := h & mask; ; i = (i + 1) & mask {
+		id := ri.tab[i]
+		if id == 0 {
+			return int(i), false
+		}
+		if equalFoldBytes(slots[id-1], addr) {
+			return int(i), true
 		}
 	}
-	return false
+}
+
+// insert records slot id (1-based) at the position lookup returned.
+func (ri *rcptIndex) insert(pos, id int) { ri.tab[pos] = int32(id) }
+
+// foldHash is FNV-1a over the ASCII-case-folded bytes of b.
+func foldHash(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			c |= 0x20
+		}
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return h
+}
+
+// equalFoldBytes compares two byte slices ASCII-case-insensitively.
+func equalFoldBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca |= 0x20
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb |= 0x20
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
 }

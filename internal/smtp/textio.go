@@ -6,8 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 )
 
 // Limits on protocol elements, following RFC 5321 §4.5.3 with the
@@ -19,6 +17,11 @@ const (
 	MaxMessageBytes = 16 << 20
 )
 
+// connBufSize is the size of a Conn's read and write buffers. It must
+// exceed MaxLineLen so a maximal command line always fits in one
+// ReadSlice view.
+const connBufSize = 4096
+
 // ErrLineTooLong is returned when a command line exceeds MaxLineLen.
 var ErrLineTooLong = errors.New("smtp: line too long")
 
@@ -27,43 +30,110 @@ var ErrMessageTooBig = errors.New("smtp: message exceeds size limit")
 
 // Conn wraps a bidirectional stream with SMTP line discipline: CRLF line
 // reads with length limits, reply writing, and dot-encoded data transfer.
+// The hot methods (ReadLine, WriteReply, ReadData) are allocation-free in
+// steady state: lines are views into the read buffer, replies come from
+// the preformatted wire table or the scratch buffer, and DATA bodies
+// accumulate into a reusable buffer grown in place.
 type Conn struct {
 	r *bufio.Reader
 	w *bufio.Writer
+	// scratch formats non-canonical replies without fmt.
+	scratch []byte
+	// data is the reusable DATA accumulation buffer; ReadData returns a
+	// view into it, valid until the next ReadData on this Conn.
+	data []byte
 }
 
-// NewConn returns a Conn over rw.
+// NewConn returns a Conn over rw. Server code on the accept path should
+// prefer AcquireConn/ReleaseConn, which reuse the buffers across
+// connections.
 func NewConn(rw io.ReadWriter) *Conn {
-	return &Conn{r: bufio.NewReaderSize(rw, 4096), w: bufio.NewWriterSize(rw, 4096)}
+	return &Conn{r: bufio.NewReaderSize(rw, connBufSize), w: bufio.NewWriterSize(rw, connBufSize)}
 }
 
 // ReadLine reads one CRLF- (or bare-LF-) terminated line without its
-// terminator. Lines longer than MaxLineLen fail with ErrLineTooLong after
-// consuming through the next terminator, so the session can answer 500
-// and resynchronize.
-func (c *Conn) ReadLine() (string, error) {
-	line, err := c.r.ReadString('\n')
-	if err != nil {
-		if err == io.EOF && line != "" {
-			// A final unterminated line still counts.
-			return strings.TrimRight(line, "\r"), nil
+// terminator. The returned slice is a view into the read buffer, valid
+// only until the next read on this Conn; callers that keep it must copy.
+// Lines longer than MaxLineLen fail with ErrLineTooLong after consuming
+// through the next terminator, so the session can answer 500 and
+// resynchronize.
+func (c *Conn) ReadLine() ([]byte, error) {
+	line, err := c.r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		// Longer than the whole buffer: drain through the terminator so
+		// the stream stays synchronized, then report the oversize.
+		for err == bufio.ErrBufferFull {
+			_, err = c.r.ReadSlice('\n')
 		}
-		return "", err
+		if err != nil {
+			return nil, err
+		}
+		return nil, ErrLineTooLong
+	}
+	if err != nil {
+		if err == io.EOF && len(line) > 0 {
+			// A final unterminated line still counts.
+			return trimCR(line), nil
+		}
+		return nil, err
 	}
 	if len(line) > MaxLineLen {
-		return "", ErrLineTooLong
+		return nil, ErrLineTooLong
 	}
-	line = strings.TrimSuffix(line, "\n")
-	line = strings.TrimSuffix(line, "\r")
-	return line, nil
+	return trimCR(line[:len(line)-1]), nil
+}
+
+// trimCR drops one trailing carriage return.
+func trimCR(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		return line[:n-1]
+	}
+	return line
+}
+
+// writeReply buffers one reply line without flushing: canonical replies
+// come straight from the preformatted wire table, everything else is
+// formatted into the scratch buffer.
+func (c *Conn) writeReply(r Reply) error {
+	if wire, ok := replyWires[r]; ok {
+		_, err := c.w.Write(wire)
+		return err
+	}
+	c.scratch = appendReply(c.scratch[:0], r)
+	_, err := c.w.Write(c.scratch)
+	return err
 }
 
 // WriteReply sends one reply line and flushes.
 func (c *Conn) WriteReply(r Reply) error {
-	if _, err := fmt.Fprintf(c.w, "%d %s\r\n", r.Code, r.Text); err != nil {
+	if err := c.writeReply(r); err != nil {
 		return err
 	}
 	return c.w.Flush()
+}
+
+// WriteReplyLazy buffers one reply line without flushing. The dialog
+// loop uses it to batch the replies of a pipelined command burst into
+// one vectored flush: as long as another complete command is already
+// buffered (InputPending), the reply can wait for its batch.
+func (c *Conn) WriteReplyLazy(r Reply) error { return c.writeReply(r) }
+
+// Flush writes out any buffered replies.
+func (c *Conn) Flush() error { return c.w.Flush() }
+
+// InputPending reports whether a complete command line is already
+// buffered on the read side — the pipelining signal that makes it safe
+// to delay a reply flush without deadlocking a waiting client.
+func (c *Conn) InputPending() bool {
+	n := c.r.Buffered()
+	if n == 0 {
+		return false
+	}
+	buf, err := c.r.Peek(n)
+	if err != nil {
+		return false
+	}
+	return bytes.IndexByte(buf, '\n') >= 0
 }
 
 // WriteMultiReply sends a multiline reply (all but the last line use the
@@ -83,7 +153,10 @@ func (c *Conn) WriteMultiReply(code int, lines []string) error {
 
 // WriteLine sends one raw line with CRLF and flushes.
 func (c *Conn) WriteLine(line string) error {
-	if _, err := c.w.WriteString(line + "\r\n"); err != nil {
+	if _, err := c.w.WriteString(line); err != nil {
+		return err
+	}
+	if _, err := c.w.WriteString("\r\n"); err != nil {
 		return err
 	}
 	return c.w.Flush()
@@ -92,49 +165,84 @@ func (c *Conn) WriteLine(line string) error {
 // ReadData reads a dot-terminated DATA payload, removing dot-stuffing
 // (RFC 5321 §4.5.2): a leading ".." becomes ".", and a lone "." ends the
 // message. Lines are joined with CRLF. The limit caps the decoded size.
+// The returned slice is a view into the Conn's reusable body buffer,
+// valid until the next ReadData; callers that keep the body must copy
+// (the queue does, on Enqueue).
 func (c *Conn) ReadData(limit int) ([]byte, error) {
 	if limit <= 0 {
 		limit = MaxMessageBytes
 	}
-	var buf bytes.Buffer
+	buf := c.data[:0]
 	tooBig := false
+	atStart := true // at the beginning of a protocol line
 	for {
-		line, err := c.r.ReadString('\n')
+		chunk, err := c.r.ReadSlice('\n')
+		full := err == nil // chunk ends with '\n'
+		if err == bufio.ErrBufferFull {
+			err = nil
+		}
 		if err != nil {
+			c.data = buf
 			return nil, fmt.Errorf("smtp: reading data: %w", err)
 		}
-		line = strings.TrimSuffix(line, "\n")
-		line = strings.TrimSuffix(line, "\r")
-		if line == "." {
-			if tooBig {
-				return nil, ErrMessageTooBig
+		if atStart {
+			if full && (len(chunk) == 2 && chunk[0] == '.' || len(chunk) == 3 && chunk[0] == '.' && chunk[1] == '\r') {
+				// Lone "." terminator.
+				c.data = buf
+				if tooBig {
+					return nil, ErrMessageTooBig
+				}
+				return buf, nil
 			}
-			return buf.Bytes(), nil
+			if len(chunk) > 0 && chunk[0] == '.' {
+				// Remove dot-stuffing.
+				chunk = chunk[1:]
+			}
 		}
-		if strings.HasPrefix(line, ".") {
-			line = line[1:]
+		if full {
+			// Normalize the terminator to CRLF.
+			chunk = trimCR(chunk[:len(chunk)-1])
 		}
-		if buf.Len()+len(line)+2 > limit {
-			// Keep consuming to the terminating dot so the session can
-			// report 552 and stay synchronized.
-			tooBig = true
-			continue
+		if !tooBig {
+			need := len(buf) + len(chunk)
+			if full {
+				need += 2
+			}
+			if need > limit {
+				// Keep consuming to the terminating dot so the session can
+				// report 552 and stay synchronized.
+				tooBig = true
+			} else {
+				buf = append(buf, chunk...)
+				if full {
+					buf = append(buf, '\r', '\n')
+				}
+			}
 		}
-		buf.WriteString(line)
-		buf.WriteString("\r\n")
+		atStart = full
 	}
 }
 
 // WriteData sends a payload with dot-stuffing applied and the terminating
 // dot, then flushes. The payload is split on CRLF or LF.
 func (c *Conn) WriteData(body []byte) error {
-	for _, line := range splitLines(body) {
-		if strings.HasPrefix(line, ".") {
-			if _, err := c.w.WriteString("."); err != nil {
+	for len(body) > 0 {
+		line := body
+		if i := bytes.IndexByte(body, '\n'); i >= 0 {
+			line = trimCR(body[:i])
+			body = body[i+1:]
+		} else {
+			body = nil
+		}
+		if len(line) > 0 && line[0] == '.' {
+			if err := c.w.WriteByte('.'); err != nil {
 				return err
 			}
 		}
-		if _, err := c.w.WriteString(line + "\r\n"); err != nil {
+		if _, err := c.w.Write(line); err != nil {
+			return err
+		}
+		if _, err := c.w.WriteString("\r\n"); err != nil {
 			return err
 		}
 	}
@@ -144,17 +252,8 @@ func (c *Conn) WriteData(body []byte) error {
 	return c.w.Flush()
 }
 
-func splitLines(body []byte) []string {
-	if len(body) == 0 {
-		return nil
-	}
-	s := string(body)
-	s = strings.ReplaceAll(s, "\r\n", "\n")
-	s = strings.TrimSuffix(s, "\n")
-	return strings.Split(s, "\n")
-}
-
-// ReadReply reads one (possibly multiline) server reply.
+// ReadReply reads one (possibly multiline) server reply. This is the
+// client side; it may allocate for the reply text.
 func (c *Conn) ReadReply() (Reply, error) {
 	var code int
 	var texts []string
@@ -166,19 +265,45 @@ func (c *Conn) ReadReply() (Reply, error) {
 		if len(line) < 3 {
 			return Reply{}, fmt.Errorf("smtp: short reply line %q", line)
 		}
-		n, err := strconv.Atoi(line[:3])
-		if err != nil {
+		n, ok := parseCode(line[:3])
+		if !ok {
 			return Reply{}, fmt.Errorf("smtp: bad reply code in %q", line)
 		}
 		code = n
 		more := len(line) > 3 && line[3] == '-'
 		text := ""
 		if len(line) > 4 {
-			text = line[4:]
+			text = string(line[4:])
 		}
 		texts = append(texts, text)
 		if !more {
-			return Reply{Code: code, Text: strings.Join(texts, "\n")}, nil
+			if len(texts) == 1 {
+				return Reply{Code: code, Text: texts[0]}, nil
+			}
+			return Reply{Code: code, Text: joinLines(texts)}, nil
 		}
 	}
+}
+
+// parseCode parses a 3-digit reply code.
+func parseCode(b []byte) (int, bool) {
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+func joinLines(texts []string) string {
+	var b bytes.Buffer
+	for i, t := range texts {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(t)
+	}
+	return b.String()
 }

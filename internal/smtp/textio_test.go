@@ -24,7 +24,7 @@ func TestReadLineVariants(t *testing.T) {
 	c, _ := newRW("HELO x\r\nMAIL\nQUIT")
 	for _, want := range []string{"HELO x", "MAIL", "QUIT"} {
 		got, err := c.ReadLine()
-		if err != nil || got != want {
+		if err != nil || string(got) != want {
 			t.Fatalf("ReadLine = %q, %v; want %q", got, err, want)
 		}
 	}
@@ -104,7 +104,7 @@ func TestReadDataSizeLimit(t *testing.T) {
 	}
 	// The stream stays synchronized: the next line is readable.
 	line, err := c.ReadLine()
-	if err != nil || line != "NEXT" {
+	if err != nil || string(line) != "NEXT" {
 		t.Fatalf("post-overflow line = %q, %v", line, err)
 	}
 }

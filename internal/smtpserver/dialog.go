@@ -40,7 +40,7 @@ func (s *Server) runDialog(nc net.Conn, c *smtp.Conn, sess *smtp.Session, stopWh
 			}
 			return outcomeDropped
 		}
-		reply, action := sess.Command(line)
+		reply, action := sess.CommandBytes(line)
 		if reply.Code == smtp.ReplyUserUnknown.Code {
 			s.rcptRejected.Inc()
 			if s.cfg.Policy != nil {
@@ -52,6 +52,8 @@ func (s *Server) runDialog(nc net.Conn, c *smtp.Conn, sess *smtp.Session, stopWh
 		}
 		switch action {
 		case smtp.ActionData:
+			// The 354 must reach the client before it will send the body,
+			// so this flush also drains any batched pipelined replies.
 			if err := c.WriteReply(reply); err != nil {
 				return outcomeDropped
 			}
@@ -81,7 +83,16 @@ func (s *Server) runDialog(nc net.Conn, c *smtp.Conn, sess *smtp.Session, stopWh
 			c.WriteReply(reply) //nolint:errcheck // closing anyway
 			return outcomeQuit
 		default:
-			if err := c.WriteReply(reply); err != nil {
+			// Pipelining batch: while the client has already sent the next
+			// command, buffer the reply and answer the whole burst with one
+			// flush — one writev for N replies instead of N small writes.
+			// Only safe when input is pending: a lazy reply to a client
+			// that is waiting for it would deadlock the dialog.
+			if c.InputPending() {
+				if err := c.WriteReplyLazy(reply); err != nil {
+					return outcomeDropped
+				}
+			} else if err := c.WriteReply(reply); err != nil {
 				return outcomeDropped
 			}
 		}
@@ -112,17 +123,18 @@ func (s *Server) vanillaWorker(conns <-chan accepted) {
 		// The time since the accept loop dispatched is the vanilla
 		// handoff wait: master blocked until a worker freed up.
 		s.observeStage(StageHandoffWait, a.id, a.at, "")
-		c := smtp.NewConn(nc)
+		c := smtp.AcquireConn(nc)
 		ip := remoteIP(nc)
 		// The vanilla architecture pays a worker for the policy check
 		// itself — the cost contrast the policy-sweep experiment measures.
 		if !s.admitPolicy(nc, c, a.id, true) {
 			s.untrack(nc)
 			nc.Close()
+			smtp.ReleaseConn(c)
 			continue
 		}
 		dialogStart := time.Now()
-		sess := smtp.NewSession(s.sessionConfig(ip, a.id))
+		sess := smtp.AcquireSession(s.sessionConfig(ip, a.id))
 		if err := c.WriteReply(sess.Greeting()); err == nil {
 			out := s.runDialog(nc, c, sess, nil)
 			if out == outcomeQuit {
@@ -141,6 +153,8 @@ func (s *Server) vanillaWorker(conns <-chan accepted) {
 		}
 		s.untrack(nc)
 		nc.Close()
+		smtp.ReleaseConn(c)
+		smtp.ReleaseSession(sess)
 	}
 }
 
@@ -149,9 +163,9 @@ func (s *Server) vanillaWorker(conns <-chan accepted) {
 // never produce one — random-guessing bounces and unfinished sessions —
 // are finished right here, costing no worker. Trusted connections are
 // delegated to the worker pool through the bounded task queue.
-func (s *Server) hybridFrontEnd(nc net.Conn, id uint64) {
+func (s *Server) hybridFrontEnd(nc net.Conn, id uint64, sh *shard) {
 	defer s.frontWG.Done()
-	c := smtp.NewConn(nc)
+	c := smtp.AcquireConn(nc)
 	ip := remoteIP(nc)
 	// Policy runs in the master's event loop: a rejected connection is
 	// finished here, before any worker is committed — the paper's
@@ -159,15 +173,18 @@ func (s *Server) hybridFrontEnd(nc net.Conn, id uint64) {
 	if !s.admitPolicy(nc, c, id, false) {
 		s.untrack(nc)
 		nc.Close()
+		smtp.ReleaseConn(c)
 		return
 	}
 	preTrustStart := time.Now()
-	sess := smtp.NewSession(s.sessionConfig(ip, id))
+	sess := smtp.AcquireSession(s.sessionConfig(ip, id))
 	if err := c.WriteReply(sess.Greeting()); err != nil {
 		s.observeStage(StagePreTrust, id, preTrustStart, "dropped")
 		s.logConn(id, ip, "dropped", false, true)
 		s.untrack(nc)
 		nc.Close()
+		smtp.ReleaseConn(c)
+		smtp.ReleaseSession(sess)
 		return
 	}
 	out := s.runDialog(nc, c, sess, (*smtp.Session).HasValidRcpt)
@@ -177,7 +194,9 @@ func (s *Server) hybridFrontEnd(nc net.Conn, id uint64) {
 		s.handoffs.Inc()
 		// A full queue blocks the front end — the finite socket buffer
 		// acting "as a natural throttle for the master process" (§5.3).
-		s.tasks <- &task{nc: nc, c: c, sess: sess, id: id, at: time.Now()}
+		// Conn and Session ownership moves to the worker, which releases
+		// them back to the pools when the connection finishes.
+		sh.tasks <- &task{nc: nc, c: c, sess: sess, id: id, at: time.Now()}
 	case outcomeQuit:
 		s.sessionsServed.Inc()
 		s.preTrustClosed.Inc()
@@ -187,12 +206,16 @@ func (s *Server) hybridFrontEnd(nc net.Conn, id uint64) {
 		s.logConn(id, ip, outcomeNote(out), false, true)
 		s.untrack(nc)
 		nc.Close()
+		smtp.ReleaseConn(c)
+		smtp.ReleaseSession(sess)
 	default:
 		s.preTrustClosed.Inc()
 		s.recordBounce(nc, sess)
 		s.logConn(id, ip, outcomeNote(out), false, true)
 		s.untrack(nc)
 		nc.Close()
+		smtp.ReleaseConn(c)
+		smtp.ReleaseSession(sess)
 	}
 }
 
@@ -224,5 +247,7 @@ func (s *Server) hybridWorker(tasks <-chan *task) {
 		s.logConn(t.id, ip, outcomeNote(out), true, false)
 		s.untrack(t.nc)
 		t.nc.Close()
+		smtp.ReleaseConn(t.c)
+		smtp.ReleaseSession(t.sess)
 	}
 }

@@ -56,6 +56,22 @@ func WithValidateRcpt(f func(addr string) bool) Option {
 	return func(s *settings) { s.ValidateRcpt = f }
 }
 
+// WithValidateRcptBytes sets the allocation-free access-database hook,
+// preferred over WithValidateRcpt when both are set: the session passes
+// recipient addresses as views into the command line, so validation adds
+// no per-RCPT heap traffic. The callee must not retain the slice.
+func WithValidateRcptBytes(f func(addr []byte) bool) Option {
+	return func(s *settings) { s.ValidateRcptBytes = f }
+}
+
+// WithAcceptShards splits the accept path into n independent shards —
+// one accept loop and worker ring each, over SO_REUSEPORT listeners
+// where the platform supports it (see Config.AcceptShards). 0 or 1 keeps
+// the single classic accept loop.
+func WithAcceptShards(n int) Option {
+	return func(s *settings) { s.AcceptShards = n }
+}
+
 // WithCheckClient sets the bare DNSBL hook: return true to reject the
 // connecting IP with 554 at accept time.
 func WithCheckClient(f func(ip string) bool) Option {

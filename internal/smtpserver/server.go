@@ -108,6 +108,9 @@ type Config struct {
 	TaskDepthPerWorker int
 	// ValidateRcpt is the access-database hook; nil accepts everything.
 	ValidateRcpt func(addr string) bool
+	// ValidateRcptBytes is the allocation-free form of ValidateRcpt,
+	// preferred by the session when both are set (see smtp.Config).
+	ValidateRcptBytes func(addr []byte) bool
 	// CheckClient, if non-nil, is the DNSBL hook: it returns true when
 	// the connecting IP is blacklisted and the connection should be
 	// rejected with 554 at accept time.
@@ -128,6 +131,14 @@ type Config struct {
 	MaxMessageBytes int
 	// IdleTimeout bounds each wait for a client command (default 60s).
 	IdleTimeout time.Duration
+	// AcceptShards splits the accept path across n independent shards,
+	// each with its own accept loop and worker ring, so a single accept
+	// loop stops being the ceiling on connection turnover (the reuseport
+	// pattern of modern event-driven servers). ListenAndServe opens n
+	// SO_REUSEPORT listeners where the platform supports it and otherwise
+	// runs n accept goroutines on one listener. 0 or 1 keeps the single
+	// classic accept loop. MaxWorkers is divided across the shards.
+	AcceptShards int
 }
 
 // Stats counts server activity. All fields are monotone counters except
@@ -155,13 +166,13 @@ type Server struct {
 	arch   string
 
 	mu     sync.Mutex
-	ln     net.Listener
+	lns    []net.Listener
+	shards []*shard
 	conns  map[net.Conn]bool
 	closed bool
 
-	tasks chan *task // hybrid handoff queue
 	// frontWG tracks hybrid front ends; workerWG tracks the smtpd pools.
-	// Close must wait for fronts before closing the task queue the
+	// Close must wait for fronts before closing the task queues the
 	// workers drain, so the two lifetimes are tracked separately.
 	frontWG  sync.WaitGroup
 	workerWG sync.WaitGroup
@@ -202,6 +213,16 @@ type accepted struct {
 	nc net.Conn
 	id uint64
 	at time.Time // when the accept loop accepted the connection
+}
+
+// shard is one slice of the accept path: an accept loop plus the worker
+// ring it feeds. A single-shard server (the default) is exactly the old
+// architecture; with AcceptShards > 1 each shard runs independently so
+// accept dispatch, handoff queues, and worker wakeups never contend
+// across shards.
+type shard struct {
+	tasks chan *task    // hybrid handoff queue (nil under vanilla)
+	conns chan accepted // vanilla dispatch channel (nil under hybrid)
 }
 
 // New returns an unstarted server delivering accepted mail through
@@ -360,48 +381,106 @@ func (s *Server) Stats() Stats {
 }
 
 // Serve accepts connections on ln until Close. It blocks; run it in a
-// goroutine. The listener is owned by the server after this call.
+// goroutine. The listener is owned by the server after this call. With
+// AcceptShards > 1 the single listener is shared by that many accept
+// goroutines, each feeding its own worker ring; use ServeListeners (or
+// ListenAndServe, which calls ListenShards) to give each shard its own
+// SO_REUSEPORT listener instead.
 func (s *Server) Serve(ln net.Listener) error {
+	return s.ServeListeners([]net.Listener{ln})
+}
+
+// ServeListeners accepts connections on every listener until Close,
+// running max(AcceptShards, len(lns)) shards: one accept loop per shard,
+// each with its own worker ring. When there are more shards than
+// listeners the extra accept loops share the existing listeners — the
+// non-reuseport fallback. It blocks until all accept loops exit and
+// returns the first accept error, or nil on Close.
+func (s *Server) ServeListeners(lns []net.Listener) error {
+	if len(lns) == 0 {
+		return errors.New("smtpserver: no listeners")
+	}
+	nshards := s.cfg.AcceptShards
+	if nshards < len(lns) {
+		nshards = len(lns)
+	}
+	workers := s.cfg.MaxWorkers / nshards
+	if workers < 1 {
+		workers = 1
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return errors.New("smtpserver: server closed")
 	}
-	if s.ln != nil {
+	if s.lns != nil {
 		s.mu.Unlock()
 		return errors.New("smtpserver: already serving")
 	}
-	s.ln = ln
-	if s.cfg.Arch == Hybrid && s.tasks == nil {
-		s.tasks = make(chan *task, s.cfg.MaxWorkers*s.cfg.TaskDepthPerWorker)
-		for i := 0; i < s.cfg.MaxWorkers; i++ {
-			s.workerWG.Add(1)
-			go s.hybridWorker(s.tasks)
-		}
+	s.lns = append([]net.Listener(nil), lns...)
+	shards := make([]*shard, nshards)
+	for i := range shards {
+		shards[i] = s.startShard(workers)
 	}
-	var vanillaConns chan accepted
-	if s.cfg.Arch == Vanilla {
-		// The worker pool mirrors postfix's reuse of smtpd processes:
-		// MaxWorkers long-lived workers each take one connection at a
-		// time; the unbuffered channel makes the accept loop wait when
-		// all are busy, exactly like master refusing to fork past the
-		// process limit.
-		vanillaConns = make(chan accepted)
-		for i := 0; i < s.cfg.MaxWorkers; i++ {
-			s.workerWG.Add(1)
-			go s.vanillaWorker(vanillaConns)
-		}
-	}
+	s.shards = shards
 	s.mu.Unlock()
 
+	errc := make(chan error, nshards)
+	var wg sync.WaitGroup
+	for i := 0; i < nshards; i++ {
+		ln, sh := lns[i%len(lns)], shards[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errc <- s.acceptLoop(ln, sh)
+		}()
+	}
+	wg.Wait()
+	var first error
+	for i := 0; i < nshards; i++ {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// startShard launches one shard's worker ring and returns its channels.
+func (s *Server) startShard(workers int) *shard {
+	sh := &shard{}
+	switch s.cfg.Arch {
+	case Hybrid:
+		sh.tasks = make(chan *task, workers*s.cfg.TaskDepthPerWorker)
+		for i := 0; i < workers; i++ {
+			s.workerWG.Add(1)
+			go s.hybridWorker(sh.tasks)
+		}
+	case Vanilla:
+		// The worker ring mirrors postfix's reuse of smtpd processes:
+		// long-lived workers each take one connection at a time; the
+		// unbuffered channel makes the shard's accept loop wait when all
+		// are busy, exactly like master refusing to fork past the process
+		// limit.
+		sh.conns = make(chan accepted)
+		for i := 0; i < workers; i++ {
+			s.workerWG.Add(1)
+			go s.vanillaWorker(sh.conns)
+		}
+	}
+	return sh
+}
+
+// acceptLoop accepts connections on ln and dispatches them into sh until
+// the listener fails (Close, or a real error).
+func (s *Server) acceptLoop(ln net.Listener, sh *shard) error {
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
-			if vanillaConns != nil {
-				close(vanillaConns)
+			if sh.conns != nil {
+				close(sh.conns)
 			}
 			if closed {
 				return nil
@@ -418,8 +497,9 @@ func (s *Server) Serve(ln net.Listener) error {
 		if s.cfg.CheckClient != nil && s.cfg.CheckClient(remoteIP(nc)) {
 			s.blacklisted.Inc()
 			ip := remoteIP(nc)
-			c := smtp.NewConn(nc)
+			c := smtp.AcquireConn(nc)
 			c.WriteReply(smtp.ReplyBlacklisted) //nolint:errcheck // closing anyway
+			smtp.ReleaseConn(c)
 			s.untrack(nc)
 			nc.Close()
 			s.observeStage(StageAccept, id, acceptedAt, "blacklisted")
@@ -433,22 +513,24 @@ func (s *Server) Serve(ln net.Listener) error {
 			// handoff_wait histogram (observed by the worker); accept's
 			// own share ends at the send.
 			s.observeStage(StageAccept, id, acceptedAt, "")
-			vanillaConns <- accepted{nc: nc, id: id, at: acceptedAt}
+			sh.conns <- accepted{nc: nc, id: id, at: acceptedAt}
 		case Hybrid:
 			s.frontWG.Add(1)
-			go s.hybridFrontEnd(nc, id)
+			go s.hybridFrontEnd(nc, id, sh)
 			s.observeStage(StageAccept, id, acceptedAt, "")
 		}
 	}
 }
 
-// ListenAndServe listens on addr and serves until Close.
+// ListenAndServe listens on addr and serves until Close. With
+// AcceptShards > 1 it opens one listener per shard via ListenShards
+// (SO_REUSEPORT where supported).
 func (s *Server) ListenAndServe(addr string) error {
-	ln, err := net.Listen("tcp", addr)
+	lns, err := ListenShards(addr, s.cfg.AcceptShards)
 	if err != nil {
 		return fmt.Errorf("smtpserver: listen %s: %w", addr, err)
 	}
-	return s.Serve(ln)
+	return s.ServeListeners(lns)
 }
 
 // Close stops accepting, force-closes open connections, and waits for all
@@ -460,19 +542,22 @@ func (s *Server) Close() error {
 		return errors.New("smtpserver: already closed")
 	}
 	s.closed = true
-	ln := s.ln
+	lns := s.lns
 	for nc := range s.conns {
 		nc.Close()
 	}
 	s.mu.Unlock()
-	if ln != nil {
+	for _, ln := range lns {
 		ln.Close()
 	}
 	s.frontWG.Wait()
 	s.mu.Lock()
-	if s.tasks != nil {
-		close(s.tasks)
+	for _, sh := range s.shards {
+		if sh.tasks != nil {
+			close(sh.tasks)
+		}
 	}
+	s.shards = nil
 	s.mu.Unlock()
 	s.workerWG.Wait()
 	return nil
@@ -515,10 +600,11 @@ func remoteIP(nc net.Conn) string {
 // un-trusted and is finished without costing a worker.
 func (s *Server) sessionConfig(ip string, id uint64) smtp.Config {
 	cfg := smtp.Config{
-		Hostname:        s.cfg.Hostname,
-		ValidateRcpt:    s.cfg.ValidateRcpt,
-		MaxRcpts:        s.cfg.MaxRcpts,
-		MaxMessageBytes: s.cfg.MaxMessageBytes,
+		Hostname:          s.cfg.Hostname,
+		ValidateRcpt:      s.cfg.ValidateRcpt,
+		ValidateRcptBytes: s.cfg.ValidateRcptBytes,
+		MaxRcpts:          s.cfg.MaxRcpts,
+		MaxMessageBytes:   s.cfg.MaxMessageBytes,
 	}
 	if p := s.cfg.Policy; p != nil {
 		// Mid-dialog checks are local (rate buckets, greylist); the

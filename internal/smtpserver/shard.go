@@ -1,0 +1,41 @@
+package smtpserver
+
+import (
+	"context"
+	"fmt"
+	"net"
+)
+
+// ListenShards opens the listeners for n accept shards on addr. On
+// platforms with SO_REUSEPORT it returns n kernel-balanced listeners
+// bound to the same address; elsewhere (or for n <= 1) it returns a
+// single listener, which ServeListeners then shares across the shards'
+// accept goroutines. When addr requests an ephemeral port the first bind
+// resolves it and the remaining shards bind the same resolved port.
+func ListenShards(addr string, n int) ([]net.Listener, error) {
+	if n <= 1 || !reuseportSupported {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return []net.Listener{ln}, nil
+	}
+	lc := reuseportListenConfig()
+	first, err := lc.Listen(context.Background(), "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	lns := []net.Listener{first}
+	resolved := first.Addr().String()
+	for i := 1; i < n; i++ {
+		ln, err := lc.Listen(context.Background(), "tcp", resolved)
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		lns = append(lns, ln)
+	}
+	return lns, nil
+}

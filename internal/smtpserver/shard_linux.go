@@ -1,0 +1,35 @@
+//go:build linux
+
+package smtpserver
+
+import (
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT on Linux (asm-generic/socket.h). Spelled as
+// a literal because the stdlib syscall package does not export it and the
+// repo deliberately takes no dependency on golang.org/x/sys.
+const soReusePort = 0xf
+
+// reuseportSupported reports whether ListenShards can open multiple
+// kernel-balanced listeners on one address.
+const reuseportSupported = true
+
+// reuseportListenConfig returns a ListenConfig that sets SO_REUSEPORT
+// before bind, so several listeners can share one address and the kernel
+// distributes incoming connections across them.
+func reuseportListenConfig() *net.ListenConfig {
+	return &net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+}

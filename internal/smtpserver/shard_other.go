@@ -1,0 +1,11 @@
+//go:build !linux
+
+package smtpserver
+
+import "net"
+
+// reuseportSupported: without a portable SO_REUSEPORT story the server
+// falls back to one listener shared by all accept shards.
+const reuseportSupported = false
+
+func reuseportListenConfig() *net.ListenConfig { return nil }
