@@ -251,7 +251,7 @@ func BenchmarkMFSParallelDeliver(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			fs := fsim.NewMem(costmodel.Ext3)
-			store, err := mailstore.NewMFS(fs, "mfs", mfs.WithSyncedCommits())
+			store, err := mailstore.NewMFS(fs, "mfs", mfs.WithSync(true))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -618,4 +618,94 @@ func BenchmarkQueueThroughput(b *testing.B) {
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(b.N)/sec, "mails/s")
 	}
+}
+
+// ---------------------------------------------------------------------------
+// MFS durability paths (cmd/benchjson turns these into BENCH_mfs.json).
+
+// crashedMFSImage populates a WAL-mode store on a fault-injecting
+// filesystem and power-cuts it, leaving mails mails' worth of commit
+// records for recovery to replay.
+func crashedMFSImage(b *testing.B, mails int) *fsim.Fault {
+	b.Helper()
+	fault := fsim.NewFault()
+	store, err := mailstore.NewMFS(fault, "mfs", mfs.WithSync(true),
+		mfs.WithWALRotateSize(1<<30)) // keep every commit in the log
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := make([]byte, 1024)
+	for i := 0; i < mails; i++ {
+		rcpts := []string{fmt.Sprintf("u%02d", i%16)}
+		if i%3 == 0 {
+			rcpts = append(rcpts, fmt.Sprintf("u%02d", (i+1)%16), fmt.Sprintf("u%02d", (i+2)%16))
+		}
+		if err := store.Deliver(fmt.Sprintf("Q%016X", i), rcpts, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fault.Crash()
+	_ = store.Close()
+	fault.Recover()
+	return fault
+}
+
+// BenchmarkMFSRecovery measures crash recovery: reopening a store whose
+// entire workload sits in the write-ahead log (the worst case — nothing
+// was rotated into the files before the power cut).
+func BenchmarkMFSRecovery(b *testing.B) {
+	const mails = 400
+	var replayed float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fault := crashedMFSImage(b, mails)
+		b.StartTimer()
+		store, err := mailstore.NewMFS(fault, "mfs", mfs.WithSync(true))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs := store.Recovery()
+		if rs.Replayed == 0 {
+			b.Fatal("recovery replayed nothing")
+		}
+		replayed += float64(rs.Replayed)
+		b.StopTimer()
+		if err := store.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(mails), "mails/recovery")
+	b.ReportMetric(replayed/float64(b.N), "records/recovery")
+}
+
+// BenchmarkMFSCheckpoint measures the online checkpoint of a live store:
+// WAL rotation plus a full copy of the shared and mailbox files.
+func BenchmarkMFSCheckpoint(b *testing.B) {
+	const mails = 400
+	store, err := mailstore.NewMFS(fsim.NewMem(costmodel.FSModel{}), "mfs", mfs.WithSync(true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	body := make([]byte, 1024)
+	for i := 0; i < mails; i++ {
+		rcpts := []string{fmt.Sprintf("u%02d", i%16)}
+		if i%3 == 0 {
+			rcpts = append(rcpts, fmt.Sprintf("u%02d", (i+1)%16), fmt.Sprintf("u%02d", (i+2)%16))
+		}
+		if err := store.Deliver(fmt.Sprintf("Q%016X", i), rcpts, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	var bytes float64
+	for i := 0; i < b.N; i++ {
+		st, err := store.Checkpoint(fmt.Sprintf("ckpt%06d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = float64(st.Bytes)
+	}
+	b.ReportMetric(bytes, "bytes/checkpoint")
 }

@@ -34,10 +34,12 @@ import (
 	"repro/internal/fsim"
 	"repro/internal/mailstore"
 	"repro/internal/metrics"
+	"repro/internal/mfs"
 	"repro/internal/policy"
 	"repro/internal/pop3"
 	"repro/internal/queue"
 	"repro/internal/smtpserver"
+	"repro/internal/spool"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -60,6 +62,9 @@ func main() {
 		dnsblStale  = flag.Duration("dnsbl-stale", time.Hour, "serve expired DNSBL cache entries up to this long past expiry when the blacklist is unreachable (0 disables)")
 		statsSec    = flag.Int("stats", 10, "stats period in seconds (0 disables)")
 		spoolDir    = flag.String("spool-dir", "queue", "spool directory (under -root) holding the active/deferred/hold lanes")
+		mfsSync     = flag.Bool("mfs-sync", false, "MFS: write-ahead log every commit batch (crash-consistent durable mode; one fsync per batch)")
+		ckptDir     = flag.String("checkpoint-dir", "", "MFS: write online checkpoints under this directory (under -root; empty disables)")
+		ckptEvery   = flag.Duration("checkpoint-interval", 5*time.Minute, "MFS: interval between online checkpoints when -checkpoint-dir is set")
 		maxAttempts = flag.Int("max-attempts", 3, "delivery attempts before a mail bounces")
 		bounceOn    = flag.Bool("bounce", true, "synthesize DSN bounces for undeliverable mail (off: drop dead)")
 		policyOn    = flag.Bool("policy", false, "enable the pre-trust policy engine (rate limits, greylist, reputation; DNSBL scoring when -dnsbl is set)")
@@ -148,10 +153,31 @@ func main() {
 	case "hardlink":
 		store = mailstore.NewHardlink(fs)
 	case "mfs":
-		store, err = mailstore.NewMFS(fs, "mfs")
+		var mfsStore *mailstore.MFS
+		mfsStore, err = mailstore.NewMFS(fs, "mfs", mfs.WithSync(*mfsSync))
 		if err != nil {
 			log.Fatalf("smtpd: %v", err)
 		}
+		if rs := mfsStore.Recovery(); rs != (mfs.RecoveryStats{}) {
+			log.Printf("smtpd: mfs recovery: replayed %d WAL records (%d bytes, %d torn tail), reconciled=%v refs_fixed=%d pointers_dropped=%d torn_dropped=%d shared_dropped=%d",
+				rs.Replayed, rs.ReplayedBytes, rs.DiscardedTail, rs.Reconciled,
+				rs.RefsFixed, rs.PointersDropped, rs.TornDropped, rs.SharedDropped)
+		}
+		if *ckptDir != "" {
+			go func() {
+				for i := 0; ; i++ {
+					time.Sleep(*ckptEvery)
+					dest := fmt.Sprintf("%s/ckpt%06d", *ckptDir, i)
+					st, err := mfsStore.Checkpoint(dest)
+					if err != nil {
+						log.Printf("smtpd: checkpoint %s: %v", dest, err)
+						continue
+					}
+					log.Printf("smtpd: checkpoint %s: %d files, %d bytes", dest, st.Files, st.Bytes)
+				}
+			}()
+		}
+		store = mfsStore
 	default:
 		log.Fatalf("smtpd: unknown store %q", *storeName)
 	}
@@ -168,8 +194,7 @@ func main() {
 	agent := delivery.NewAgent(db, store, delivery.WithRegistry(reg), delivery.WithEventLog(events))
 	qcfg := queue.Config{
 		Deliverer:   agent,
-		Spool:       fs,
-		SpoolDir:    *spoolDir,
+		Store:       spool.New(fs, *spoolDir),
 		ActiveLimit: 8,
 		MaxAttempts: *maxAttempts,
 		Registry:    reg,

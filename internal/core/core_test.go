@@ -433,3 +433,37 @@ func TestOutboundOutageShape(t *testing.T) {
 		}
 	}
 }
+
+func TestCrashRecoveryShape(t *testing.T) {
+	m := quick(t, "crash-recovery")
+	for _, arch := range []string{"vanilla", "hybrid"} {
+		accepted := m["accepted_"+arch]
+		if accepted <= 0 {
+			t.Fatalf("%s accepted %v mails", arch, accepted)
+		}
+		// The crash must land mid-run: some mail committed, some spooled.
+		if m["delivered_pre_"+arch] <= 0 {
+			t.Errorf("%s: no pre-crash commits", arch)
+		}
+		if m["spool_at_crash_"+arch] <= 0 {
+			t.Errorf("%s: spool empty at crash — nothing was at risk", arch)
+		}
+		// The restarted store must actually replay its commit log...
+		if m["wal_replayed_"+arch] <= 0 {
+			t.Errorf("%s: wal_replayed = %v, want > 0", arch, m["wal_replayed_"+arch])
+		}
+		// ...and the queue must replay every mail the crash interrupted.
+		if got := m["spool_recovered_"+arch]; got < m["spool_at_crash_"+arch] {
+			t.Errorf("%s: spool_recovered = %v < spool_at_crash %v", arch, got, m["spool_at_crash_"+arch])
+		}
+		// crashRun itself fails unless every accepted mail is present
+		// exactly once, so reaching here with entries > 0 is the
+		// no-loss/no-duplicate assertion.
+		if m["mailbox_entries_"+arch] <= 0 {
+			t.Errorf("%s: no mailbox entries after recovery", arch)
+		}
+		if m["recover_ms_"+arch] <= 0 {
+			t.Errorf("%s: recover_ms = %v, want > 0", arch, m["recover_ms_"+arch])
+		}
+	}
+}

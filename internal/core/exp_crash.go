@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/delivery"
+	"repro/internal/fsim"
+	"repro/internal/mailstore"
+	"repro/internal/metrics"
+	"repro/internal/mfs"
+	"repro/internal/queue"
+	"repro/internal/smtp"
+	"repro/internal/smtpserver"
+	"repro/internal/spool"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "crash-recovery",
+		Title: "Power-cut crash and restart: spool depth at crash, WAL replay, time-to-recover",
+		Paper: "the durability the Figure 2 queue/store split promises: an SMTP 250 survives a power cut — the spool replays undelivered mail, the MFS commit log replays acknowledged mailbox writes, and no accepted mail is lost or duplicated",
+		Run:   runCrashRecovery,
+	})
+}
+
+// stallingAgent wraps the local delivery agent with a budget: the first
+// `allow` commits go through, then every delivery fails as if the
+// mailbox disk stalled. That freezes a realistic mid-run state — some
+// mail committed to MFS (part of it still only in the write-ahead log),
+// the rest piling up in the spool — for the crash to hit.
+type stallingAgent struct {
+	inner queue.Deliverer
+	left  atomic.Int64
+}
+
+func (g *stallingAgent) Deliver(item *queue.Item) error {
+	if g.left.Add(-1) < 0 {
+		return fmt.Errorf("mailbox storage stalled")
+	}
+	return g.inner.Deliver(item)
+}
+
+// crashResult is one architecture's measurement.
+type crashResult struct {
+	accepted       int64
+	deliveredPre   int64 // mails committed to MFS before the crash
+	spoolAtCrash   int   // mails in spool lanes when the power went out
+	spoolRecovered int   // mails the restarted queue replayed
+	spoolTorn      int   // torn spool files dropped by the replay
+	walReplayed    int   // complete WAL records replayed on MFS reopen
+	walBytes       int64 // payload bytes restored from the log
+	refsFixed      int   // shared refcounts repaired by reconciliation
+	redelivered    int64 // post-crash commits of replayed spool mails
+	mailboxEntries int   // (mail, mailbox) pairs present after the drain
+	recoverMS      float64
+}
+
+// crashRun boots the full local pipeline — SMTP front end over loopback
+// TCP, synced spool, queue manager, local agent, MFS store in WAL mode,
+// all on one fault-injecting filesystem — and power-cuts it mid-run:
+//
+//  1. n mails arrive (every third to three recipients, taking the
+//     shared single-copy path). The delivery agent commits the first
+//     `allow` of them to MFS, then stalls; the rest accumulate in the
+//     deferred lane on disk.
+//  2. The power goes out: every byte not fsynced is dropped, the
+//     server is torn down, and the filesystem restarts from its
+//     durable image.
+//  3. The clock starts. A new MFS store replays its commit log and
+//     reconciles, a new queue manager replays the spool, and the
+//     stall is lifted; the clock stops when the queue drains.
+//
+// No accepted mail may be lost, and replayed spool mails whose commit
+// already survived in MFS must not duplicate (the agent redelivers
+// idempotently).
+func crashRun(arch smtpserver.Architecture, n, allow, users int) (crashResult, error) {
+	const domain = "dept.example.edu"
+	var res crashResult
+
+	fault := fsim.NewFault()
+	store, err := mailstore.NewMFS(fault, "mfs", mfs.WithSync(true))
+	if err != nil {
+		return res, err
+	}
+	db := access.NewDB(domain)
+	if err := access.Populate(db, domain, users); err != nil {
+		return res, err
+	}
+	gate := &stallingAgent{inner: delivery.NewAgent(db, store)}
+	gate.left.Store(int64(allow))
+	qm, err := queue.NewManager(queue.Config{
+		Deliverer:     gate,
+		Store:         spool.New(fault, "queue"),
+		ActiveLimit:   8,
+		MaxAttempts:   1 << 20, // the stall must defer, never bounce
+		RetryDelay:    50 * time.Millisecond,
+		MaxRetryDelay: 200 * time.Millisecond,
+		IntakeLimit:   n + 16,
+	})
+	if err != nil {
+		return res, err
+	}
+	srv, err := smtpserver.New(qm.Enqueue,
+		smtpserver.WithHostname("mx."+domain),
+		smtpserver.WithArchitecture(arch),
+		smtpserver.WithMaxWorkers(8),
+		smtpserver.WithIdleTimeout(5*time.Second),
+	)
+	if err != nil {
+		qm.Close()
+		return res, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		qm.Close()
+		return res, err
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }() //nolint:errcheck // exits on Close
+
+	// Inject n mails; every third fans out to three recipients.
+	body := []byte("Subject: crash drill\r\n\r\n" + strings.Repeat("payload ", 24) + "\r\n")
+	const senders = 4
+	var inject sync.WaitGroup
+	injectErr := make([]error, senders)
+	for g := 0; g < senders; g++ {
+		inject.Add(1)
+		go func(g int) {
+			defer inject.Done()
+			for i := g; i < n; i += senders {
+				rcpts := []string{fmt.Sprintf("user%04d@%s", i%users, domain)}
+				if i%3 == 0 {
+					rcpts = append(rcpts,
+						fmt.Sprintf("user%04d@%s", (i+1)%users, domain),
+						fmt.Sprintf("user%04d@%s", (i+2)%users, domain))
+				}
+				c, err := smtp.Dial(ln.Addr().String(), 2*time.Second)
+				if err != nil {
+					injectErr[g] = err
+					return
+				}
+				if err := c.Helo("relay.example.net"); err == nil {
+					sender := fmt.Sprintf("peer%d@remote.example", i)
+					if _, err := c.Send(sender, rcpts, body); err != nil {
+						injectErr[g] = err
+					}
+				}
+				_ = c.Quit()
+			}
+		}(g)
+	}
+	inject.Wait()
+	for _, err := range injectErr {
+		if err != nil {
+			srv.Close()
+			<-done
+			qm.Close()
+			return res, fmt.Errorf("inject: %w", err)
+		}
+	}
+
+	// Let the pipeline settle: the allowed commits land in MFS, the
+	// stalled remainder parks in the deferred lane on disk.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := qm.Stats()
+		if st.Delivered >= int64(allow) && st.InFlight == 0 && st.Pending == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			srv.Close()
+			<-done
+			qm.Close()
+			return res, fmt.Errorf("pipeline did not settle before the crash")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	res.accepted = qm.Stats().Enqueued
+	res.deliveredPre = qm.Stats().Delivered
+	res.spoolAtCrash = qm.LaneDepth(spool.LaneActive) +
+		qm.LaneDepth(spool.LaneDeferred) + qm.LaneDepth(spool.LaneHold)
+
+	// Power cut: drop everything unsynced, then tear the process down.
+	// The teardown's own writes fail — that is the point.
+	fault.Crash()
+	srv.Close()
+	<-done
+	_ = qm.Close()
+	_ = store.Close()
+	fault.Recover()
+
+	// Restart. The clock covers the full path back to a drained queue:
+	// MFS log replay + reconciliation, spool replay, and redelivery.
+	restart := time.Now()
+	store2, err := mailstore.NewMFS(fault, "mfs", mfs.WithSync(true))
+	if err != nil {
+		return res, fmt.Errorf("reopen mfs: %w", err)
+	}
+	rs := store2.Recovery()
+	res.walReplayed = rs.Replayed
+	res.walBytes = rs.ReplayedBytes
+	res.refsFixed = rs.RefsFixed
+
+	agent2 := delivery.NewAgent(db, store2)
+	qm2, err := queue.NewManager(queue.Config{
+		Deliverer:     agent2,
+		Store:         spool.New(fault, "queue"),
+		ActiveLimit:   8,
+		MaxAttempts:   1 << 20,
+		RetryDelay:    50 * time.Millisecond,
+		MaxRetryDelay: 200 * time.Millisecond,
+		IntakeLimit:   n + 16,
+	})
+	if err != nil {
+		store2.Close()
+		return res, fmt.Errorf("restart queue: %w", err)
+	}
+	if !qm2.WaitIdle(60 * time.Second) {
+		qm2.Close()
+		store2.Close()
+		return res, fmt.Errorf("queue did not drain after restart")
+	}
+	res.recoverMS = float64(time.Since(restart).Microseconds()) / 1000
+	qrs := qm2.RecoveryStats()
+	for _, lane := range spool.Lanes {
+		res.spoolRecovered += qrs.Recovered[lane]
+	}
+	res.spoolTorn = qrs.Torn
+	res.redelivered = agent2.Stats().Redelivered
+	if err := qm2.Close(); err != nil {
+		store2.Close()
+		return res, err
+	}
+
+	// Tally (mail, mailbox) pairs: every accepted mail must be present
+	// in each of its mailboxes exactly once.
+	for i := 0; i < users; i++ {
+		mb, err := store2.Store().Open(fmt.Sprintf("user%04d", i))
+		if err != nil {
+			store2.Close()
+			return res, err
+		}
+		res.mailboxEntries += mb.Len()
+	}
+	if err := store2.Close(); err != nil {
+		return res, err
+	}
+
+	// The invariant the experiment exists to demonstrate.
+	wantEntries := 0
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			wantEntries += 3
+		} else {
+			wantEntries++
+		}
+	}
+	if res.mailboxEntries != wantEntries {
+		return res, fmt.Errorf("crash-recovery %s: %d mailbox entries after recovery, want %d (lost or duplicated mail)",
+			arch, res.mailboxEntries, wantEntries)
+	}
+	return res, nil
+}
+
+func runCrashRecovery(w io.Writer, opts Options) (Metrics, error) {
+	const users = 32
+	n := opts.scale(400, 60)
+	allow := n / 3
+
+	t := metrics.NewTable("arch", "accepted", "pre-crash commits", "spool @ crash",
+		"spool replayed", "wal replayed", "redelivered", "entries", "recover ms")
+	m := Metrics{}
+	for _, arch := range []smtpserver.Architecture{smtpserver.Vanilla, smtpserver.Hybrid} {
+		r, err := crashRun(arch, n, allow, users)
+		if err != nil {
+			return nil, fmt.Errorf("crash-recovery %s: %w", arch, err)
+		}
+		t.AddRow(arch.String(), r.accepted, r.deliveredPre, r.spoolAtCrash,
+			r.spoolRecovered, r.walReplayed, r.redelivered, r.mailboxEntries, r.recoverMS)
+		key := arch.String()
+		m["accepted_"+key] = float64(r.accepted)
+		m["delivered_pre_"+key] = float64(r.deliveredPre)
+		m["spool_at_crash_"+key] = float64(r.spoolAtCrash)
+		m["spool_recovered_"+key] = float64(r.spoolRecovered)
+		m["spool_torn_"+key] = float64(r.spoolTorn)
+		m["wal_replayed_"+key] = float64(r.walReplayed)
+		m["wal_bytes_"+key] = float64(r.walBytes)
+		m["refs_fixed_"+key] = float64(r.refsFixed)
+		m["redelivered_"+key] = float64(r.redelivered)
+		m["mailbox_entries_"+key] = float64(r.mailboxEntries)
+		m["recover_ms_"+key] = r.recoverMS
+	}
+	fmt.Fprint(w, t.String())
+	fmt.Fprintf(w, "\na power cut mid-run loses nothing on either architecture: the restarted "+
+		"store replays %.0f commit-log records (%.0f bytes) to recover every pre-crash "+
+		"mailbox commit, the queue replays %.0f spooled mails and redelivers them "+
+		"idempotently, and the pipeline is fully drained %.1f ms after restart with "+
+		"every accepted mail present exactly once\n",
+		m["wal_replayed_hybrid"], m["wal_bytes_hybrid"],
+		m["spool_recovered_hybrid"], m["recover_ms_hybrid"])
+	return m, nil
+}

@@ -32,7 +32,7 @@ func init() {
 // N blocked deliverers share one append and one fsync per flush.
 func parallelDeliveryRun(workers, nMails, users, rcpts int) (thr, batch float64, err error) {
 	fs := fsim.NewMem(costmodel.Ext3)
-	store, err := mailstore.NewMFS(fs, "mfs", mfs.WithSyncedCommits())
+	store, err := mailstore.NewMFS(fs, "mfs", mfs.WithSync(true))
 	if err != nil {
 		return 0, 0, err
 	}

@@ -31,6 +31,7 @@ type Agent struct {
 	mails          *metrics.Counter
 	rcptDeliveries *metrics.Counter
 	droppedRcpts   *metrics.Counter
+	redelivered    *metrics.Counter
 	commitHist     *metrics.Histogram
 }
 
@@ -45,6 +46,10 @@ type Stats struct {
 	// DroppedRcpts counts recipients that no longer resolved at delivery
 	// time (e.g. removed between RCPT and delivery).
 	DroppedRcpts int64
+	// Redelivered counts mails committed on a retry attempt — deferrals
+	// and post-crash spool replays. MFS commits these idempotently, so
+	// a redelivery never duplicates a mailbox copy.
+	Redelivered int64
 }
 
 // AgentOption configures an Agent (see NewAgent).
@@ -79,6 +84,7 @@ func NewAgent(db *access.DB, store mailstore.Store, opts ...AgentOption) *Agent 
 	a.mails = a.reg.Counter("delivery_mails_total", "store", name)
 	a.rcptDeliveries = a.reg.Counter("delivery_rcpt_deliveries_total", "store", name)
 	a.droppedRcpts = a.reg.Counter("delivery_dropped_rcpts_total", "store", name)
+	a.redelivered = a.reg.Counter("delivery_redelivered_total", "store", name)
 	a.commitHist = a.reg.Histogram("delivery_commit_seconds", metrics.LatencyBounds(), "store", name)
 	return a
 }
@@ -131,6 +137,9 @@ func (a *Agent) Deliver(item *queue.Item) error {
 	a.mails.Inc()
 	a.rcptDeliveries.Add(int64(len(mailboxes)))
 	a.droppedRcpts.Add(dropped)
+	if item.Attempts > 0 {
+		a.redelivered.Inc()
+	}
 	return nil
 }
 
@@ -140,5 +149,6 @@ func (a *Agent) Stats() Stats {
 		Mails:          a.mails.Value(),
 		RcptDeliveries: a.rcptDeliveries.Value(),
 		DroppedRcpts:   a.droppedRcpts.Value(),
+		Redelivered:    a.redelivered.Value(),
 	}
 }

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"strings"
+
 	"sync"
+
+	"repro/internal/costmodel"
 )
 
 // ErrCrashed is returned by every operation on a Fault filesystem after
@@ -14,46 +16,125 @@ import (
 // nothing works until Recover.
 var ErrCrashed = errors.New("fsim: crashed")
 
-// Fault is an in-memory FS for crash-point enumeration tests. It models
-// the durability contract the spool and MFS layers are written against:
+// Fault is a crash-injection layer that wraps any FS and enforces the
+// package durability contract on it, so the spool and MFS crash tests
+// share one fault harness regardless of backend. Live data passes
+// through to the inner filesystem; Fault keeps the last-synced image of
+// every file and, on Recover after a crash, rewrites the inner files
+// back to those images:
 //
 //   - File data is volatile until Sync: a crash discards every byte
-//     written (Write or WriteAt) since the file's last Sync.
+//     written (Write, WriteAt, or Truncate) since the file's last Sync.
 //   - Namespace operations (create, link, remove) are journaled metadata
-//     and survive a crash as soon as they return — the ext3
+//     and by default survive a crash as soon as they return — the ext3
 //     ordered-journal model. A file created but never synced survives as
 //     a name whose content reverts to its last-synced bytes (empty for a
 //     fresh file), which is exactly the torn-record case recovery scans
-//     must tolerate.
+//     must tolerate. SetVolatileNamespace switches to a stricter model
+//     in which namespace operations are reverted unless a later Sync
+//     committed the metadata journal.
+//   - SetSyncLies makes Sync report success without making anything
+//     durable — the lying-disk-cache case; recovery code must stay
+//     consistent (though not lossless) even then.
 //
 // CrashAfter arms a countdown over mutating operations; when it reaches
 // zero the filesystem "crashes": the triggering operation and everything
-// after it fail with ErrCrashed. Recover reverts volatile data and
+// after it fail with ErrCrashed. Recover reverts volatile state and
 // brings the filesystem back, as if the process restarted on the same
 // disk. Enumerating CrashAfter(0..Steps()) therefore kills a scenario at
 // every distinct intermediate state.
 type Fault struct {
 	mu      sync.Mutex
+	inner   FS
 	nodes   map[string]*faultNode
 	steps   int64 // mutating ops performed (successfully)
 	armed   bool
 	left    int64 // ops remaining until crash when armed
 	crashed bool
+
+	syncLies   bool
+	volatileNS bool
+	nsLog      []nsUndo // uncommitted namespace ops (volatile-namespace mode)
 }
 
 var _ FS = (*Fault)(nil)
 
-// faultNode is one inode: data is the live view, durable the last-synced
-// image. Hardlinked names share the node.
+// faultNode is one inode's durability state: durable is the last-synced
+// image, links the number of names pointing at it. Hardlinked names
+// share the node; the live bytes themselves stay in the inner FS.
 type faultNode struct {
-	data    []byte
 	durable []byte
 	links   int
 }
 
-// NewFault returns an empty fault-injecting filesystem.
+// nsUndo is one journaled-but-uncommitted namespace operation, recorded
+// only in volatile-namespace mode so Recover can roll it back.
+type nsUndo struct {
+	op   byte // 'c' create, 'l' link, 'r' remove
+	name string
+	node *faultNode // the node 'r' removed a name from
+}
+
+// NewFault returns a fault-injecting filesystem over a fresh, empty,
+// zero-cost in-memory backend — the common crash-test configuration.
 func NewFault() *Fault {
-	return &Fault{nodes: make(map[string]*faultNode)}
+	return NewFaultOn(NewMem(costmodel.FSModel{}))
+}
+
+// NewFaultOn wraps an existing filesystem with the fault layer. Files
+// already present in inner are snapshotted as durable (each name as its
+// own inode — pre-existing hardlink structure is not recovered), so
+// wrapping a populated store treats its current state as the on-disk
+// image a crash rolls back to.
+func NewFaultOn(inner FS) *Fault {
+	f := &Fault{inner: inner, nodes: make(map[string]*faultNode)}
+	for _, name := range inner.List("") {
+		data, err := readFull(inner, name)
+		if err != nil {
+			continue
+		}
+		f.nodes[name] = &faultNode{durable: data, links: 1}
+	}
+	return f
+}
+
+// readFull loads a file's entire content from fs.
+func readFull(fs FS, name string) ([]byte, error) {
+	fl, err := fs.OpenRead(name)
+	if err != nil {
+		return nil, err
+	}
+	defer fl.Close()
+	size, err := fl.Size()
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, size)
+	if size > 0 {
+		if _, err := fl.ReadAt(data, 0); err != nil && err != io.EOF {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// SetSyncLies switches Sync between honest mode (the default) and lie
+// mode, where Sync reports success without making data durable or
+// committing the metadata journal — the misbehaving-write-cache model.
+func (f *Fault) SetSyncLies(lie bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncLies = lie
+}
+
+// SetVolatileNamespace switches namespace durability between the default
+// journaled model (create/link/remove survive a crash immediately) and
+// the volatile model, where namespace operations are rolled back by a
+// crash unless a later successful Sync committed the metadata journal.
+func (f *Fault) SetVolatileNamespace(volatile bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.volatileNS = volatile
 }
 
 // CrashAfter arms the crash countdown: the next n mutating operations
@@ -89,8 +170,9 @@ func (f *Fault) Steps() int {
 }
 
 // Recover restarts the filesystem after a crash: volatile (unsynced)
-// data is discarded, durable data and the namespace survive, and the
-// countdown is disarmed. It is a no-op on a live filesystem.
+// data is discarded, uncommitted namespace operations are rolled back in
+// volatile-namespace mode, and the countdown is disarmed. It is a no-op
+// on a live filesystem.
 func (f *Fault) Recover() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -98,15 +180,66 @@ func (f *Fault) Recover() {
 		f.armed = false
 		return
 	}
-	seen := make(map[*faultNode]bool, len(f.nodes))
-	for _, n := range f.nodes {
-		if !seen[n] {
-			seen[n] = true
-			n.data = append(n.data[:0], n.durable...)
+	// Roll back uncommitted namespace operations, newest first.
+	for i := len(f.nsLog) - 1; i >= 0; i-- {
+		u := f.nsLog[i]
+		switch u.op {
+		case 'c', 'l':
+			if n, ok := f.nodes[u.name]; ok {
+				n.links--
+				delete(f.nodes, u.name)
+				f.inner.Remove(u.name) //nolint:errcheck // rollback is best-effort
+			}
+		case 'r':
+			f.nodes[u.name] = u.node
+			u.node.links++
+			if !f.inner.Exists(u.name) {
+				if other := f.otherNameOf(u.node, u.name); other != "" {
+					f.inner.Link(other, u.name) //nolint:errcheck
+				} else if fl, err := f.inner.Create(u.name); err == nil {
+					fl.Close()
+				}
+			}
 		}
+	}
+	f.nsLog = nil
+	// Restore every surviving inode to its last-synced image. Create
+	// truncates the inode in place (links preserved), so one rewrite per
+	// node restores all of its names.
+	seen := make(map[*faultNode]bool, len(f.nodes))
+	names := make([]string, 0, len(f.nodes))
+	for name := range f.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := f.nodes[name]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		fl, err := f.inner.Create(name)
+		if err != nil {
+			continue
+		}
+		if len(n.durable) > 0 {
+			fl.Write(n.durable) //nolint:errcheck
+		}
+		fl.Close()
 	}
 	f.crashed = false
 	f.armed = false
+}
+
+// otherNameOf returns a name other than skip mapping to node, or "".
+// f.mu must be held.
+func (f *Fault) otherNameOf(node *faultNode, skip string) string {
+	for name, n := range f.nodes {
+		if n == node && name != skip && f.inner.Exists(name) {
+			return name
+		}
+	}
+	return ""
 }
 
 // step accounts one mutating operation against the countdown; it returns
@@ -137,9 +270,10 @@ func (f *Fault) checkLive() error {
 }
 
 type faultFile struct {
-	fs   *Fault
-	node *faultNode
-	name string
+	fs    *Fault
+	inner File
+	node  *faultNode
+	name  string
 }
 
 var _ File = (*faultFile)(nil)
@@ -150,14 +284,19 @@ func (f *Fault) Create(name string) (File, error) {
 	if err := f.step(); err != nil {
 		return nil, err
 	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
 	n, ok := f.nodes[name]
-	if ok {
-		n.data = n.data[:0]
-	} else {
+	if !ok {
 		n = &faultNode{links: 1}
 		f.nodes[name] = n
+		if f.volatileNS {
+			f.nsLog = append(f.nsLog, nsUndo{op: 'c', name: name})
+		}
 	}
-	return &faultFile{fs: f, node: n, name: name}, nil
+	return &faultFile{fs: f, inner: inner, node: n, name: name}, nil
 }
 
 func (f *Fault) OpenAppend(name string) (File, error) {
@@ -170,10 +309,17 @@ func (f *Fault) OpenAppend(name string) (File, error) {
 		}
 		n = &faultNode{links: 1}
 		f.nodes[name] = n
+		if f.volatileNS {
+			f.nsLog = append(f.nsLog, nsUndo{op: 'c', name: name})
+		}
 	} else if err := f.checkLive(); err != nil {
 		return nil, err
 	}
-	return &faultFile{fs: f, node: n, name: name}, nil
+	inner, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner, node: n, name: name}, nil
 }
 
 func (f *Fault) OpenRead(name string) (File, error) {
@@ -186,7 +332,11 @@ func (f *Fault) OpenRead(name string) (File, error) {
 	if !ok {
 		return nil, fmt.Errorf("fsim: open %s: %w", name, ErrNotExist)
 	}
-	return &faultFile{fs: f, node: n, name: name}, nil
+	inner, err := f.inner.OpenRead(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner, node: n, name: name}, nil
 }
 
 func (f *Fault) Link(oldname, newname string) error {
@@ -202,8 +352,14 @@ func (f *Fault) Link(oldname, newname string) error {
 	if _, taken := f.nodes[newname]; taken {
 		return fmt.Errorf("fsim: link %s: %w", newname, ErrExist)
 	}
+	if err := f.inner.Link(oldname, newname); err != nil {
+		return err
+	}
 	n.links++
 	f.nodes[newname] = n
+	if f.volatileNS {
+		f.nsLog = append(f.nsLog, nsUndo{op: 'l', name: newname})
+	}
 	return nil
 }
 
@@ -217,8 +373,14 @@ func (f *Fault) Remove(name string) error {
 	if !ok {
 		return fmt.Errorf("fsim: remove %s: %w", name, ErrNotExist)
 	}
+	if err := f.inner.Remove(name); err != nil {
+		return err
+	}
 	n.links--
 	delete(f.nodes, name)
+	if f.volatileNS {
+		f.nsLog = append(f.nsLog, nsUndo{op: 'r', name: name, node: n})
+	}
 	return nil
 }
 
@@ -238,11 +400,10 @@ func (f *Fault) Size(name string) (int64, error) {
 	if err := f.checkLive(); err != nil {
 		return 0, err
 	}
-	n, ok := f.nodes[name]
-	if !ok {
+	if _, ok := f.nodes[name]; !ok {
 		return 0, fmt.Errorf("fsim: size %s: %w", name, ErrNotExist)
 	}
-	return int64(len(n.data)), nil
+	return f.inner.Size(name)
 }
 
 func (f *Fault) List(prefix string) []string {
@@ -251,17 +412,10 @@ func (f *Fault) List(prefix string) []string {
 	if f.crashed {
 		return nil
 	}
-	var names []string
-	for name := range f.nodes {
-		if strings.HasPrefix(name, prefix) {
-			names = append(names, name)
-		}
-	}
-	sort.Strings(names)
-	return names
+	return f.inner.List(prefix)
 }
 
-func (ff *faultFile) Close() error { return nil }
+func (ff *faultFile) Close() error { return ff.inner.Close() }
 
 func (ff *faultFile) Write(p []byte) (int, error) {
 	ff.fs.mu.Lock()
@@ -269,8 +423,7 @@ func (ff *faultFile) Write(p []byte) (int, error) {
 	if err := ff.fs.step(); err != nil {
 		return 0, err
 	}
-	ff.node.data = append(ff.node.data, p...)
-	return len(p), nil
+	return ff.inner.Write(p)
 }
 
 func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
@@ -279,15 +432,7 @@ func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
 	if err := ff.fs.step(); err != nil {
 		return 0, err
 	}
-	if off < 0 {
-		return 0, fmt.Errorf("fsim: negative write offset %d", off)
-	}
-	end := off + int64(len(p))
-	if grow := end - int64(len(ff.node.data)); grow > 0 {
-		ff.node.data = append(ff.node.data, make([]byte, grow)...)
-	}
-	copy(ff.node.data[off:end], p)
-	return len(p), nil
+	return ff.inner.WriteAt(p, off)
 }
 
 func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
@@ -296,17 +441,7 @@ func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
 	if err := ff.fs.checkLive(); err != nil {
 		return 0, err
 	}
-	if off < 0 {
-		return 0, fmt.Errorf("fsim: negative read offset %d", off)
-	}
-	if off >= int64(len(ff.node.data)) {
-		return 0, io.EOF
-	}
-	n := copy(p, ff.node.data[off:])
-	if n < len(p) {
-		return n, io.EOF
-	}
-	return n, nil
+	return ff.inner.ReadAt(p, off)
 }
 
 func (ff *faultFile) Size() (int64, error) {
@@ -315,18 +450,43 @@ func (ff *faultFile) Size() (int64, error) {
 	if err := ff.fs.checkLive(); err != nil {
 		return 0, err
 	}
-	return int64(len(ff.node.data)), nil
+	return ff.inner.Size()
 }
 
-// Sync makes the file's current bytes durable: after this call a crash
-// no longer loses them.
+func (ff *faultFile) Truncate(size int64) error {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if err := ff.fs.step(); err != nil {
+		return err
+	}
+	return ff.inner.Truncate(size)
+}
+
+// Sync makes the file's current bytes durable and commits the metadata
+// journal (in volatile-namespace mode, every namespace operation so far
+// becomes durable with it). In lie mode it does neither, yet still
+// reports success.
 func (ff *faultFile) Sync() error {
 	ff.fs.mu.Lock()
 	defer ff.fs.mu.Unlock()
 	if err := ff.fs.step(); err != nil {
 		return err
 	}
-	ff.node.durable = append(ff.node.durable[:0], ff.node.data...)
+	if ff.fs.syncLies {
+		return nil
+	}
+	size, err := ff.inner.Size()
+	if err != nil {
+		return err
+	}
+	data := make([]byte, size)
+	if size > 0 {
+		if _, err := ff.inner.ReadAt(data, 0); err != nil && err != io.EOF {
+			return err
+		}
+	}
+	ff.node.durable = data
+	ff.fs.nsLog = nil
 	return nil
 }
 

@@ -3,6 +3,8 @@ package fsim
 import (
 	"errors"
 	"testing"
+
+	"repro/internal/costmodel"
 )
 
 func TestFaultUnsyncedDataLostOnCrash(t *testing.T) {
@@ -106,6 +108,135 @@ func TestFaultRecoverIsNoopWhenLive(t *testing.T) {
 	sz, err := fs.Size("a")
 	if err != nil || sz != 4 {
 		t.Fatalf("live recover clobbered data: size %d err %v", sz, err)
+	}
+}
+
+func TestFaultOnOSBackend(t *testing.T) {
+	// The wrapper enforces the same durability semantics over the real-file
+	// backend: unsynced bytes vanish, synced ones survive.
+	fs := NewFaultOn(NewOS(t.TempDir()))
+	f, err := fs.Create("box/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("kept")) //nolint:errcheck
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte(" torn")) //nolint:errcheck
+	fs.Crash()
+	fs.Recover()
+	g, err := fs.OpenRead("box/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, _ := g.ReadAt(buf, 0)
+	g.Close()
+	if string(buf[:n]) != "kept" {
+		t.Fatalf("post-crash content = %q, want %q", buf[:n], "kept")
+	}
+}
+
+func TestFaultOnSnapshotsExistingFiles(t *testing.T) {
+	// Wrapping a populated filesystem treats its current state as the
+	// durable on-disk image.
+	inner := NewMem(costmodel.FSModel{})
+	f, _ := inner.Create("seed")
+	f.Write([]byte("old")) //nolint:errcheck
+	fs := NewFaultOn(inner)
+	g, _ := fs.OpenAppend("seed")
+	g.Write([]byte(" new")) //nolint:errcheck
+	fs.Crash()
+	fs.Recover()
+	buf := make([]byte, 16)
+	h, err := fs.OpenRead("seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := h.ReadAt(buf, 0)
+	if string(buf[:n]) != "old" {
+		t.Fatalf("pre-wrap content after crash = %q, want %q", buf[:n], "old")
+	}
+}
+
+func TestFaultSyncLies(t *testing.T) {
+	fs := NewFault()
+	fs.SetSyncLies(true)
+	f, _ := fs.Create("a")
+	f.Write([]byte("promised")) //nolint:errcheck
+	if err := f.Sync(); err != nil {
+		t.Fatalf("lying sync must still report success: %v", err)
+	}
+	fs.Crash()
+	fs.Recover()
+	sz, err := fs.Size("a")
+	if err != nil || sz != 0 {
+		t.Fatalf("lied-about sync made data durable: size %d err %v", sz, err)
+	}
+}
+
+func TestFaultVolatileNamespace(t *testing.T) {
+	fs := NewFault()
+	fs.SetVolatileNamespace(true)
+	// Committed epoch: create a file and a link, then sync (journal commit).
+	f, _ := fs.Create("a")
+	f.Write([]byte("x")) //nolint:errcheck
+	f.Sync()             //nolint:errcheck
+	if err := fs.Link("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := fs.Create("commitpoint")
+	g.Sync() //nolint:errcheck
+	// Uncommitted epoch: a create, a link, and a remove with no Sync after.
+	fs.Create("torn") //nolint:errcheck
+	if err := fs.Link("a", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	fs.Recover()
+	if fs.Exists("torn") || fs.Exists("c") {
+		t.Fatal("uncommitted create/link survived a volatile-namespace crash")
+	}
+	if !fs.Exists("b") {
+		t.Fatal("uncommitted remove not rolled back")
+	}
+	h, err := fs.OpenRead("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, _ := h.ReadAt(buf, 0)
+	if string(buf[:n]) != "x" {
+		t.Fatalf("restored link content = %q, want %q", buf[:n], "x")
+	}
+}
+
+func TestFaultTruncateVolatileUntilSync(t *testing.T) {
+	fs := NewFault()
+	f, _ := fs.Create("a")
+	f.Write([]byte("longrecord")) //nolint:errcheck
+	f.Sync()                      //nolint:errcheck
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	fs.Recover()
+	sz, _ := fs.Size("a")
+	if sz != 10 {
+		t.Fatalf("unsynced truncate survived crash: size %d, want 10", sz)
+	}
+	// And once synced, the truncation is durable.
+	g, _ := fs.OpenAppend("a")
+	g.Truncate(4) //nolint:errcheck
+	g.Sync()      //nolint:errcheck
+	fs.Crash()
+	fs.Recover()
+	if sz, _ := fs.Size("a"); sz != 4 {
+		t.Fatalf("synced truncate lost: size %d, want 4", sz)
 	}
 }
 

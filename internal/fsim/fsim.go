@@ -14,6 +14,42 @@
 // The interface is deliberately small — create, append, read-at,
 // write-at, link, remove — because that is the entire op set mail stores
 // need (§6.1: mailbox access happens in units of mails).
+//
+// # Durability contract
+//
+// Every backend provides the same crash-durability semantics, which the
+// mail stores (internal/mfs, internal/spool) are written against and the
+// Fault wrapper enforces in crash tests:
+//
+//   - File data is volatile until Sync. A crash may discard any byte
+//     written (Write, WriteAt, or Truncate) since the file's last
+//     successful Sync; it never discards bytes a Sync has reported
+//     durable. Sync covers the file's entire current content, not just
+//     the bytes written through the syncing handle.
+//
+//   - Namespace operations — creating a name, Link, Remove — are
+//     metadata-journal operations. In the default (ext3 ordered-journal)
+//     model they are durable as soon as they return: a crash never
+//     un-links or re-links a name. A file created but never synced
+//     survives a crash as a name whose content reverts to its
+//     last-synced image (empty for a fresh file) — the torn-record case
+//     every recovery scan must tolerate. The Fault wrapper can be
+//     switched to a stricter volatile-namespace model in which namespace
+//     operations only become durable at the next successful Sync of any
+//     file (one journal commit flushes all pending metadata).
+//
+//   - Link is atomic: after a crash the new name either exists with the
+//     full content of its target or does not exist. There are no torn
+//     directory entries.
+//
+//   - Directory durability is subsumed by the two rules above: there is
+//     no separate directory-sync operation, and no ordering guarantee
+//     between data and namespace durability other than "Sync commits
+//     both".
+//
+// Code that needs a stronger guarantee (write A durable before name B
+// appears, etc.) must sequence Syncs explicitly; nothing in the
+// interface reorders on its behalf.
 package fsim
 
 import (
@@ -47,6 +83,10 @@ type File interface {
 	io.WriterAt
 	// Size returns the current file size.
 	Size() (int64, error)
+	// Truncate cuts (or zero-extends) the file to the given size. Like
+	// writes, the truncation is volatile until the next Sync. Recovery
+	// passes use it to discard torn tails left by a crash.
+	Truncate(size int64) error
 	// Sync flushes the file (a journal commit point for the Mem meter).
 	Sync() error
 	// Name returns the path the file was opened with.
@@ -103,6 +143,15 @@ func (f *osFile) ReadAt(p []byte, off int64) (int, error)  { return f.f.ReadAt(p
 func (f *osFile) WriteAt(p []byte, off int64) (int, error) { return f.f.WriteAt(p, off) }
 func (f *osFile) Sync() error                              { return f.f.Sync() }
 func (f *osFile) Name() string                             { return f.name }
+func (f *osFile) Truncate(size int64) error {
+	if err := f.f.Truncate(size); err != nil {
+		return err
+	}
+	// Restore the append-at-end invariant Write relies on (the handle
+	// emulates O_APPEND by seeking).
+	_, err := f.f.Seek(0, io.SeekEnd)
+	return err
+}
 func (f *osFile) Size() (int64, error) {
 	st, err := f.f.Stat()
 	if err != nil {
@@ -431,6 +480,20 @@ func (f *memFile) Size() (int64, error) {
 	f.node.mu.Lock()
 	defer f.node.mu.Unlock()
 	return int64(len(f.node.data)), nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	if size < 0 {
+		return fmt.Errorf("fsim: negative truncate size %d", size)
+	}
+	f.node.mu.Lock()
+	defer f.node.mu.Unlock()
+	if grow := size - int64(len(f.node.data)); grow > 0 {
+		f.node.data = append(f.node.data, make([]byte, grow)...)
+	} else {
+		f.node.data = f.node.data[:size]
+	}
+	return nil
 }
 
 // Sync charges the personality's journal-commit cost. The MFS group

@@ -447,7 +447,8 @@ type MFS struct {
 var _ Store = (*MFS)(nil)
 
 // NewMFS returns an MFS-backed store rooted at dir of fs. Options are
-// passed through to mfs.New (e.g. mfs.WithSyncedCommits).
+// passed through to mfs.New (e.g. mfs.WithSync(true) for the
+// write-ahead-logged durable mode).
 func NewMFS(fs fsim.FS, dir string, opts ...mfs.Option) (*MFS, error) {
 	s, err := mfs.New(fs, dir, opts...)
 	if err != nil {
@@ -460,6 +461,16 @@ func NewMFS(fs fsim.FS, dir string, opts ...mfs.Option) (*MFS, error) {
 // surface (commit statistics, shared-store compaction).
 func (m *MFS) Store() *mfs.Store { return m.store }
 
+// Recovery reports what the open-time recovery pass replayed and
+// repaired (zero value for a clean open).
+func (m *MFS) Recovery() mfs.RecoveryStats { return m.store.Recovery() }
+
+// Checkpoint writes a point-in-time copy of the live store under
+// destDir; see mfs.Store.Checkpoint.
+func (m *MFS) Checkpoint(destDir string) (mfs.CheckpointStats, error) {
+	return m.store.Checkpoint(destDir)
+}
+
 func (m *MFS) Name() string { return "mfs" }
 func (m *MFS) Close() error { return m.store.Close() }
 
@@ -471,13 +482,25 @@ func (m *MFS) Deliver(id string, recipients []string, body []byte) error {
 	if err := validateDelivery(id, recipients); err != nil {
 		return err
 	}
-	boxes := make([]*mfs.Mailbox, len(recipients))
-	for i, rcpt := range recipients {
+	boxes := make([]*mfs.Mailbox, 0, len(recipients))
+	for _, rcpt := range recipients {
 		mb, err := m.store.Open(rcpt)
 		if err != nil {
 			return err
 		}
-		boxes[i] = mb
+		// Idempotent redelivery: after a crash the queue replays spool
+		// files whose delivery was already acknowledged durable, so a
+		// recipient that holds the id was delivered — skip it rather
+		// than fail the whole mail with ErrDuplicate. (Mail-ids are
+		// server-generated, so an honest equal id is the same mail; a
+		// forged one still trips the NWrite collision check below.)
+		if mb.Contains(id) {
+			continue
+		}
+		boxes = append(boxes, mb)
+	}
+	if len(boxes) == 0 {
+		return nil
 	}
 	return m.store.NWrite(boxes, id, body)
 }

@@ -8,17 +8,51 @@ import (
 	"repro/internal/fsim"
 )
 
-// maxCommitBatch bounds how many shared-store appends one flush may
-// coalesce, keeping the per-flush buffers and caller latency bounded.
+// maxCommitBatch bounds how many commit requests one flush may coalesce,
+// keeping the per-flush buffers and caller latency bounded.
 const maxCommitBatch = 256
 
-// commitReq is one mail's shared-store append: the framed payload for
-// shmailbox.data and an (id, offset, ref) tuple for shmailbox.key. The
-// committer fills off/refPos/err and closes done.
+// segment is one prebuilt file mutation riding in a commit request: an
+// append ('A', off is the file end at enqueue time — the enqueuer holds
+// the lock serializing that file, so the end is stable until the flush)
+// or an in-place patch ('P').
+type segment struct {
+	kind byte
+	file fsim.File
+	path string
+	off  int64
+	buf  []byte
+}
+
+// pointerTarget names one mailbox key file that should receive an
+// (id, offset, SharedRef) pointer record for the request's shared append.
+// The offset is assigned at flush time, so the record bytes cannot be
+// prebuilt; refPos is filled in by the flush.
+type pointerTarget struct {
+	file   fsim.File
+	path   string
+	off    int64 // key-file end at enqueue time
+	refPos int64 // out: Ref-field position of the appended pointer record
+}
+
+// commitReq is one atomic MFS mutation submitted to the group committer.
+// In WAL mode the whole request — shared append, pointer records,
+// prebuilt segments — is covered by a single commit record, so it either
+// survives a crash in full or not at all.
 type commitReq struct {
+	// Shared-store append (id != ""): framed payload for shmailbox.data
+	// plus an (id, offset, ref) tuple for shmailbox.key. The committer
+	// assigns off/refPos at flush time.
 	id   string
 	body []byte
 	ref  int32
+
+	// Pointer records to fan out once the shared offset is known.
+	ptrs []pointerTarget
+
+	// Prebuilt appends and patches (box key/data appends, tombstones,
+	// in-place refcount patches) with enqueue-time offsets.
+	segs []segment
 
 	off    int64
 	refPos int64
@@ -26,40 +60,66 @@ type commitReq struct {
 	done   chan struct{}
 }
 
-// committer is the group-commit writer for the shared store. Concurrent
-// NWrite calls enqueue their payload and key records; a single committer
-// goroutine coalesces everything queued into one batched data write, one
-// batched key write, and (when durable sync is enabled) one Sync per
-// flush — the MFS analogue of journal group commit. Callers block only
-// until the flush carrying their record completes.
+// committer is the group-commit writer. Concurrent NWrite/Delete calls
+// enqueue requests; a single committer goroutine coalesces everything
+// queued into one batch. In the default volatile mode only shared-store
+// appends route through it and a batch is one data write plus one key
+// write. In WAL mode (WithSync) every mutation routes through it and a
+// batch is: one WAL record carrying every segment, one WAL Sync — the
+// sole ordering point — then the segment writes to the real files,
+// unsynced (the log makes them recoverable). Callers block only until
+// the flush carrying their request completes.
 //
 // The committer is the sole appender of the shared files, which also
 // makes the size-then-write append sequence atomic without a file lock.
+// Requests drain in channel FIFO order, and a request's enqueueing
+// caller holds the lock that serializes its target files (mailbox lock,
+// shard lock for refcount patches), so segment offsets computed at
+// enqueue time are valid at flush time and later patches to one position
+// are applied last.
 type committer struct {
-	// mu guards the file handles: the compaction and close paths swap or
-	// close them while holding it. The flush path holds it for the
-	// duration of one batch.
+	// mu guards the file handles and WAL state: the compaction, rotation,
+	// checkpoint, and close paths swap or quiesce them while holding it.
+	// The flush path holds it for the duration of one batch.
 	mu   sync.Mutex
 	key  fsim.File
 	data fsim.File
 
-	// syncOnCommit issues one Sync per flushed file per batch, making
-	// commits durable at group-commit cost (one journal commit amortized
-	// over the whole batch instead of one per mail).
+	// WAL mode state. wal is nil in volatile mode.
+	fs         fsim.FS
+	wal        fsim.File
+	walPath    string
+	keyPath    string
+	dataPath   string
+	walSeq     uint64
+	walSize    int64
+	rotateSize int64
+	dirty      map[string]bool // paths with WAL-covered unsynced writes
+
+	// syncOnCommit makes commits durable at group-commit cost: one WAL
+	// Sync amortized over the whole batch instead of one journal commit
+	// per mail (and, before the WAL, two Syncs per batch).
 	syncOnCommit bool
 
 	ch   chan *commitReq
 	done chan struct{}
 
-	batches atomic.Int64
-	mails   atomic.Int64
+	batches   atomic.Int64
+	mails     atomic.Int64
+	rotations atomic.Int64
 }
 
-func newCommitter(key, data fsim.File, syncOnCommit bool) *committer {
+func newCommitter(s *Store) *committer {
 	c := &committer{
-		key:          key,
-		data:         data,
-		syncOnCommit: syncOnCommit,
+		key:          s.shKey,
+		data:         s.shData,
+		fs:           s.fs,
+		keyPath:      s.path("shmailbox.key"),
+		dataPath:     s.path("shmailbox.data"),
+		walPath:      s.path("mfs.wal"),
+		rotateSize:   s.opts.walRotate,
+		syncOnCommit: s.opts.sync,
+		dirty:        make(map[string]bool),
 		ch:           make(chan *commitReq, maxCommitBatch),
 		done:         make(chan struct{}),
 	}
@@ -67,12 +127,47 @@ func newCommitter(key, data fsim.File, syncOnCommit bool) *committer {
 	return c
 }
 
-// append submits one record and blocks until its batch commits.
+// openWAL opens the log file handle. Called once from New (WAL mode)
+// after any replay truncated the previous log.
+func (c *committer) openWAL() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wal, err := c.fs.OpenAppend(c.walPath)
+	if err != nil {
+		return err
+	}
+	size, err := wal.Size()
+	if err != nil {
+		wal.Close()
+		return err
+	}
+	c.wal, c.walSize = wal, size
+	return nil
+}
+
+// append submits a plain shared-store append and blocks until its batch
+// commits (the volatile-mode writeShared path).
 func (c *committer) append(id string, body []byte, ref int32) (off, refPos int64, err error) {
 	req := &commitReq{id: id, body: body, ref: ref, done: make(chan struct{})}
 	c.ch <- req
 	<-req.done
 	return req.off, req.refPos, req.err
+}
+
+// submit enqueues req and blocks until its batch commits.
+func (c *committer) submit(req *commitReq) error {
+	req.done = make(chan struct{})
+	c.ch <- req
+	<-req.done
+	return req.err
+}
+
+// enqueue sends req without waiting. Callers that must preserve FIFO
+// order relative to a lock (refcount patches under a shard lock) enqueue
+// while holding it and wait on req.done after releasing it.
+func (c *committer) enqueue(req *commitReq) {
+	req.done = make(chan struct{})
+	c.ch <- req
 }
 
 // run drains the queue: each iteration takes one request, then greedily
@@ -119,8 +214,7 @@ func (c *committer) run() {
 	}
 }
 
-// flush writes one batch: all payload frames as one data append, all key
-// tuples as one key append, then at most one Sync per file.
+// flush writes one batch and wakes its requests.
 func (c *committer) flush(batch []*commitReq) {
 	c.mu.Lock()
 	err := c.flushLocked(batch)
@@ -140,34 +234,174 @@ func (c *committer) flushLocked(batch []*commitReq) error {
 	if err != nil {
 		return err
 	}
+	// Stage the shared-store appends and fan pointer records out now that
+	// offsets are known.
 	var dataBuf, keyBuf []byte
+	var ptrSegs []segment
 	for _, r := range batch {
-		r.off = dataBase + int64(len(dataBuf))
-		dataBuf = appendDataFrame(dataBuf, r.body)
-		keyBuf, err = appendKeyRecordBuf(keyBuf, keyRecord{
-			Type: recEntry, ID: r.id, Offset: r.off, Ref: r.ref,
-		})
+		if r.id != "" {
+			r.off = dataBase + int64(len(dataBuf))
+			dataBuf = appendDataFrame(dataBuf, r.body)
+			keyBuf, err = appendKeyRecordBuf(keyBuf, keyRecord{
+				Type: recEntry, ID: r.id, Offset: r.off, Ref: r.ref,
+			})
+			if err != nil {
+				return err
+			}
+			r.refPos = keyBase + int64(len(keyBuf)) - 4
+		}
+		for i := range r.ptrs {
+			p := &r.ptrs[i]
+			buf, err := appendKeyRecordBuf(nil, keyRecord{
+				Type: recEntry, ID: r.id, Offset: r.off, Ref: SharedRef,
+			})
+			if err != nil {
+				return err
+			}
+			p.refPos = p.off + int64(len(buf)) - 4
+			ptrSegs = append(ptrSegs, segment{kind: walSegApp, file: p.file, path: p.path, off: p.off, buf: buf})
+		}
+	}
+
+	if c.wal != nil {
+		// WAL mode: log every byte the batch writes, sync the log — the
+		// single ordering point — then apply unsynced.
+		segs := make([]walSeg, 0, 2+len(ptrSegs)+len(batch))
+		if len(dataBuf) > 0 {
+			segs = append(segs, walSeg{kind: walSegApp, path: c.dataPath, off: dataBase, buf: dataBuf})
+		}
+		if len(keyBuf) > 0 {
+			segs = append(segs, walSeg{kind: walSegApp, path: c.keyPath, off: keyBase, buf: keyBuf})
+		}
+		for _, r := range batch {
+			for _, s := range r.segs {
+				segs = append(segs, walSeg{kind: s.kind, path: s.path, off: s.off, buf: s.buf})
+			}
+		}
+		for _, s := range ptrSegs {
+			segs = append(segs, walSeg{kind: s.kind, path: s.path, off: s.off, buf: s.buf})
+		}
+		c.walSeq++
+		rec := appendWALRecord(make([]byte, 0, 64), c.walSeq, segs)
+		if _, err := c.wal.Write(rec); err != nil {
+			return err
+		}
+		if err := c.wal.Sync(); err != nil {
+			return err
+		}
+		c.walSize += int64(len(rec))
+	}
+
+	if len(dataBuf) > 0 {
+		if _, err := c.data.Write(dataBuf); err != nil {
+			return err
+		}
+		c.dirtyPath(c.dataPath)
+	}
+	if len(keyBuf) > 0 {
+		if _, err := c.key.Write(keyBuf); err != nil {
+			return err
+		}
+		c.dirtyPath(c.keyPath)
+	}
+	for _, r := range batch {
+		if err := applySegs(r.segs); err != nil {
+			return err
+		}
+		for _, s := range r.segs {
+			c.dirtyPath(s.path)
+		}
+	}
+	if err := applySegs(ptrSegs); err != nil {
+		return err
+	}
+	for _, s := range ptrSegs {
+		c.dirtyPath(s.path)
+	}
+	// The old protocol ended here with sync(data)+sync(key); the WAL Sync
+	// above subsumes both, so WAL mode pays one journal commit per batch
+	// and closes the key-without-data window the pair left open.
+	c.batches.Add(1)
+	c.mails.Add(int64(len(batch)))
+	if c.wal != nil && c.walSize >= c.rotateSize {
+		return c.rotateLocked()
+	}
+	return nil
+}
+
+// applySegs performs the staged writes through the enqueuers' handles.
+func applySegs(segs []segment) error {
+	for _, s := range segs {
+		var err error
+		if s.kind == walSegApp {
+			_, err = s.file.Write(s.buf)
+		} else {
+			_, err = s.file.WriteAt(s.buf, s.off)
+		}
 		if err != nil {
 			return err
 		}
-		r.refPos = keyBase + int64(len(keyBuf)) - 4
 	}
-	if _, err := c.data.Write(dataBuf); err != nil {
-		return err
+	return nil
+}
+
+func (c *committer) dirtyPath(path string) {
+	if c.wal != nil {
+		c.dirty[path] = true
 	}
-	if _, err := c.key.Write(keyBuf); err != nil {
-		return err
+}
+
+// markDirty records out-of-band rewrites (compaction) so the next
+// rotation syncs them before the log is truncated.
+func (c *committer) markDirty(paths ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.wal == nil {
+		return
 	}
-	if c.syncOnCommit {
-		if err := c.data.Sync(); err != nil {
+	for _, p := range paths {
+		c.dirty[p] = true
+	}
+}
+
+// rotate quiesces the committer and rotates the WAL.
+func (c *committer) rotate() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rotateLocked()
+}
+
+// rotateLocked makes every WAL-covered write durable and truncates the
+// log: Sync each dirty path through a fresh handle (Sync covers a file's
+// entire content, so handle identity does not matter), then truncate and
+// Sync the WAL itself. The order is the recovery invariant — never
+// truncate the WAL before syncing every file its records touch.
+func (c *committer) rotateLocked() error {
+	if c.wal == nil {
+		return nil
+	}
+	for path := range c.dirty {
+		f, err := c.fs.OpenAppend(path)
+		if err != nil {
 			return err
 		}
-		if err := c.key.Sync(); err != nil {
+		err = f.Sync()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			return err
 		}
 	}
-	c.batches.Add(1)
-	c.mails.Add(int64(len(batch)))
+	c.dirty = make(map[string]bool)
+	if err := c.wal.Truncate(0); err != nil {
+		return err
+	}
+	if err := c.wal.Sync(); err != nil {
+		return err
+	}
+	c.walSize = 0
+	c.rotations.Add(1)
 	return nil
 }
 
@@ -179,22 +413,41 @@ func (c *committer) setFiles(key, data fsim.File) {
 	c.mu.Unlock()
 }
 
-// close stops the committer goroutine. The caller must guarantee no
-// further append calls (it holds the store lock exclusively).
-func (c *committer) close() {
+// close stops the committer goroutine, then (WAL mode) performs a final
+// rotation so a clean shutdown leaves every file durable and the log
+// empty, and closes the log. The caller must guarantee no further
+// append calls (it holds the store lock exclusively).
+func (c *committer) close() error {
 	close(c.ch)
 	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.wal == nil {
+		return nil
+	}
+	err := c.rotateLocked()
+	if cerr := c.wal.Close(); err == nil {
+		err = cerr
+	}
+	c.wal = nil
+	return err
 }
 
-// CommitStats reports group-commit effectiveness: total flushed batches
-// and total mails carried by them. mails/batches is the mean batch size —
-// 1.0 when deliveries are serial, >1 when concurrent deliveries coalesce.
+// CommitStats reports group-commit effectiveness: total flushed batches,
+// total requests carried by them (mails/batches is the mean batch size —
+// 1.0 when deliveries are serial, >1 when concurrent deliveries
+// coalesce), and WAL rotations performed.
 type CommitStats struct {
-	Batches int64
-	Mails   int64
+	Batches   int64
+	Mails     int64
+	Rotations int64
 }
 
 // CommitStats returns the store's group-commit counters.
 func (s *Store) CommitStats() CommitStats {
-	return CommitStats{Batches: s.commit.batches.Load(), Mails: s.commit.mails.Load()}
+	return CommitStats{
+		Batches:   s.commit.batches.Load(),
+		Mails:     s.commit.mails.Load(),
+		Rotations: s.commit.rotations.Load(),
+	}
 }

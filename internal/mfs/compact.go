@@ -11,6 +11,8 @@ import (
 // preserved untouched (their payloads live in the shared store). Other
 // mailboxes remain fully available while one compacts.
 func (mb *Mailbox) Compact() error {
+	mb.store.maintMu.Lock()
+	defer mb.store.maintMu.Unlock()
 	mb.store.stateMu.RLock()
 	defer mb.store.stateMu.RUnlock()
 	if mb.store.closed {
@@ -70,6 +72,17 @@ func (mb *Mailbox) Compact() error {
 		}
 		lm.rec.refPos = refPos
 	}
+	if s.opts.sync {
+		// The rewrite bypassed the WAL, so outstanding log records no
+		// longer describe these files. Rotate: sync the rewritten files
+		// (and everything else dirty), then truncate the log. A crash
+		// before the rotation reverts to the pre-compaction files, which
+		// the old log records still describe — nothing is lost either way.
+		s.commit.markDirty(mb.keyPath, mb.dataPath)
+		if err := s.commit.rotate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -82,6 +95,8 @@ func (mb *Mailbox) Compact() error {
 // CompactShared holds the store lock exclusively: it is the stop-the-world
 // maintenance pass, and every delivery, read, and delete waits for it.
 func (s *Store) CompactShared() error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
 	if s.closed {
@@ -135,6 +150,7 @@ func (s *Store) CompactShared() error {
 	// Patch pointer offsets in every mailbox key file.
 	s.openMu.RLock()
 	defer s.openMu.RUnlock()
+	touched := []string{s.path("shmailbox.key"), s.path("shmailbox.data")}
 	for _, name := range s.fs.List(s.path("boxes/")) {
 		if !strings.HasSuffix(name, ".key") {
 			continue
@@ -144,9 +160,16 @@ func (s *Store) CompactShared() error {
 			if err := s.patchOpenMailbox(mb, newOffset); err != nil {
 				return err
 			}
-			continue
+		} else if err := s.patchClosedKeyFile(name, newOffset); err != nil {
+			return err
 		}
-		if err := s.patchClosedKeyFile(name, newOffset); err != nil {
+		touched = append(touched, name)
+	}
+	if s.opts.sync {
+		// Same rotation rationale as Mailbox.Compact: the rewrite bypassed
+		// the WAL, so make it durable and retire the stale log records.
+		s.commit.markDirty(touched...)
+		if err := s.commit.rotate(); err != nil {
 			return err
 		}
 	}

@@ -82,7 +82,7 @@ func TestConcurrentStress(t *testing.T) {
 			fs := fsim.NewMem(costmodel.FSModel{})
 			var opts []Option
 			if synced {
-				opts = append(opts, WithSyncedCommits())
+				opts = append(opts, WithSync(true))
 			}
 			s, err := New(fs, "mfs", opts...)
 			if err != nil {

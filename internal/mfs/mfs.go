@@ -17,16 +17,18 @@ import (
 //
 // Lock hierarchy (always acquired in this order, never the reverse):
 //
-//  1. Store.stateMu — RWMutex for open/close lifecycle. Every operation
+//  1. Store.maintMu — serializes whole-store maintenance (Compact,
+//     CompactShared, Checkpoint) against each other.
+//  2. Store.stateMu — RWMutex for open/close lifecycle. Every operation
 //     holds it shared; Close, Compact-shared, and other whole-store
 //     maintenance hold it exclusively, which quiesces all activity.
-//  2. Store.openMu — the open-mailbox handle map.
-//  3. Mailbox.mu — one per mailbox: key/data appends, cursor, in-memory
+//  3. Store.openMu — the open-mailbox handle map.
+//  4. Mailbox.mu — one per mailbox: key/data appends, cursor, in-memory
 //     index. NWrite locks its destination set in sorted name order.
-//  4. sharedIndex shard locks — 64-way, hash-by-mail-id.
-//  5. committer.mu — shared-store file handles; held per flush by the
-//     committer goroutine, which takes no other lock (so callers may
-//     block on a commit while holding any of the above).
+//  5. sharedIndex shard locks — 64-way, hash-by-mail-id.
+//  6. committer.mu — shared-store file handles and WAL state; held per
+//     flush by the committer goroutine, which takes no other lock (so
+//     callers may block on a commit while holding any of the above).
 type Store struct {
 	fs   fsim.FS
 	dir  string
@@ -40,31 +42,58 @@ type Store struct {
 	shKey   fsim.File
 	shData  fsim.File
 
+	// maintMu serializes maintenance passes; see the hierarchy above.
+	maintMu sync.Mutex
+
 	openMu sync.RWMutex
 	open   map[string]*Mailbox
 
 	// shared index: mail-id -> live shared record, sharded 64 ways.
 	shared *sharedIndex
 
-	// commit is the group-commit writer owning all shared-store appends.
+	// commit is the group-commit writer owning all shared-store appends
+	// (and, in WAL mode, every mutation).
 	commit *committer
+
+	// recovery records what the opening pass replayed and repaired.
+	recovery RecoveryStats
 }
 
 // options collects New's optional configuration.
 type options struct {
-	syncOnCommit bool
+	sync      bool
+	walRotate int64
 }
 
 // Option configures a Store at New time.
 type Option func(*options)
 
-// WithSyncedCommits makes every group commit end with one Sync of the
-// shared data and key files, so a batch of concurrent deliveries pays a
-// single journal commit instead of one per mail. Off by default: the
-// seed's durability story (and the cost calibration) treats the queue
-// spool as the durable copy until delivery completes.
-func WithSyncedCommits() Option {
-	return func(o *options) { o.syncOnCommit = true }
+// WithSync selects the store's durability mode, mirroring
+// spool.WithSync. When on, every mutation routes through the group
+// committer and each batch is stamped into a checksummed write-ahead-log
+// record whose single Sync is the commit point: a batch of concurrent
+// deliveries pays one journal commit instead of one per mail, and New
+// replays the log after a crash so no acknowledged mail is lost. Off by
+// default: the seed's durability story (and the cost calibration) treats
+// the queue spool as the durable copy until delivery completes.
+func WithSync(on bool) Option {
+	return func(o *options) { o.sync = on }
+}
+
+// WithSyncedCommits is the old name for WithSync(true).
+//
+// Deprecated: use WithSync(true); kept for one release.
+func WithSyncedCommits() Option { return WithSync(true) }
+
+// WithWALRotateSize sets the write-ahead-log size (bytes) that triggers
+// rotation — syncing every file the log touches and truncating it. Only
+// meaningful with WithSync(true); the default is 1 MiB.
+func WithWALRotateSize(n int64) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.walRotate = n
+		}
+	}
 }
 
 // Mail is one mail record read back from a mailbox.
@@ -73,8 +102,21 @@ type Mail struct {
 	Body []byte
 }
 
-// New opens (creating if necessary) an MFS store under dir in fs. The
-// shared mailbox's key file is scanned once to rebuild the shared index.
+// dirtyMarker is the store-open sentinel file: created (and synced) when
+// a store opens, removed on clean Close. Finding it at open time means
+// the previous process died with the store open, so New runs the full
+// refcount/pointer reconciliation pass instead of trusting the files.
+const dirtyMarker = "mfs.dirty"
+
+// New opens (creating if necessary) an MFS store under dir in fs.
+//
+// Opening is also the recovery point: if a write-ahead log is present
+// its complete records are replayed (and its torn tail discarded), and
+// if the previous open did not close cleanly the store is reconciled —
+// shared reference counts are recomputed from the surviving pointer
+// records, torn locals and orphaned pointers are tombstoned. The shared
+// mailbox's key file is then scanned once to rebuild the shared index.
+// Recovery() reports what this pass did.
 func New(fs fsim.FS, dir string, opts ...Option) (*Store, error) {
 	s := &Store{
 		fs:     fs,
@@ -82,8 +124,14 @@ func New(fs fsim.FS, dir string, opts ...Option) (*Store, error) {
 		shared: newSharedIndex(),
 		open:   make(map[string]*Mailbox),
 	}
+	s.opts.walRotate = walDefault
 	for _, opt := range opts {
 		opt(&s.opts)
+	}
+	if fs.Exists(s.path("mfs.wal")) {
+		if err := s.replayWAL(); err != nil {
+			return nil, fmt.Errorf("mfs: wal replay: %w", err)
+		}
 	}
 	var err error
 	if s.shKey, err = fs.OpenAppend(s.path("shmailbox.key")); err != nil {
@@ -111,9 +159,49 @@ func New(fs fsim.FS, dir string, opts ...Option) (*Store, error) {
 			s.shared.remove(r.ID)
 		}
 	}
-	s.commit = newCommitter(s.shKey, s.shData, s.opts.syncOnCommit)
+	if fs.Exists(s.path(dirtyMarker)) {
+		if err := s.reconcile(); err != nil {
+			s.shKey.Close()
+			s.shData.Close()
+			return nil, fmt.Errorf("mfs: reconcile: %w", err)
+		}
+	}
+	if err := s.writeDirtyMarker(); err != nil {
+		s.shKey.Close()
+		s.shData.Close()
+		return nil, err
+	}
+	s.commit = newCommitter(s)
+	if s.opts.sync {
+		if err := s.commit.openWAL(); err != nil {
+			s.commit.close() //nolint:errcheck
+			s.shKey.Close()
+			s.shData.Close()
+			return nil, fmt.Errorf("mfs: open wal: %w", err)
+		}
+	}
 	return s, nil
 }
+
+// writeDirtyMarker creates and syncs the open-store sentinel.
+func (s *Store) writeDirtyMarker() error {
+	f, err := s.fs.Create(s.path(dirtyMarker))
+	if err != nil {
+		return fmt.Errorf("mfs: dirty marker: %w", err)
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("mfs: dirty marker: %w", err)
+	}
+	return nil
+}
+
+// Recovery reports what the opening pass replayed and repaired; the zero
+// value means the store opened clean.
+func (s *Store) Recovery() RecoveryStats { return s.recovery }
 
 func (s *Store) path(name string) string {
 	if s.dir == "" {
@@ -122,7 +210,10 @@ func (s *Store) path(name string) string {
 	return s.dir + "/" + name
 }
 
-// Close closes the store and every mailbox opened through it.
+// Close closes the store and every mailbox opened through it. In WAL
+// mode the committer performs a final rotation (sync every dirty file,
+// truncate the log); the dirty marker is then removed, so the next New
+// sees a clean store and skips recovery.
 func (s *Store) Close() error {
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
@@ -130,19 +221,27 @@ func (s *Store) Close() error {
 		return ErrClosed
 	}
 	s.closed = true
-	s.commit.close()
+	err := s.commit.close()
 	s.openMu.Lock()
 	for _, mb := range s.open {
 		mb.mu.Lock()
-		mb.closeLocked()
+		mb.closeLocked() //nolint:errcheck
 		mb.mu.Unlock()
 	}
 	s.openMu.Unlock()
-	if err := s.shKey.Close(); err != nil {
-		s.shData.Close()
-		return err
+	if cerr := s.shKey.Close(); err == nil {
+		err = cerr
 	}
-	return s.shData.Close()
+	if cerr := s.shData.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		// Only a fully clean shutdown may declare the store consistent.
+		if rerr := s.fs.Remove(s.path(dirtyMarker)); rerr != nil && s.fs.Exists(s.path(dirtyMarker)) {
+			err = rerr
+		}
+	}
+	return err
 }
 
 // Mailbox is an open MFS mailbox: a key file, a data file, an in-memory
@@ -150,8 +249,10 @@ func (s *Store) Close() error {
 // mail_file of the paper's API. A Mailbox has its own lock, so operations
 // on different mailboxes proceed in parallel.
 type Mailbox struct {
-	store *Store
-	name  string
+	store    *Store
+	name     string
+	keyPath  string
+	dataPath string
 
 	// mu guards everything below plus appends to key/data.
 	mu   sync.Mutex
@@ -195,12 +296,18 @@ func (s *Store) Open(name string) (*Mailbox, error) {
 	if mb, ok := s.open[name]; ok {
 		return mb, nil
 	}
-	mb = &Mailbox{store: s, name: name, index: make(map[string]int)}
+	mb = &Mailbox{
+		store:    s,
+		name:     name,
+		keyPath:  s.path("boxes/" + name + ".key"),
+		dataPath: s.path("boxes/" + name + ".data"),
+		index:    make(map[string]int),
+	}
 	var err error
-	if mb.key, err = s.fs.OpenAppend(s.path("boxes/" + name + ".key")); err != nil {
+	if mb.key, err = s.fs.OpenAppend(mb.keyPath); err != nil {
 		return nil, fmt.Errorf("mfs: open mailbox %s: %w", name, err)
 	}
-	if mb.data, err = s.fs.OpenAppend(s.path("boxes/" + name + ".data")); err != nil {
+	if mb.data, err = s.fs.OpenAppend(mb.dataPath); err != nil {
 		mb.key.Close()
 		return nil, fmt.Errorf("mfs: open mailbox %s: %w", name, err)
 	}
@@ -439,6 +546,16 @@ func (mb *Mailbox) Delete(id string) error {
 		return fmt.Errorf("mfs: delete %q: %w", id, ErrNotFound)
 	}
 	rec := mb.entries[j]
+	if mb.store.opts.sync {
+		// WAL mode: the tombstone append and the shared refcount patch
+		// travel as one commit request, so the delete is atomic and
+		// durable when this returns.
+		if err := mb.store.deleteDurable(mb, id, rec); err != nil {
+			return err
+		}
+		mb.deleteAt(j)
+		return nil
+	}
 	if rec.Ref == SharedRef {
 		if err := mb.store.releaseShared(id); err != nil {
 			return err
@@ -449,6 +566,47 @@ func (mb *Mailbox) Delete(id string) error {
 	}
 	mb.deleteAt(j)
 	return nil
+}
+
+// deleteDurable commits a tombstone (and, for shared mails, the refcount
+// decrement) through the WAL. The request carrying a refcount patch is
+// enqueued while the shard lock is held: the committer drains in FIFO
+// order, so patches to one position land in the order their in-memory
+// counts were computed (last write wins correctly), and the committer
+// never takes shard locks, so enqueueing under one cannot deadlock.
+func (s *Store) deleteDurable(mb *Mailbox, id string, rec *keyRecord) error {
+	keyEnd, err := mb.key.Size()
+	if err != nil {
+		return err
+	}
+	tomb, err := appendKeyRecordBuf(nil, keyRecord{Type: recTombstone, ID: id})
+	if err != nil {
+		return err
+	}
+	req := &commitReq{segs: []segment{
+		{kind: walSegApp, file: mb.key, path: mb.keyPath, off: keyEnd, buf: tomb},
+	}}
+	if rec.Ref != SharedRef {
+		return s.commit.submit(req)
+	}
+	sh := s.shared.shard(id)
+	sh.mu.Lock()
+	if shr, ok := sh.m[id]; ok {
+		shr.Ref--
+		var patch [4]byte
+		putRef(patch[:], shr.Ref)
+		req.segs = append(req.segs, segment{
+			kind: walSegPat, file: s.shKey, path: s.path("shmailbox.key"),
+			off: shr.refPos, buf: patch[:],
+		})
+		if shr.Ref <= 0 {
+			delete(sh.m, id)
+		}
+	}
+	s.commit.enqueue(req)
+	sh.mu.Unlock()
+	<-req.done
+	return req.err
 }
 
 // releaseShared drops one reference to a shared record, persisting the
@@ -571,6 +729,9 @@ func (s *Store) NWrite(boxes []*Mailbox, id string, body []byte) error {
 		if s.shared.contains(id) {
 			return fmt.Errorf("mfs: NWrite %q: %w", id, ErrIDCollision)
 		}
+		if s.opts.sync {
+			return s.writeLocalDurable(mb, id, body)
+		}
 		off, err := appendDataRecord(mb.data, body)
 		if err != nil {
 			return err
@@ -584,6 +745,9 @@ func (s *Store) NWrite(boxes []*Mailbox, id string, body []byte) error {
 	}
 
 	// Multi-recipient: single copy in the shared store.
+	if s.opts.sync {
+		return s.writeSharedDurable(boxes, id, body)
+	}
 	off, err := s.writeShared(id, body, int32(len(boxes)))
 	if err != nil {
 		return err
@@ -598,6 +762,152 @@ func (s *Store) NWrite(boxes []*Mailbox, id string, body []byte) error {
 		mb.addEntry(rec)
 	}
 	return nil
+}
+
+// writeLocalDurable commits a single-recipient mail — data frame plus key
+// tuple — as one WAL-covered request. The mailbox lock (held by the
+// caller) keeps the enqueue-time file ends valid until the flush.
+func (s *Store) writeLocalDurable(mb *Mailbox, id string, body []byte) error {
+	dataEnd, err := mb.data.Size()
+	if err != nil {
+		return err
+	}
+	keyEnd, err := mb.key.Size()
+	if err != nil {
+		return err
+	}
+	rec := keyRecord{Type: recEntry, ID: id, Offset: dataEnd, Ref: 1}
+	kbuf, err := appendKeyRecordBuf(nil, rec)
+	if err != nil {
+		return err
+	}
+	req := &commitReq{segs: []segment{
+		{kind: walSegApp, file: mb.data, path: mb.dataPath, off: dataEnd,
+			buf: appendDataFrame(make([]byte, 0, 4+len(body)), body)},
+		{kind: walSegApp, file: mb.key, path: mb.keyPath, off: keyEnd, buf: kbuf},
+	}}
+	if err := s.commit.submit(req); err != nil {
+		return err
+	}
+	rec.refPos = keyEnd + int64(len(kbuf)) - 4
+	mb.addEntry(rec)
+	return nil
+}
+
+// writeSharedDurable commits a multi-recipient mail as one WAL-covered
+// request: the shared copy, its key tuple, and every destination's
+// pointer record become durable together or not at all. The dedup path
+// (§6.2) patches the existing record's refcount and appends only the
+// pointer records, again as one request.
+func (s *Store) writeSharedDurable(boxes []*Mailbox, id string, body []byte) error {
+	sh := s.shared.shard(id)
+	for {
+		sh.mu.Lock()
+		rec, exists := sh.m[id]
+		if !exists {
+			rec = &sharedRec{
+				keyRecord: keyRecord{Type: recEntry, ID: id, Ref: int32(len(boxes))},
+				ready:     make(chan struct{}),
+			}
+			sh.m[id] = rec
+			sh.mu.Unlock()
+			req := &commitReq{id: id, body: body, ref: int32(len(boxes))}
+			for _, mb := range boxes {
+				keyEnd, err := mb.key.Size()
+				if err != nil {
+					return s.abandonReservation(sh, id, rec, err)
+				}
+				req.ptrs = append(req.ptrs, pointerTarget{file: mb.key, path: mb.keyPath, off: keyEnd})
+			}
+			if err := s.commit.submit(req); err != nil {
+				return s.abandonReservation(sh, id, rec, err)
+			}
+			rec.Offset, rec.refPos = req.off, req.refPos
+			close(rec.ready)
+			for i, mb := range boxes {
+				mb.addEntry(keyRecord{
+					Type: recEntry, ID: id, Offset: req.off, Ref: SharedRef,
+					refPos: req.ptrs[i].refPos,
+				})
+			}
+			return nil
+		}
+		sh.mu.Unlock()
+		<-rec.ready
+		if rec.err != nil {
+			continue // the owner failed and removed the reservation; retry
+		}
+		sh.mu.Lock()
+		if cur, ok := sh.m[id]; !ok || cur != rec {
+			sh.mu.Unlock()
+			continue // record died or was replaced; start over
+		}
+		// Dedup path: verify the payload length (the cheap §6.4 collision
+		// check), then commit refcount patch + pointer records together.
+		// Enqueued under the shard lock so refcount patches stay in
+		// compute order (see deleteDurable).
+		n, err := dataRecordLen(s.shData, rec.Offset)
+		if err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		if n != len(body) {
+			sh.mu.Unlock()
+			return fmt.Errorf("mfs: NWrite %q: stored %dB vs offered %dB: %w",
+				id, n, len(body), ErrIDCollision)
+		}
+		rec.Ref += int32(len(boxes))
+		var patch [4]byte
+		putRef(patch[:], rec.Ref)
+		req := &commitReq{segs: []segment{{
+			kind: walSegPat, file: s.shKey, path: s.path("shmailbox.key"),
+			off: rec.refPos, buf: patch[:],
+		}}}
+		off := rec.Offset
+		ptrRefPos := make([]int64, len(boxes))
+		ok := true
+		for i, mb := range boxes {
+			keyEnd, serr := mb.key.Size()
+			if serr != nil {
+				err, ok = serr, false
+				break
+			}
+			pbuf, serr := appendKeyRecordBuf(nil, keyRecord{Type: recEntry, ID: id, Offset: off, Ref: SharedRef})
+			if serr != nil {
+				err, ok = serr, false
+				break
+			}
+			ptrRefPos[i] = keyEnd + int64(len(pbuf)) - 4
+			req.segs = append(req.segs, segment{kind: walSegApp, file: mb.key, path: mb.keyPath, off: keyEnd, buf: pbuf})
+		}
+		if !ok {
+			rec.Ref -= int32(len(boxes))
+			sh.mu.Unlock()
+			return err
+		}
+		s.commit.enqueue(req)
+		sh.mu.Unlock()
+		<-req.done
+		if req.err != nil {
+			return req.err
+		}
+		for i, mb := range boxes {
+			mb.addEntry(keyRecord{
+				Type: recEntry, ID: id, Offset: off, Ref: SharedRef, refPos: ptrRefPos[i],
+			})
+		}
+		return nil
+	}
+}
+
+// abandonReservation unwinds a failed owner commit so waiters retry.
+func (s *Store) abandonReservation(sh *indexShard, id string, rec *sharedRec, err error) error {
+	rec.err = err
+	sh.mu.Lock()
+	delete(sh.m, id)
+	sh.mu.Unlock()
+	close(rec.ready)
+	return err
 }
 
 // writeShared stores one copy of body under id with the given reference

@@ -1,0 +1,271 @@
+package mfs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fsim"
+)
+
+// RecoveryStats reports what New's recovery pass found and repaired.
+// The zero value means the store opened clean (no log to replay, clean
+// shutdown marker state).
+type RecoveryStats struct {
+	Replayed        int   // complete WAL records replayed
+	ReplayedBytes   int64 // payload bytes rewritten from the log
+	DiscardedTail   int64 // torn WAL bytes discarded after the last complete record
+	Reconciled      bool  // the full refcount/pointer reconciliation ran
+	RefsFixed       int   // shared refcounts rewritten to match pointer tallies
+	PointersDropped int   // pointer records tombstoned (their shared copy is gone)
+	TornDropped     int   // local records tombstoned (their payload is unreadable)
+	SharedDropped   int   // shared records tombstoned (no pointer references them)
+}
+
+// replayWAL rewrites every mutation recorded by complete WAL records —
+// the batches whose single commit Sync succeeded before the crash — and
+// discards the torn tail. Append segments also truncate their file to
+// the log's high-water mark, cutting any torn bytes a partial page flush
+// may have left beyond the last committed batch. Once every touched file
+// is synced the log itself is truncated, restoring the invariant that
+// the WAL never promises more than the files deliver.
+func (s *Store) replayWAL() error {
+	walPath := s.path("mfs.wal")
+	wf, err := s.fs.OpenRead(walPath)
+	if err != nil {
+		return err
+	}
+	data, err := readAll(wf)
+	wf.Close()
+	if err != nil {
+		return err
+	}
+	records := parseWAL(data)
+	replayedLen := 0
+	files := make(map[string]fsim.File)
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	openFile := func(path string) (fsim.File, error) {
+		if f, ok := files[path]; ok {
+			return f, nil
+		}
+		f, err := s.fs.OpenAppend(path)
+		if err != nil {
+			return nil, err
+		}
+		files[path] = f
+		return f, nil
+	}
+	maxEnd := make(map[string]int64)
+	for _, segs := range records {
+		for _, seg := range segs {
+			f, err := openFile(seg.path)
+			if err != nil {
+				return err
+			}
+			if _, err := f.WriteAt(seg.buf, seg.off); err != nil {
+				return err
+			}
+			if seg.kind == walSegApp {
+				if end := seg.off + int64(len(seg.buf)); end > maxEnd[seg.path] {
+					maxEnd[seg.path] = end
+				}
+			}
+			s.recovery.ReplayedBytes += int64(len(seg.buf))
+		}
+		s.recovery.Replayed++
+		replayedLen += walRecordLen(segs)
+	}
+	for path, end := range maxEnd {
+		f := files[path]
+		size, err := f.Size()
+		if err != nil {
+			return err
+		}
+		if size > end {
+			if err := f.Truncate(end); err != nil {
+				return err
+			}
+		}
+	}
+	for _, f := range files {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	s.recovery.DiscardedTail = int64(len(data)) - walRecordsLen(records)
+	// Every promise the log made is now durable in the files; retire it.
+	wt, err := s.fs.Create(walPath)
+	if err != nil {
+		return err
+	}
+	err = wt.Sync()
+	if cerr := wt.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// walRecordLen returns the serialized size of one record.
+func walRecordLen(segs []walSeg) int {
+	n := 1 + 8 + 4 + 4 // magic + seq + nsegs + crc
+	for _, s := range segs {
+		n += 1 + 2 + len(s.path) + 8 + 4 + len(s.buf)
+	}
+	return n
+}
+
+// walRecordsLen sums the serialized sizes of the parsed records.
+func walRecordsLen(records [][]walSeg) int64 {
+	var n int64
+	for _, segs := range records {
+		n += int64(walRecordLen(segs))
+	}
+	return n
+}
+
+// reconcile restores the cross-file invariants after an unclean
+// shutdown: every shared record's reference count must equal the number
+// of pointer records naming it across all mailbox key files, every
+// local record's payload must be readable, and no pointer may name a
+// shared record that does not exist. Violations are repaired in the
+// direction that loses nothing acknowledged: counts are rewritten to
+// the pointer tally, and records whose payload is gone are tombstoned.
+//
+// The pass runs before the store serves traffic (New, no mailboxes
+// open), so it owns every file it touches. It is O(total key records) —
+// gated by the dirty marker so clean opens never pay it.
+func (s *Store) reconcile() error {
+	s.recovery.Reconciled = true
+	tally := make(map[string]int)
+	for _, name := range s.fs.List(s.path("boxes/")) {
+		if !strings.HasSuffix(name, ".key") {
+			continue
+		}
+		if err := s.reconcileBox(name, tally); err != nil {
+			return err
+		}
+	}
+	// Repair shared refcounts against the pointer tally.
+	for _, rec := range s.shared.snapshot() {
+		n := tally[rec.ID]
+		switch {
+		case n == 0:
+			if _, err := appendKeyRecord(s.shKey, keyRecord{Type: recTombstone, ID: rec.ID}); err != nil {
+				return err
+			}
+			s.shared.remove(rec.ID)
+			s.recovery.SharedDropped++
+		case int32(n) != rec.Ref:
+			if err := updateRef(s.shKey, rec.refPos, int32(n)); err != nil {
+				return err
+			}
+			rec.Ref = int32(n)
+			s.recovery.RefsFixed++
+		}
+	}
+	if s.recovery.RefsFixed > 0 || s.recovery.SharedDropped > 0 {
+		if err := s.shKey.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reconcileBox scans one mailbox key file, tombstones records whose
+// payload cannot be resolved, and tallies surviving shared pointers.
+func (s *Store) reconcileBox(keyPath string, tally map[string]int) error {
+	kf, err := s.fs.OpenAppend(keyPath)
+	if err != nil {
+		return err
+	}
+	defer kf.Close()
+	recs, err := readKeyRecords(kf)
+	if err != nil {
+		// A corrupt key file would fail every future Open of this box;
+		// reconcile is the one place allowed to give up on its records.
+		return fmt.Errorf("mfs: reconcile %s: %w", keyPath, err)
+	}
+	live := make(map[string]keyRecord)
+	order := make([]string, 0, len(recs))
+	for _, r := range recs {
+		if r.Type == recTombstone {
+			delete(live, r.ID)
+			continue
+		}
+		if _, ok := live[r.ID]; !ok {
+			order = append(order, r.ID)
+		}
+		live[r.ID] = r
+	}
+	dataPath := strings.TrimSuffix(keyPath, ".key") + ".data"
+	dataSize := int64(0)
+	if s.fs.Exists(dataPath) {
+		if dataSize, err = s.fs.Size(dataPath); err != nil {
+			return err
+		}
+	}
+	var df fsim.File
+	dropped := 0
+	for _, id := range order {
+		r, ok := live[id]
+		if !ok {
+			continue
+		}
+		if r.Ref == SharedRef {
+			shr, ok := s.shared.lookup(r.ID)
+			if !ok {
+				// Orphan pointer: its shared copy never committed or is
+				// gone. Tombstone it — the mail was never acknowledged
+				// with this destination durable.
+				if _, err := appendKeyRecord(kf, keyRecord{Type: recTombstone, ID: r.ID}); err != nil {
+					return err
+				}
+				s.recovery.PointersDropped++
+				dropped++
+				continue
+			}
+			if shr.Offset != r.Offset {
+				// Stale pointer (an interrupted shared compaction): point
+				// it at the record's current home. The offset field sits 8
+				// bytes before the Ref field.
+				var ob [8]byte
+				putOffset(ob[:], shr.Offset)
+				if _, err := kf.WriteAt(ob[:], r.refPos-8); err != nil {
+					return err
+				}
+				dropped++ // force a sync of this key file below
+			}
+			tally[r.ID]++
+			continue
+		}
+		// Local record: the payload frame must be fully inside the data
+		// file.
+		bad := r.Offset+4 > dataSize
+		if !bad {
+			if df == nil {
+				if df, err = s.fs.OpenRead(dataPath); err != nil {
+					return err
+				}
+				defer df.Close()
+			}
+			n, lerr := dataRecordLen(df, r.Offset)
+			bad = lerr != nil || r.Offset+4+int64(n) > dataSize
+		}
+		if bad {
+			if _, err := appendKeyRecord(kf, keyRecord{Type: recTombstone, ID: r.ID}); err != nil {
+				return err
+			}
+			s.recovery.TornDropped++
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		if err := kf.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

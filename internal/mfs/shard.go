@@ -55,6 +55,16 @@ func (idx *sharedIndex) shard(id string) *indexShard {
 	return &idx.shards[h%shardCount]
 }
 
+// lookup returns the live record for id, if any (open-time recovery
+// only: the record is not checked for commit completion).
+func (idx *sharedIndex) lookup(id string) (*sharedRec, bool) {
+	sh := idx.shard(id)
+	sh.mu.Lock()
+	r, ok := sh.m[id]
+	sh.mu.Unlock()
+	return r, ok
+}
+
 // contains reports whether id has a live shared record.
 func (idx *sharedIndex) contains(id string) bool {
 	sh := idx.shard(id)

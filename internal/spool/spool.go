@@ -89,17 +89,39 @@ type RecoveryStats struct {
 // caller (the queue manager, which owns each in-flight item) must
 // serialize operations on one id.
 type Store struct {
-	fs  fsim.FS
-	dir string
+	fs   fsim.FS
+	dir  string
+	opts options
 }
+
+// options collects the knobs behind the functional Option surface; the
+// same shape (and option names) as internal/mfs, so the two storage
+// constructors read identically.
+type options struct {
+	sync bool
+}
+
+// Option configures a Store at construction.
+type Option func(*options)
+
+// WithSync controls whether Append syncs each spooled mail before
+// acknowledging it. The spool defaults to synced (it is the durability
+// backstop the SMTP 250 rests on); WithSync(false) trades that for
+// throughput in experiments and tests that crash via fsim faults
+// anyway. Mirrors mfs.WithSync.
+func WithSync(on bool) Option { return func(o *options) { o.sync = on } }
 
 // New returns a spool rooted at dir (e.g. "queue") on fs. The directory
 // need not exist; lanes are created on first use.
-func New(fs fsim.FS, dir string) *Store {
+func New(fs fsim.FS, dir string, opts ...Option) *Store {
 	if dir == "" {
 		dir = "queue"
 	}
-	return &Store{fs: fs, dir: dir}
+	o := options{sync: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Store{fs: fs, dir: dir, opts: o}
 }
 
 func (s *Store) path(lane Lane, id string) string {
@@ -236,8 +258,8 @@ func (r *reader) str() (string, error) {
 	return s, nil
 }
 
-// writeMail writes envelope + body frames into lane and syncs; the mail
-// is durable when it returns.
+// writeMail writes envelope + body frames into lane and (unless
+// WithSync(false)) syncs; the mail is durable when it returns.
 func (s *Store) writeMail(lane Lane, env Envelope, body []byte) error {
 	payload, err := encodeEnvelope(env)
 	if err != nil {
@@ -259,8 +281,10 @@ func (s *Store) writeMail(lane Lane, env Envelope, body []byte) error {
 	if _, err := f.Write(buf); err != nil {
 		return fmt.Errorf("spool: %s: %w", env.ID, err)
 	}
-	if err := f.Sync(); err != nil {
-		return fmt.Errorf("spool: %s: %w", env.ID, err)
+	if s.opts.sync {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("spool: %s: %w", env.ID, err)
+		}
 	}
 	return nil
 }
