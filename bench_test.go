@@ -184,6 +184,17 @@ func BenchmarkOutboundOutage(b *testing.B) {
 	})
 }
 
+// --- Director tier scale-out ---
+
+func BenchmarkDirectorScaleout(b *testing.B) {
+	benchExperiment(b, "director-scaleout", map[string]string{
+		"accept_rate_gossip": "accept-rate",
+		"cache_hit_lift":     "cache-hit-lift",
+		"handoff_p99_ms":     "handoff-p99-ms",
+		"lost_gossip":        "lost-mails",
+	})
+}
+
 // --- Ablations ---
 
 func BenchmarkAblationTrustPoint(b *testing.B) {
@@ -596,7 +607,7 @@ func BenchmarkSpoolAppend(b *testing.B) {
 func BenchmarkQueueThroughput(b *testing.B) {
 	qm, err := queue.NewManager(queue.Config{
 		Deliverer:   queue.DelivererFunc(func(item *queue.Item) error { return nil }),
-		Spool:       fsim.NewMem(costmodel.FSModel{}),
+		Store:       spool.New(fsim.NewMem(costmodel.FSModel{}), ""),
 		ActiveLimit: 8,
 		IntakeLimit: b.N + 16,
 	})

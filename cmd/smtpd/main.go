@@ -237,26 +237,26 @@ func main() {
 	}
 	var pol *policy.ServerPolicy
 	if *policyOn {
-		pcfg := policy.Config{Reputation: &policy.ReputationConfig{}}
+		pOpts := []policy.Option{policy.WithReputation(policy.ReputationConfig{})}
 		if *connRate > 0 {
-			pcfg.Rate = &policy.RateConfig{
+			pOpts = append(pOpts, policy.WithRate(policy.RateConfig{
 				ConnPerSec: *connRate,
 				ConnBurst:  5 * *connRate,
-			}
+			}))
 		}
 		if *greyRetry > 0 {
-			pcfg.Greylist = &policy.GreyConfig{MinRetry: *greyRetry}
+			pOpts = append(pOpts, policy.WithGreylist(policy.GreyConfig{MinRetry: *greyRetry}))
 		}
 		var scorer *policy.Scorer
 		if dnsblClient != nil {
-			pcfg.DNSBLReject = 1
-			scorer = policy.NewScorer(policy.ScorerConfig{
-				Lists:     []policy.List{{Name: *dnsblZone, Resolver: dnsblClient, Weight: 1}},
-				Threshold: 1,
-				Registry:  reg,
-			})
+			pOpts = append(pOpts, policy.WithDNSBLReject(1))
+			scorer = policy.NewScorer(
+				policy.WithLists(policy.List{Name: *dnsblZone, Resolver: dnsblClient, Weight: 1}),
+				policy.WithThreshold(1),
+				policy.WithScorerRegistry(reg),
+			)
 		}
-		pol = policy.NewServerPolicy(policy.NewEngine(pcfg), scorer,
+		pol = policy.NewServerPolicy(policy.New(pOpts...), scorer,
 			policy.WithRegistry(reg), policy.WithEventLog(events))
 		srvOpts = append(srvOpts, smtpserver.WithPolicy(pol))
 	} else if dnsblClient != nil {

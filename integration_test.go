@@ -24,6 +24,7 @@ import (
 	"repro/internal/queue"
 	"repro/internal/smtp"
 	"repro/internal/smtpserver"
+	"repro/internal/spool"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -66,7 +67,7 @@ func startStack(t *testing.T, arch smtpserver.Architecture, storeName string, op
 	s.agent = delivery.NewAgent(s.db, s.store)
 	s.qm, err = queue.NewManager(queue.Config{
 		Deliverer:   s.agent,
-		Spool:       s.fs,
+		Store:       spool.New(s.fs, ""),
 		ActiveLimit: 8,
 		IntakeLimit: 8192,
 	})

@@ -467,3 +467,39 @@ func TestCrashRecoveryShape(t *testing.T) {
 		}
 	}
 }
+
+func TestDirectorScaleoutShape(t *testing.T) {
+	m := quick(t, "director-scaleout")
+	// The acceptance criterion: a shard dying mid-storm must not lose a
+	// single acknowledged mail, gossip or no gossip.
+	if m["lost_solo"] != 0 || m["lost_gossip"] != 0 {
+		t.Fatalf("acked mail lost: solo=%v gossip=%v", m["lost_solo"], m["lost_gossip"])
+	}
+	// The kill must actually have been survived via ring failover.
+	if m["forward_retries"] <= 0 {
+		t.Errorf("forward_retries = %v, want > 0 (shard death never exercised)", m["forward_retries"])
+	}
+	// Gossip must buy a measurable DNSBL cache-hit lift: verdicts paid
+	// for on one front end serve the other.
+	if m["cache_hit_lift"] <= 0 {
+		t.Errorf("cache_hit_lift = %v, want > 0", m["cache_hit_lift"])
+	}
+	if m["peer_hits_gossip"] <= 0 {
+		t.Errorf("peer_hits_gossip = %v, want > 0", m["peer_hits_gossip"])
+	}
+	// Fewer upstream DNSBL queries with replication than without.
+	if m["upstream_gossip"] >= m["upstream_solo"] {
+		t.Errorf("upstream queries: gossip %v >= solo %v", m["upstream_gossip"], m["upstream_solo"])
+	}
+	// Shared greylist passes mean fewer cross-node re-greylistings and
+	// at least as good an aggregate accept rate.
+	if m["greylisted_gossip"] >= m["greylisted_solo"] {
+		t.Errorf("greylisted: gossip %v >= solo %v", m["greylisted_gossip"], m["greylisted_solo"])
+	}
+	if m["accept_rate_gossip"] < m["accept_rate_solo"] {
+		t.Errorf("accept rate: gossip %v < solo %v", m["accept_rate_gossip"], m["accept_rate_solo"])
+	}
+	if m["handoff_p99_ms"] <= 0 {
+		t.Errorf("handoff_p99_ms = %v, want > 0", m["handoff_p99_ms"])
+	}
+}

@@ -165,7 +165,7 @@ func outageRun(arch smtpserver.Architecture, n, deadN int, hold time.Duration) (
 	}
 	qm, err := queue.NewManager(queue.Config{
 		Deliverer:       deliverer,
-		Spool:           fsim.NewMem(costmodel.FSModel{}),
+		Store:           spool.New(fsim.NewMem(costmodel.FSModel{}), ""),
 		ActiveLimit:     8,
 		MaxAttempts:     8,
 		RetryDelay:      25 * time.Millisecond,

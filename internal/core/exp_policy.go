@@ -25,12 +25,12 @@ func init() {
 // sources outright, greylist first contacts, throttle per-IP connection
 // rates, and accumulate reputation from bounces and hits.
 func sweepEngine() *policy.Engine {
-	return policy.NewEngine(policy.Config{
-		Rate:        &policy.RateConfig{ConnPerSec: 0.5, ConnBurst: 5},
-		Greylist:    &policy.GreyConfig{MinRetry: 30 * time.Second},
-		Reputation:  &policy.ReputationConfig{},
-		DNSBLReject: 1,
-	})
+	return policy.New(
+		policy.WithRate(policy.RateConfig{ConnPerSec: 0.5, ConnBurst: 5}),
+		policy.WithGreylist(policy.GreyConfig{MinRetry: 30 * time.Second}),
+		policy.WithReputation(policy.ReputationConfig{}),
+		policy.WithDNSBLReject(1),
+	)
 }
 
 // policySweepRun executes one point; a nil listed map runs policy-off.

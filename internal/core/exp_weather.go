@@ -77,15 +77,15 @@ func weatherRun(arch smtpserver.Architecture, conns []trace.Conn, listed map[add
 	// Reputation plus a hard DNSBL reject; greylisting and rate limits
 	// stay off because the closed-system replayer never retries, so they
 	// would refuse ham.
-	eng := policy.NewEngine(policy.Config{
-		Reputation:  &policy.ReputationConfig{},
-		DNSBLReject: 1,
-	})
-	scorer := policy.NewScorer(policy.ScorerConfig{
-		Lists:     []policy.List{{Name: weatherZone, Resolver: client, Weight: 1}},
-		Threshold: 1,
-		Registry:  reg,
-	})
+	eng := policy.New(
+		policy.WithReputation(policy.ReputationConfig{}),
+		policy.WithDNSBLReject(1),
+	)
+	scorer := policy.NewScorer(
+		policy.WithLists(policy.List{Name: weatherZone, Resolver: client, Weight: 1}),
+		policy.WithThreshold(1),
+		policy.WithScorerRegistry(reg),
+	)
 	pol := policy.NewServerPolicy(eng, scorer,
 		policy.WithRegistry(reg), policy.WithEventLog(events))
 

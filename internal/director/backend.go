@@ -1,0 +1,143 @@
+package director
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/smtp"
+)
+
+// maxIdlePerBackend bounds the pooled connections kept per shard. A
+// director serves many client dialogs over few long-lived back-end
+// connections — the same amortization argument as the paper's
+// persistent-worker pool, applied to the network hop.
+const maxIdlePerBackend = 4
+
+// backend is one delivery shard as seen from a director: an address, a
+// small pool of idle replay connections, and a cooldown latch that keeps
+// the forward path from re-dialing a dead shard on every mail.
+type backend struct {
+	name string
+	addr string
+
+	mu        sync.Mutex
+	idle      []*smtp.Client
+	downUntil time.Time
+	fails     int64
+}
+
+// get returns a pooled connection or dials a fresh one.
+func (b *backend) get(helo string, timeout time.Duration) (*smtp.Client, bool, error) {
+	b.mu.Lock()
+	if n := len(b.idle); n > 0 {
+		c := b.idle[n-1]
+		b.idle = b.idle[:n-1]
+		b.mu.Unlock()
+		return c, true, nil
+	}
+	b.mu.Unlock()
+	c, err := smtp.Dial(b.addr, timeout, smtp.WithCommandTimeout(timeout))
+	if err != nil {
+		return nil, false, err
+	}
+	if err := c.Helo(helo); err != nil {
+		c.Abort()
+		return nil, false, err
+	}
+	return c, false, nil
+}
+
+// put returns a healthy connection to the pool, closing overflow.
+func (b *backend) put(c *smtp.Client) {
+	b.mu.Lock()
+	if len(b.idle) < maxIdlePerBackend {
+		b.idle = append(b.idle, c)
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	c.Quit() //nolint:errcheck // surplus connection
+}
+
+// down reports whether the shard is inside its failure cooldown.
+func (b *backend) down(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return now.Before(b.downUntil)
+}
+
+// markDown records a forward failure and arms the cooldown, dropping
+// any pooled connections (they share the dead endpoint).
+func (b *backend) markDown(now time.Time, cooldown time.Duration) {
+	b.mu.Lock()
+	idle := b.idle
+	b.idle = nil
+	b.downUntil = now.Add(cooldown)
+	b.fails++
+	b.mu.Unlock()
+	for _, c := range idle {
+		c.Abort() //nolint:errcheck
+	}
+}
+
+// markUp clears the cooldown after a successful forward.
+func (b *backend) markUp() {
+	b.mu.Lock()
+	b.downUntil = time.Time{}
+	b.mu.Unlock()
+}
+
+// closeIdle drains the pool on shutdown.
+func (b *backend) closeIdle() {
+	b.mu.Lock()
+	idle := b.idle
+	b.idle = nil
+	b.mu.Unlock()
+	for _, c := range idle {
+		c.Quit() //nolint:errcheck
+	}
+}
+
+// forward delivers the envelope to this shard: pooled connection first,
+// then one fresh dial. A non-nil error is a transport-level failure —
+// nothing was delivered and the caller should try the next ring
+// candidate. A nil error with accepted < len(rcpts) means the shard
+// REFUSED some recipients over clean SMTP (550s): the accepted subset
+// is already delivered, so retrying elsewhere would duplicate it — the
+// caller records the skew instead. The pooled flag drives the retry
+// story: a pooled connection may simply be stale (the shard restarted,
+// the socket idled out), so its failure drains the pool and one fresh
+// dial decides whether the shard itself is sick.
+func (b *backend) forward(helo string, timeout time.Duration, sender string, rcpts []string, data []byte) (accepted int, retried bool, err error) {
+	c, pooled, err := b.get(helo, timeout)
+	if err != nil {
+		return 0, false, err
+	}
+	accepted, err = c.Send(sender, rcpts, data)
+	if err != nil {
+		c.Abort() //nolint:errcheck
+		if !pooled {
+			return 0, false, err
+		}
+		b.mu.Lock()
+		stale := b.idle
+		b.idle = nil
+		b.mu.Unlock()
+		for _, sc := range stale {
+			sc.Abort() //nolint:errcheck
+		}
+		c2, _, derr := b.get(helo, timeout)
+		if derr != nil {
+			return 0, true, derr
+		}
+		accepted, err = c2.Send(sender, rcpts, data)
+		if err != nil {
+			c2.Abort() //nolint:errcheck
+			return 0, true, err
+		}
+		b.put(c2)
+		return accepted, true, nil
+	}
+	b.put(c)
+	return accepted, false, nil
+}

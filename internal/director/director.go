@@ -1,0 +1,537 @@
+package director
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/eventlog"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/smtp"
+)
+
+// settings collects the director's tunables.
+type settings struct {
+	hostname       string
+	backends       []backendSpec
+	pol            *policy.ServerPolicy
+	validateRcpt   func(string) bool
+	registry       *metrics.Registry
+	events         *eventlog.Log
+	idleTimeout    time.Duration
+	forwardTimeout time.Duration
+	vnodes         int
+	cooldown       time.Duration
+	maxRcpts       int
+	maxMessage     int
+}
+
+type backendSpec struct {
+	name string
+	addr string
+}
+
+// Option configures a director Server.
+type Option func(*settings)
+
+// WithHostname sets the banner hostname (default "director.local").
+func WithHostname(h string) Option {
+	return func(s *settings) { s.hostname = h }
+}
+
+// WithBackend registers one delivery shard under a stable name; the
+// name — not the address — is hashed onto the ring, so a shard can move
+// without remapping recipients. Repeat for each shard.
+func WithBackend(name, addr string) Option {
+	return func(s *settings) { s.backends = append(s.backends, backendSpec{name: name, addr: addr}) }
+}
+
+// WithPolicy installs the pre-trust policy adapter: connect verdicts
+// (with DNSBL scan), MAIL/RCPT checks, and bounce/reject reputation
+// feedback. Nil (the default) admits everything — the director still
+// validates recipients and forwards.
+func WithPolicy(p *policy.ServerPolicy) Option {
+	return func(s *settings) { s.pol = p }
+}
+
+// WithValidateRcpt installs the recipient-existence check (the access
+// database). nil accepts every recipient.
+func WithValidateRcpt(f func(string) bool) Option {
+	return func(s *settings) { s.validateRcpt = f }
+}
+
+// WithRegistry directs the director's metrics into r (default private).
+func WithRegistry(r *metrics.Registry) Option {
+	return func(s *settings) { s.registry = r }
+}
+
+// WithEventLog emits director.conn / director.forward / director.shard
+// events into log (default off).
+func WithEventLog(log *eventlog.Log) Option {
+	return func(s *settings) { s.events = log }
+}
+
+// WithIdleTimeout bounds client inactivity per read (default 60s).
+func WithIdleTimeout(d time.Duration) Option {
+	return func(s *settings) { s.idleTimeout = d }
+}
+
+// WithForwardTimeout bounds the back-end dial and each replay command
+// (default 10s).
+func WithForwardTimeout(d time.Duration) Option {
+	return func(s *settings) { s.forwardTimeout = d }
+}
+
+// WithVnodes sets virtual nodes per shard on the ring (default 64).
+func WithVnodes(n int) Option {
+	return func(s *settings) { s.vnodes = n }
+}
+
+// WithCooldown sets how long a shard that failed a forward is skipped
+// before being probed again (default 2s).
+func WithCooldown(d time.Duration) Option {
+	return func(s *settings) { s.cooldown = d }
+}
+
+// WithMaxRcpts caps accepted recipients per mail (default smtp's 50).
+func WithMaxRcpts(n int) Option {
+	return func(s *settings) { s.maxRcpts = n }
+}
+
+// Stats is a snapshot of a director's counters.
+type Stats struct {
+	Connections    int64 // accepted TCP connections
+	PolicyRejected int64 // refused 554 at connect time
+	PolicyTempfail int64 // refused 421 at connect time
+	MailsForwarded int64 // envelopes replayed to a shard successfully
+	MailsFailed    int64 // envelopes tempfailed 451 (every candidate down)
+	MailsRefused   int64 // envelopes 554'd (shards refused every recipient)
+	ForwardRetries int64 // pooled-connection retries + candidate failovers
+	RcptRejected   int64 // 550s issued (bounce evidence)
+	RcptSkew       int64 // recipients the director admitted but a shard refused
+	PreTrustClosed int64 // connections finished without a forwarded mail
+}
+
+// Server is one director front end. Create with New, start with Serve,
+// stop with Close.
+type Server struct {
+	cfg  settings
+	ring *Ring
+	bmu  sync.Mutex
+	bk   map[string]*backend
+
+	ln     net.Listener
+	connWG sync.WaitGroup
+	closed chan struct{}
+	ids    uint64
+	idsMu  sync.Mutex
+
+	reg            *metrics.Registry
+	connections    *metrics.Counter
+	policyRejected *metrics.Counter
+	policyTempfail *metrics.Counter
+	mailsForwarded *metrics.Counter
+	mailsFailed    *metrics.Counter
+	mailsRefused   *metrics.Counter
+	forwardRetries *metrics.Counter
+	rcptRejected   *metrics.Counter
+	rcptSkew       *metrics.Counter
+	preTrustClosed *metrics.Counter
+	shardDown      *metrics.Counter
+	handoff        *metrics.Histogram // per-envelope replay wall time
+	perShard       map[string]*metrics.Counter
+}
+
+// New builds a director over at least one backend shard.
+func New(opts ...Option) (*Server, error) {
+	st := settings{
+		hostname:       "director.local",
+		idleTimeout:    60 * time.Second,
+		forwardTimeout: 10 * time.Second,
+		cooldown:       2 * time.Second,
+	}
+	for _, o := range opts {
+		o(&st)
+	}
+	if len(st.backends) == 0 {
+		return nil, errors.New("director: at least one backend is required")
+	}
+	reg := st.registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Server{
+		cfg:            st,
+		ring:           NewRing(st.vnodes),
+		bk:             make(map[string]*backend, len(st.backends)),
+		closed:         make(chan struct{}),
+		reg:            reg,
+		connections:    reg.Counter("director_connections_total"),
+		policyRejected: reg.Counter("director_policy_rejected_total"),
+		policyTempfail: reg.Counter("director_policy_tempfail_total"),
+		mailsForwarded: reg.Counter("director_mails_forwarded_total"),
+		mailsFailed:    reg.Counter("director_mails_failed_total"),
+		mailsRefused:   reg.Counter("director_mails_refused_total"),
+		forwardRetries: reg.Counter("director_forward_retries_total"),
+		rcptRejected:   reg.Counter("director_rcpt_rejected_total"),
+		rcptSkew:       reg.Counter("director_rcpt_skew_total"),
+		preTrustClosed: reg.Counter("director_pretrust_closed_total"),
+		shardDown:      reg.Counter("director_shard_down_total"),
+		handoff:        reg.Histogram("director_handoff_seconds", metrics.LatencyBounds()),
+		perShard:       make(map[string]*metrics.Counter, len(st.backends)),
+	}
+	for _, spec := range st.backends {
+		if _, dup := s.bk[spec.name]; dup {
+			return nil, fmt.Errorf("director: duplicate backend %q", spec.name)
+		}
+		s.bk[spec.name] = &backend{name: spec.name, addr: spec.addr}
+		s.ring.Add(spec.name)
+		s.perShard[spec.name] = reg.Counter("director_shard_forwarded_total", "shard", spec.name)
+	}
+	return s, nil
+}
+
+// Registry returns the registry holding the director's metrics.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Ring returns the recipient ring, for observability and tests.
+func (s *Server) Ring() *Ring { return s.ring }
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Connections:    s.connections.Value(),
+		PolicyRejected: s.policyRejected.Value(),
+		PolicyTempfail: s.policyTempfail.Value(),
+		MailsForwarded: s.mailsForwarded.Value(),
+		MailsFailed:    s.mailsFailed.Value(),
+		MailsRefused:   s.mailsRefused.Value(),
+		ForwardRetries: s.forwardRetries.Value(),
+		RcptRejected:   s.rcptRejected.Value(),
+		RcptSkew:       s.rcptSkew.Value(),
+		PreTrustClosed: s.preTrustClosed.Value(),
+	}
+}
+
+// HandoffQuantile returns the q-quantile of envelope replay wall time
+// in seconds.
+func (s *Server) HandoffQuantile(q float64) float64 { return s.handoff.Quantile(q) }
+
+// Serve accepts connections on ln until Close. It owns ln.
+func (s *Server) Serve(ln net.Listener) {
+	s.ln = ln
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			continue
+		}
+		s.connWG.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+// Close stops accepting, waits for in-flight dialogs, and drains the
+// back-end connection pools.
+func (s *Server) Close() {
+	select {
+	case <-s.closed:
+		return
+	default:
+	}
+	close(s.closed)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.connWG.Wait()
+	for _, b := range s.bk {
+		b.closeIdle()
+	}
+}
+
+func (s *Server) nextID() uint64 {
+	s.idsMu.Lock()
+	defer s.idsMu.Unlock()
+	s.ids++
+	return s.ids
+}
+
+// remoteIP extracts the peer IP.
+func remoteIP(nc net.Conn) string {
+	a := nc.RemoteAddr()
+	if a == nil {
+		return ""
+	}
+	host, _, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return a.String()
+	}
+	return host
+}
+
+// serveConn runs one client dialog: admission, pre-trust SMTP, and
+// per-mail replay to the owning shard.
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.connWG.Done()
+	defer nc.Close()
+	id := s.nextID()
+	s.connections.Inc()
+	ip := remoteIP(nc)
+	c := smtp.AcquireConn(nc)
+	defer smtp.ReleaseConn(c)
+
+	if !s.admitPolicy(nc, c, id, ip) {
+		return
+	}
+
+	sess := smtp.AcquireSession(s.sessionConfig(ip))
+	defer smtp.ReleaseSession(sess)
+	if err := c.WriteReply(sess.Greeting()); err != nil {
+		return
+	}
+	forwarded := s.runDialog(nc, c, sess, ip, id)
+	if forwarded == 0 {
+		s.preTrustClosed.Inc()
+		// A connection that drew 550s and forwarded nothing is the §4.1
+		// bounce: feed it back so the next visit is refused at connect.
+		if s.cfg.pol != nil && sess.RejectedRcpts() > 0 {
+			s.cfg.pol.RecordBounce(ip)
+		}
+	}
+	s.cfg.events.Debug("director.conn", id,
+		eventlog.Str("ip", ip),
+		eventlog.Int("forwarded", int64(forwarded)),
+	)
+}
+
+// admitPolicy runs the connect-time verdict; false means a refusal has
+// been written.
+func (s *Server) admitPolicy(nc net.Conn, c *smtp.Conn, id uint64, ip string) bool {
+	if s.cfg.pol == nil {
+		return true
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.idleTimeout)
+	defer cancel()
+	d := s.cfg.pol.Connect(ctx, ip)
+	switch d.Verdict {
+	case policy.Reject:
+		s.policyRejected.Inc()
+		c.WriteReply(smtp.Reply{Code: 554, Text: d.Reason}) //nolint:errcheck // closing anyway
+		return false
+	case policy.Tempfail:
+		s.policyTempfail.Inc()
+		c.WriteReply(smtp.Reply{Code: 421, Text: d.Reason}) //nolint:errcheck // closing anyway
+		return false
+	default:
+		return true
+	}
+}
+
+// sessionConfig wires the policy hooks into the session state machine,
+// mirroring smtpserver so both tiers speak identical SMTP.
+func (s *Server) sessionConfig(ip string) smtp.Config {
+	cfg := smtp.Config{
+		Hostname:        s.cfg.hostname,
+		ValidateRcpt:    s.cfg.validateRcpt,
+		MaxRcpts:        s.cfg.maxRcpts,
+		MaxMessageBytes: s.cfg.maxMessage,
+	}
+	if p := s.cfg.pol; p != nil {
+		cfg.CheckMail = func(sender string) *smtp.Reply {
+			return policyReply(p.Mail(context.Background(), ip, sender))
+		}
+		cfg.CheckRcpt = func(sender, rcpt string) *smtp.Reply {
+			return policyReply(p.Rcpt(context.Background(), ip, sender, rcpt))
+		}
+	}
+	return cfg
+}
+
+func policyReply(d policy.Decision) *smtp.Reply {
+	switch d.Verdict {
+	case policy.Reject:
+		return &smtp.Reply{Code: 554, Text: d.Reason}
+	case policy.Tempfail:
+		return &smtp.Reply{Code: 450, Text: d.Reason}
+	default:
+		return nil
+	}
+}
+
+// runDialog drives the client session until QUIT or drop, replaying
+// each completed envelope to its shards. Returns envelopes forwarded.
+func (s *Server) runDialog(nc net.Conn, c *smtp.Conn, sess *smtp.Session, ip string, id uint64) int {
+	forwarded := 0
+	for {
+		if err := nc.SetReadDeadline(time.Now().Add(s.cfg.idleTimeout)); err != nil {
+			return forwarded
+		}
+		line, err := c.ReadLine()
+		if err != nil {
+			if errors.Is(err, smtp.ErrLineTooLong) {
+				if c.WriteReply(smtp.ReplyLineTooLong) == nil {
+					continue
+				}
+			}
+			return forwarded
+		}
+		reply, action := sess.CommandBytes(line)
+		if reply.Code == smtp.ReplyUserUnknown.Code {
+			s.rcptRejected.Inc()
+			if s.cfg.pol != nil {
+				s.cfg.pol.RecordRejectedRcpt(ip)
+			}
+		}
+		switch action {
+		case smtp.ActionData:
+			if err := c.WriteReply(reply); err != nil {
+				return forwarded
+			}
+			if err := nc.SetReadDeadline(time.Now().Add(s.cfg.idleTimeout)); err != nil {
+				return forwarded
+			}
+			body, err := c.ReadData(sess.MaxMessageBytes())
+			if err != nil {
+				if errors.Is(err, smtp.ErrMessageTooBig) {
+					if c.WriteReply(sess.AbortData()) == nil {
+						continue
+					}
+				}
+				return forwarded
+			}
+			env, done := sess.FinishData(body)
+			accepted, ok := s.deliver(env, id)
+			switch {
+			case !ok:
+				s.mailsFailed.Inc()
+				done = smtp.Reply{Code: 451, Text: "delivery shards unavailable, try again later"}
+			case accepted == 0:
+				// Every shard answered and cleanly refused every
+				// recipient: a permanent recipient problem, not an
+				// outage. Acking would drop the mail silently and a
+				// retry cannot help — fail the transaction for good.
+				s.mailsRefused.Inc()
+				done = smtp.Reply{Code: 554, Text: "all recipients refused by delivery shards"}
+			default:
+				forwarded++
+			}
+			if err := c.WriteReply(done); err != nil {
+				return forwarded
+			}
+		case smtp.ActionQuit:
+			c.WriteReply(reply) //nolint:errcheck // closing anyway
+			return forwarded
+		default:
+			if c.InputPending() {
+				if err := c.WriteReplyLazy(reply); err != nil {
+					return forwarded
+				}
+			} else if err := c.WriteReply(reply); err != nil {
+				return forwarded
+			}
+		}
+	}
+}
+
+// deliver fans one accepted envelope out to the shards owning its
+// recipients (usually one). The whole replay is timed as the handoff —
+// the network-stretched equivalent of the in-process worker handoff.
+// It returns the recipients a shard took and whether every group found
+// a live shard; ok with accepted == 0 means the shards cleanly refused
+// everything (config skew), which the caller must not ack.
+func (s *Server) deliver(env smtp.Envelope, id uint64) (accepted int, ok bool) {
+	start := time.Now()
+	ok = true
+	for shard, rcpts := range s.groupByShard(env.Rcpts) {
+		n, groupOK := s.forwardGroup(shard, env.Sender, rcpts, env.Data, id)
+		accepted += n
+		if !groupOK {
+			ok = false
+		}
+	}
+	s.handoff.ObserveDuration(time.Since(start))
+	if ok && accepted > 0 {
+		s.mailsForwarded.Inc()
+	}
+	return accepted, ok
+}
+
+// groupByShard buckets recipients by owning shard.
+func (s *Server) groupByShard(rcpts []string) map[string][]string {
+	groups := make(map[string][]string, 1)
+	for _, r := range rcpts {
+		shard := s.ring.Pick(r)
+		groups[shard] = append(groups[shard], r)
+	}
+	return groups
+}
+
+// forwardGroup walks the ring candidates for one recipient group until
+// a shard takes the mail. Down shards are skipped inside their
+// cooldown unless every candidate is down — then each is probed anyway
+// rather than failing mail on a stale latch.
+func (s *Server) forwardGroup(owner, sender string, rcpts []string, data []byte, id uint64) (int, bool) {
+	candidates := s.ring.Candidates(rcpts[0], len(s.ring.Nodes()))
+	now := time.Now()
+	// Pass 0 probes the candidates whose cooldown is clear. If every
+	// candidate was latched down before this call, pass 1 probes them
+	// all anyway — better to pay a probe than tempfail mail on a stale
+	// latch. A shard that failed a pass-0 probe is NOT re-probed.
+	probed := 0
+	for pass := 0; pass < 2; pass++ {
+		if pass == 1 && probed > 0 {
+			break
+		}
+		for i, name := range candidates {
+			b := s.bk[name]
+			if b == nil || (pass == 0 && b.down(now)) {
+				continue
+			}
+			probed++
+			if i > 0 {
+				s.forwardRetries.Inc()
+			}
+			accepted, retried, err := b.forward(s.cfg.hostname, s.cfg.forwardTimeout, sender, rcpts, data)
+			if retried {
+				s.forwardRetries.Inc()
+			}
+			if err == nil {
+				b.markUp()
+				s.perShard[name].Inc()
+				if accepted < len(rcpts) {
+					// The shard refused recipients the director admitted:
+					// an access-config skew between the tiers. The
+					// accepted subset is already delivered, so retrying
+					// another shard would duplicate it — count the skew
+					// and move on. Keep the tiers' -domain/mailbox
+					// config in lockstep to keep this at zero.
+					s.rcptSkew.Add(int64(len(rcpts) - accepted))
+					s.cfg.events.Warn("director.skew", id,
+						eventlog.Str("shard", name),
+						eventlog.Int("refused", int64(len(rcpts)-accepted)),
+					)
+				}
+				s.cfg.events.Debug("director.forward", id,
+					eventlog.Str("shard", name),
+					eventlog.Int("rcpts", int64(len(rcpts))),
+				)
+				return accepted, true
+			}
+			b.markDown(time.Now(), s.cfg.cooldown)
+			s.shardDown.Inc()
+			s.cfg.events.Warn("director.shard", id,
+				eventlog.Str("shard", name),
+				eventlog.Str("err", err.Error()),
+			)
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,248 @@
+package director
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/dnsbl"
+	"repro/internal/policy"
+)
+
+var ctx = context.Background()
+
+// gossipNode bundles one node's stores and its gossip endpoint.
+type gossipNode struct {
+	rep  *policy.Reputation
+	grey *policy.Greylist
+	verd *Verdicts
+	g    *Gossip
+	addr string
+}
+
+// staticResolver answers Listed for a fixed set of IPs and counts
+// upstream lookups.
+type staticResolver struct {
+	mu     sync.Mutex
+	listed map[string]bool
+	calls  int
+}
+
+func (s *staticResolver) Lookup(_ context.Context, ip addr.IPv4) (dnsbl.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	return dnsbl.Result{Listed: s.listed[ip.String()]}, nil
+}
+
+func (s *staticResolver) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func startGossipNode(t *testing.T, name string, clock func() time.Time, inner dnsbl.Resolver) *gossipNode {
+	t.Helper()
+	n := &gossipNode{
+		rep:  policy.NewReputation(policy.ReputationConfig{}),
+		grey: policy.NewGreylist(policy.GreyConfig{}),
+		verd: NewVerdicts(inner, WithVerdictClock(clock)),
+	}
+	n.g = NewGossip(
+		WithGossipName(name),
+		WithReputationSync(n.rep),
+		WithGreylistSync(n.grey),
+		WithVerdicts(n.verd),
+		WithGossipClock(clock),
+		WithInterval(10*time.Millisecond),
+	)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go n.g.Serve(ln)
+	t.Cleanup(n.g.Close)
+	n.addr = ln.Addr().String()
+	return n
+}
+
+// TestGossipExchangeReplicatesReputation: bounce history recorded on
+// one node condemns the source on the other after a single exchange —
+// in both directions, since an exchange is a symmetric sync.
+func TestGossipExchangeReplicatesReputation(t *testing.T) {
+	now := time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	a := startGossipNode(t, "fe-a", clock, nil)
+	b := startGossipNode(t, "fe-b", clock, nil)
+
+	spammer := addr.MustParseIPv4("203.0.113.9")
+	for i := 0; i < 20; i++ {
+		a.rep.RecordBounce(now, spammer)
+	}
+	other := addr.MustParseIPv4("198.51.100.7")
+	b.rep.RecordBounce(now, other)
+
+	if err := a.g.Exchange(b.addr); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.rep.Score(now, spammer); got < 10 {
+		t.Fatalf("peer score for spammer = %.2f after exchange; a-side = %.2f",
+			got, a.rep.Score(now, spammer))
+	}
+	if got := a.rep.Score(now, other); got < 0.5 {
+		t.Fatalf("pull direction missing: a's score for other = %.2f", got)
+	}
+	if st := b.g.Stats(); st.Served != 1 || st.RepApplied == 0 {
+		t.Fatalf("responder stats = %+v", st)
+	}
+}
+
+// TestGossipExchangeIdempotent: repeating the same exchange does not
+// inflate scores — the merge is max-under-decay, not sum.
+func TestGossipExchangeIdempotent(t *testing.T) {
+	now := time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	a := startGossipNode(t, "fe-a", clock, nil)
+	b := startGossipNode(t, "fe-b", clock, nil)
+
+	ip := addr.MustParseIPv4("203.0.113.9")
+	a.rep.RecordBounce(now, ip)
+	want := a.rep.Score(now, ip)
+	for i := 0; i < 5; i++ {
+		if err := a.g.Exchange(b.addr); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.g.Exchange(a.addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.rep.Score(now, ip); got != want {
+		t.Fatalf("echo inflated a's score %.4f -> %.4f", want, got)
+	}
+	if got := b.rep.Score(now, ip); got != want {
+		t.Fatalf("b's score %.4f, want %.4f", got, want)
+	}
+}
+
+// TestGossipReplicatesGreylistPass: a tuple that earned its pass on one
+// front end is whitelisted on the other, so a retry landing on a
+// different director is not greylisted again.
+func TestGossipReplicatesGreylistPass(t *testing.T) {
+	now := time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	a := startGossipNode(t, "fe-a", clock, nil)
+	b := startGossipNode(t, "fe-b", clock, nil)
+
+	ip := addr.MustParseIPv4("192.0.2.33")
+	// First contact on a: greylisted. Retry after MinRetry: passes.
+	if d := a.grey.Check(now, ip, "s@x.org", "r@y.org"); d.Verdict != policy.Tempfail {
+		t.Fatalf("first contact = %+v", d)
+	}
+	now = now.Add(2 * time.Minute)
+	if d := a.grey.Check(now, ip, "s@x.org", "r@y.org"); d.Verdict != policy.Allow {
+		t.Fatalf("retry = %+v", d)
+	}
+	if err := a.g.Exchange(b.addr); err != nil {
+		t.Fatal(err)
+	}
+	// The same tuple hitting b is already whitelisted there.
+	if d := b.grey.Check(now, ip, "s@x.org", "r@y.org"); d.Verdict != policy.Allow {
+		t.Fatalf("replicated tuple greylisted on peer: %+v", d)
+	}
+}
+
+// TestGossipVerdictCacheLift: a DNSBL verdict paid for by one node is
+// served from cache on the other, counted as a peer hit — the
+// cache-hit lift the scale-out experiment measures.
+func TestGossipVerdictCacheLift(t *testing.T) {
+	now := time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	ip := addr.MustParseIPv4("203.0.113.50")
+	resA := &staticResolver{listed: map[string]bool{ip.String(): true}}
+	resB := &staticResolver{listed: map[string]bool{ip.String(): true}}
+	a := startGossipNode(t, "fe-a", clock, resA)
+	b := startGossipNode(t, "fe-b", clock, resB)
+
+	// a pays the upstream query.
+	if r, err := a.verd.Lookup(ctx, ip); err != nil || !r.Listed || r.CacheHit {
+		t.Fatalf("a lookup = %+v, %v", r, err)
+	}
+	if err := a.g.Exchange(b.addr); err != nil {
+		t.Fatal(err)
+	}
+	// b answers from gossip, never touching its upstream.
+	r, err := b.verd.Lookup(ctx, ip)
+	if err != nil || !r.Listed || !r.CacheHit {
+		t.Fatalf("b lookup = %+v, %v", r, err)
+	}
+	if resB.count() != 0 {
+		t.Fatalf("b paid %d upstream queries for a replicated verdict", resB.count())
+	}
+	if b.verd.PeerHits() != 1 || b.verd.LocalHits() != 0 {
+		t.Fatalf("peer=%d local=%d", b.verd.PeerHits(), b.verd.LocalHits())
+	}
+	// a re-reading its own verdict is a local hit, not a peer hit.
+	if _, err := a.verd.Lookup(ctx, ip); err != nil {
+		t.Fatal(err)
+	}
+	if a.verd.LocalHits() != 1 || a.verd.PeerHits() != 0 {
+		t.Fatalf("a peer=%d local=%d", a.verd.PeerHits(), a.verd.LocalHits())
+	}
+}
+
+// TestGossipConcurrentMergeVsReads is the -race stress: both nodes'
+// tickers run while both stores take concurrent reads and writes, the
+// exact interleaving a live director pair produces.
+func TestGossipConcurrentMergeVsReads(t *testing.T) {
+	a := startGossipNode(t, "fe-a", time.Now, nil)
+	b := startGossipNode(t, "fe-b", time.Now, nil)
+	WithPeers(b.addr)(a.g)
+	WithPeers(a.addr)(b.g)
+	a.g.Start()
+	b.g.Start()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ip := addr.MakeIPv4(203, 0, 113, byte(w))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				now := time.Now()
+				n := a
+				if i%2 == 1 {
+					n = b
+				}
+				n.rep.RecordBounce(now, ip)
+				_ = n.rep.Score(now, ip)
+				_ = n.grey.Check(now, ip, "s@x.org", "r@y.org")
+			}
+		}(w)
+	}
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if st := a.g.Stats(); st.Exchanges == 0 {
+		t.Fatalf("ticker never exchanged: %+v", st)
+	}
+	// Convergence spot check: a score recorded on either node is
+	// non-zero on both after the loops.
+	if err := a.g.Exchange(b.addr); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	ip := addr.MakeIPv4(203, 0, 113, 0)
+	if a.rep.Score(now, ip) == 0 || b.rep.Score(now, ip) == 0 {
+		t.Fatalf("scores did not converge: a=%.2f b=%.2f",
+			a.rep.Score(now, ip), b.rep.Score(now, ip))
+	}
+}

@@ -234,8 +234,10 @@ func TestClientConstructionErrors(t *testing.T) {
 	}
 }
 
-// TestDeprecatedConstructorStillWorks pins the compatibility shim.
-func TestDeprecatedConstructorStillWorks(t *testing.T) {
+// TestClassicV4LookupPath pins the classic per-IP DNSBL shape: the V4
+// reversed-octet handler with the per-IP cache policy, no prefix
+// bitmaps involved.
+func TestClassicV4LookupPath(t *testing.T) {
 	l := NewList("bl.test")
 	ip := addr.MustParseIPv4("2.2.2.2")
 	l.Add(ip, CodeZombie)

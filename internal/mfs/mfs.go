@@ -80,11 +80,6 @@ func WithSync(on bool) Option {
 	return func(o *options) { o.sync = on }
 }
 
-// WithSyncedCommits is the old name for WithSync(true).
-//
-// Deprecated: use WithSync(true); kept for one release.
-func WithSyncedCommits() Option { return WithSync(true) }
-
 // WithWALRotateSize sets the write-ahead-log size (bytes) that triggers
 // rotation — syncing every file the log touches and truncating it. Only
 // meaningful with WithSync(true); the default is 1 MiB.

@@ -18,7 +18,6 @@ type DestTracker struct {
 	scores   map[string]*ewma
 	fails    map[string]int64
 	oks      map[string]int64
-	epoch    time.Time
 	now      func() time.Time
 	max      int
 }
@@ -64,17 +63,14 @@ func NewDestTracker(opts ...DestTrackerOption) *DestTracker {
 	for _, o := range opts {
 		o(t)
 	}
-	t.epoch = t.now()
 	return t
 }
-
-func (t *DestTracker) sinceEpoch() time.Duration { return t.now().Sub(t.epoch) }
 
 // RecordFailure charges one failed delivery attempt against dest.
 func (t *DestTracker) RecordFailure(dest string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	now := t.sinceEpoch()
+	now := t.now()
 	e, ok := t.scores[dest]
 	if !ok {
 		if len(t.scores) >= t.max {
@@ -103,7 +99,7 @@ func (t *DestTracker) Score(dest string) float64 {
 	if !ok {
 		return 0
 	}
-	return e.decayed(t.sinceEpoch(), t.halfLife)
+	return e.decayed(t.now(), t.halfLife)
 }
 
 // DestStat is one destination's outbound record.
@@ -118,7 +114,7 @@ type DestStat struct {
 func (t *DestTracker) Snapshot() []DestStat {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	now := t.sinceEpoch()
+	now := t.now()
 	seen := make(map[string]bool, len(t.scores)+len(t.oks))
 	var out []DestStat
 	add := func(dest string) {

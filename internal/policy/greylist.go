@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/addr"
@@ -40,72 +41,141 @@ func (c GreyConfig) withDefaults() GreyConfig {
 	return c
 }
 
-// greyEntry tracks one (client /24, sender, recipient) tuple.
+// greyEntry tracks one (client /24, sender, recipient) tuple. updated
+// stamps the last state change so Delta can ship only what a peer has
+// not seen.
 type greyEntry struct {
-	firstSeen time.Duration
+	firstSeen time.Time
 	passed    bool
-	expiry    time.Duration // whitelist expiry when passed
+	expiry    time.Time // whitelist expiry when passed
+	updated   time.Time
 }
 
-// greylist keys on the client's /24 rather than the exact IP so a
+// Greylist keys on the client's /24 rather than the exact IP so a
 // legitimate server farm retrying from a sibling address still matches —
 // the same granularity at which the paper observes source locality
-// (Figure 13).
-type greylist struct {
+// (Figure 13). It implements GreylistStore and GreylistSync and is safe
+// for concurrent use.
+type Greylist struct {
 	cfg     GreyConfig
+	mu      sync.Mutex
 	entries map[string]*greyEntry
 }
 
-func newGreylist(cfg GreyConfig) *greylist {
-	return &greylist{cfg: cfg.withDefaults(), entries: make(map[string]*greyEntry)}
+// NewGreylist builds a greylist from cfg.
+func NewGreylist(cfg GreyConfig) *Greylist {
+	return &Greylist{cfg: cfg.withDefaults(), entries: make(map[string]*greyEntry)}
 }
 
 func greyKey(ip addr.IPv4, sender, rcpt string) string {
 	return fmt.Sprintf("%s|%s|%s", ip.Prefix24(), sender, rcpt)
 }
 
-func (g *greylist) check(now time.Duration, ip addr.IPv4, sender, rcpt string) Decision {
+// Check implements GreylistStore.
+func (g *Greylist) Check(at time.Time, ip addr.IPv4, sender, rcpt string) Decision {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	key := greyKey(ip, sender, rcpt)
 	e, ok := g.entries[key]
 	if !ok {
 		if len(g.entries) >= g.cfg.MaxEntries {
-			g.sweep(now)
+			g.sweep(at)
 		}
-		g.entries[key] = &greyEntry{firstSeen: now}
+		g.entries[key] = &greyEntry{firstSeen: at, updated: at}
 		return Decision{Tempfail, "greylist", "greylisted, please retry later"}
 	}
 	if e.passed {
-		if now < e.expiry {
-			e.expiry = now + g.cfg.WhitelistTTL
+		if at.Before(e.expiry) {
+			e.expiry = at.Add(g.cfg.WhitelistTTL)
+			e.updated = at
 			return allowed
 		}
 		// Whitelist expired: restart the window.
-		*e = greyEntry{firstSeen: now}
+		*e = greyEntry{firstSeen: at, updated: at}
 		return Decision{Tempfail, "greylist", "greylisted, please retry later"}
 	}
-	age := now - e.firstSeen
+	age := at.Sub(e.firstSeen)
 	switch {
 	case age < g.cfg.MinRetry:
 		return Decision{Tempfail, "greylist", "greylisted, retried too soon"}
 	case age <= g.cfg.MaxValid:
 		e.passed = true
-		e.expiry = now + g.cfg.WhitelistTTL
+		e.expiry = at.Add(g.cfg.WhitelistTTL)
+		e.updated = at
 		return allowed
 	default:
-		e.firstSeen = now
+		e.firstSeen = at
+		e.updated = at
 		return Decision{Tempfail, "greylist", "greylisted, please retry later"}
 	}
 }
 
 // sweep drops entries that no longer influence any verdict: expired
 // whitelistings and pending entries past their retry window.
-func (g *greylist) sweep(now time.Duration) {
+func (g *Greylist) sweep(at time.Time) {
 	for k, e := range g.entries {
-		if e.passed && now >= e.expiry {
+		if e.passed && !at.Before(e.expiry) {
 			delete(g.entries, k)
 		}
-		if !e.passed && now-e.firstSeen > g.cfg.MaxValid {
+		if !e.passed && at.Sub(e.firstSeen) > g.cfg.MaxValid {
 			delete(g.entries, k)
 		}
 	}
+}
+
+// Delta implements GreylistSync: every tuple whose state changed at or
+// after since. A zero since returns the full snapshot.
+func (g *Greylist) Delta(since time.Time) []GreyEntry {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []GreyEntry
+	for k, e := range g.entries {
+		if !e.updated.Before(since) {
+			out = append(out, GreyEntry{Key: k, FirstSeen: e.firstSeen, Passed: e.passed, Expiry: e.expiry, Updated: e.updated})
+		}
+	}
+	return out
+}
+
+// Merge implements GreylistSync. Per tuple: a passed entry beats a
+// pending one (the sender proved it retries — any node may honor the
+// whitelist); among passed entries the later expiry wins (each
+// accepted delivery refreshes it); among pending entries the earlier
+// firstSeen wins, so a retry arriving at a different front end is
+// credited against the original window. All three rules pick a
+// deterministic extremum, so the merge is commutative and idempotent.
+// Returns how many tuples changed local state.
+func (g *Greylist) Merge(entries []GreyEntry) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	changed := 0
+	for _, re := range entries {
+		e, ok := g.entries[re.Key]
+		if !ok {
+			if len(g.entries) >= g.cfg.MaxEntries {
+				g.sweep(re.Updated)
+			}
+			g.entries[re.Key] = &greyEntry{firstSeen: re.FirstSeen, passed: re.Passed, expiry: re.Expiry, updated: re.Updated}
+			changed++
+			continue
+		}
+		switch {
+		case re.Passed && !e.passed:
+			*e = greyEntry{firstSeen: re.FirstSeen, passed: true, expiry: re.Expiry, updated: re.Updated}
+			changed++
+		case re.Passed && e.passed:
+			if re.Expiry.After(e.expiry) {
+				e.expiry = re.Expiry
+				e.updated = re.Updated
+				changed++
+			}
+		case !re.Passed && !e.passed:
+			if re.FirstSeen.Before(e.firstSeen) {
+				e.firstSeen = re.FirstSeen
+				e.updated = re.Updated
+				changed++
+			}
+		}
+	}
+	return changed
 }

@@ -26,10 +26,17 @@
 //     internal/dnsbl clients with early exit once a score threshold is
 //     crossed.
 //
+// Greylist and reputation state live behind the GreylistStore and
+// ReputationStore interfaces (stores.go), so an Engine can run against
+// private per-process stores (the default), or against stores shared and
+// gossip-replicated across a director tier (internal/director).
+//
 // The Engine itself is clock-agnostic: every method takes "now" as an
 // offset on the caller's clock, so the same engine runs under the
 // discrete-event simulator's virtual time (internal/simmail) and under
 // the wall clock (ServerPolicy adapts it for internal/smtpserver).
+// Offsets are converted to absolute store timestamps against the
+// engine's epoch (WithEpoch).
 package policy
 
 import (
@@ -83,24 +90,6 @@ type Decision struct {
 // allowed is the zero Decision.
 var allowed = Decision{}
 
-// Config assembles an Engine. Nil sections disable their checker; the
-// zero Config allows everything.
-type Config struct {
-	// Rate enables the token-bucket rate limiters.
-	Rate *RateConfig
-	// Greylist enables greylisting of first-contact delivery attempts.
-	Greylist *GreyConfig
-	// Reputation enables the aggregated historical reputation store.
-	Reputation *ReputationConfig
-	// DNSBLReject rejects a connection whose DNSBL score (passed to
-	// Admit by the caller, typically from a Scorer) reaches this
-	// threshold. 0 disables the check.
-	DNSBLReject float64
-	// DNSBLTempfail tempfails below DNSBLReject but at or above this
-	// threshold. 0 disables.
-	DNSBLTempfail float64
-}
-
 // Stats is a snapshot of the engine's verdict counters, by stage.
 type Stats struct {
 	ConnAllowed    int64 // connections admitted
@@ -114,31 +103,87 @@ type Stats struct {
 	DNSBLHitsSeen  int64 // DNSBL hits fed to the reputation store
 }
 
+// Option configures an Engine. A zero-option Engine allows everything.
+type Option func(*Engine)
+
+// WithRate enables the token-bucket rate limiters.
+func WithRate(cfg RateConfig) Option {
+	return func(e *Engine) { e.rate = newRateLimiter(cfg) }
+}
+
+// WithGreylist enables greylisting of first-contact delivery attempts
+// with a private store.
+func WithGreylist(cfg GreyConfig) Option {
+	return func(e *Engine) { e.grey = NewGreylist(cfg) }
+}
+
+// WithGreylistStore enables greylisting against a caller-supplied —
+// possibly shared or replicated — store.
+func WithGreylistStore(s GreylistStore) Option {
+	return func(e *Engine) { e.grey = s }
+}
+
+// WithReputation enables the aggregated historical reputation store
+// with a private instance.
+func WithReputation(cfg ReputationConfig) Option {
+	return func(e *Engine) { e.rep = NewReputation(cfg) }
+}
+
+// WithReputationStore enables reputation against a caller-supplied —
+// possibly shared or replicated — store.
+func WithReputationStore(s ReputationStore) Option {
+	return func(e *Engine) { e.rep = s }
+}
+
+// WithDNSBLReject rejects a connection whose DNSBL score (passed to
+// Admit by the caller, typically from a Scorer) reaches threshold.
+func WithDNSBLReject(threshold float64) Option {
+	return func(e *Engine) { e.dnsblReject = threshold }
+}
+
+// WithDNSBLTempfail tempfails a connection whose DNSBL score is below
+// the reject threshold but at or above this one.
+func WithDNSBLTempfail(threshold float64) Option {
+	return func(e *Engine) { e.dnsblTempfail = threshold }
+}
+
+// WithEpoch sets the absolute instant the engine's duration offsets are
+// measured from (default Unix epoch). Wall-clock callers set this so
+// store timestamps are real times, comparable across gossiping nodes;
+// simulator callers keep the default so virtual time stays
+// deterministic.
+func WithEpoch(epoch time.Time) Option {
+	return func(e *Engine) { e.epoch = epoch }
+}
+
 // Engine evaluates the policy pipeline. It is safe for concurrent use;
 // under the simulator it is driven single-threaded on virtual time.
 type Engine struct {
-	mu   sync.Mutex
-	cfg  Config
-	rate *rateLimiter
-	grey *greylist
-	rep  *reputation
-	st   Stats
+	mu            sync.Mutex
+	epoch         time.Time
+	dnsblReject   float64
+	dnsblTempfail float64
+	rate          *rateLimiter
+	grey          GreylistStore
+	rep           ReputationStore
+	st            Stats
 }
 
-// NewEngine builds an engine from cfg.
-func NewEngine(cfg Config) *Engine {
-	e := &Engine{cfg: cfg}
-	if cfg.Rate != nil {
-		e.rate = newRateLimiter(*cfg.Rate)
-	}
-	if cfg.Greylist != nil {
-		e.grey = newGreylist(*cfg.Greylist)
-	}
-	if cfg.Reputation != nil {
-		e.rep = newReputation(*cfg.Reputation)
+// New builds an engine. Options enable checkers; with none, everything
+// is allowed.
+func New(opts ...Option) *Engine {
+	e := &Engine{epoch: time.Unix(0, 0).UTC()}
+	for _, o := range opts {
+		o(e)
 	}
 	return e
 }
+
+// Epoch returns the absolute instant offset 0 corresponds to.
+func (e *Engine) Epoch() time.Time { return e.epoch }
+
+// at converts a clock offset to the stores' absolute time.
+func (e *Engine) at(now time.Duration) time.Time { return e.epoch.Add(now) }
 
 // Stats returns a snapshot of the verdict counters.
 func (e *Engine) Stats() Stats {
@@ -180,11 +225,11 @@ func (e *Engine) admitLocked(now time.Duration, ip addr.IPv4, dnsblScore float64
 	// DNSBL hit is recorded afterwards, condemning the next visit.
 	var rep Decision
 	if e.rep != nil {
-		rep = e.rep.check(now, ip)
+		rep = e.rep.Check(e.at(now), ip)
 	}
 	if dnsblScore > 0 && e.rep != nil {
 		e.st.DNSBLHitsSeen++
-		e.rep.recordDNSBLHit(now, ip)
+		e.rep.RecordDNSBLHit(e.at(now), ip)
 	}
 	if rep.Verdict != Allow {
 		return rep
@@ -194,10 +239,10 @@ func (e *Engine) admitLocked(now time.Duration, ip addr.IPv4, dnsblScore float64
 			return d
 		}
 	}
-	if e.cfg.DNSBLReject > 0 && dnsblScore >= e.cfg.DNSBLReject {
+	if e.dnsblReject > 0 && dnsblScore >= e.dnsblReject {
 		return Decision{Reject, "dnsbl", fmt.Sprintf("listed by DNSBLs (score %.1f)", dnsblScore)}
 	}
-	if e.cfg.DNSBLTempfail > 0 && dnsblScore >= e.cfg.DNSBLTempfail {
+	if e.dnsblTempfail > 0 && dnsblScore >= e.dnsblTempfail {
 		return Decision{Tempfail, "dnsbl", fmt.Sprintf("deferred on DNSBL evidence (score %.1f)", dnsblScore)}
 	}
 	return allowed
@@ -232,7 +277,7 @@ func (e *Engine) Rcpt(ctx context.Context, now time.Duration, ip addr.IPv4, send
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.grey != nil {
-		if d := e.grey.check(now, ip, sender, rcpt); d.Verdict != Allow {
+		if d := e.grey.Check(e.at(now), ip, sender, rcpt); d.Verdict != Allow {
 			e.st.RcptGreylisted++
 			return d
 		}
@@ -248,7 +293,7 @@ func (e *Engine) RecordRejectedRcpt(now time.Duration, ip addr.IPv4) {
 	defer e.mu.Unlock()
 	e.st.RejectsSeen++
 	if e.rep != nil {
-		e.rep.recordRejectedRcpt(now, ip)
+		e.rep.RecordRejectedRcpt(e.at(now), ip)
 	}
 }
 
@@ -259,7 +304,7 @@ func (e *Engine) RecordBounce(now time.Duration, ip addr.IPv4) {
 	defer e.mu.Unlock()
 	e.st.BouncesSeen++
 	if e.rep != nil {
-		e.rep.recordBounce(now, ip)
+		e.rep.RecordBounce(e.at(now), ip)
 	}
 }
 
@@ -271,5 +316,5 @@ func (e *Engine) Score(now time.Duration, ip addr.IPv4) float64 {
 	if e.rep == nil {
 		return 0
 	}
-	return e.rep.score(now, ip)
+	return e.rep.Score(e.at(now), ip)
 }

@@ -26,7 +26,7 @@ var bg = context.Background()
 // --- rate limiter ---
 
 func TestRateLimitPerIP(t *testing.T) {
-	e := NewEngine(Config{Rate: &RateConfig{ConnPerSec: 1, ConnBurst: 2}})
+	e := New(WithRate(RateConfig{ConnPerSec: 1, ConnBurst: 2}))
 	if d := e.Admit(bg, at(0), ip1, 0); d.Verdict != Allow {
 		t.Fatalf("first conn: %+v", d)
 	}
@@ -52,10 +52,10 @@ func TestRateLimitPerIP(t *testing.T) {
 
 func TestRateLimitPerPrefix(t *testing.T) {
 	// Generous per-IP budget, tight /25 budget: two neighbours share it.
-	e := NewEngine(Config{Rate: &RateConfig{
+	e := New(WithRate(RateConfig{
 		ConnPerSec: 100, ConnBurst: 100,
 		PrefixConnPerSec: 0.1, PrefixConnBurst: 2,
-	}})
+	}))
 	if d := e.Admit(bg, at(0), ip1, 0); d.Verdict != Allow {
 		t.Fatalf("neighbour 1: %+v", d)
 	}
@@ -72,7 +72,7 @@ func TestRateLimitPerPrefix(t *testing.T) {
 }
 
 func TestRateLimitMail(t *testing.T) {
-	e := NewEngine(Config{Rate: &RateConfig{MailPerSec: 0.1, MailBurst: 1}})
+	e := New(WithRate(RateConfig{MailPerSec: 0.1, MailBurst: 1}))
 	if d := e.Mail(bg, at(0), ip1, "s@x.test"); d.Verdict != Allow {
 		t.Fatalf("first mail: %+v", d)
 	}
@@ -86,7 +86,7 @@ func TestRateLimitMail(t *testing.T) {
 }
 
 func TestRateEvictionIsVerdictNeutral(t *testing.T) {
-	e := NewEngine(Config{Rate: &RateConfig{ConnPerSec: 10, ConnBurst: 2, MaxEntries: 4}})
+	e := New(WithRate(RateConfig{ConnPerSec: 10, ConnBurst: 2, MaxEntries: 4}))
 	// Fill past the cap with sources whose buckets refill instantly.
 	for i := 0; i < 32; i++ {
 		ip := addr.MakeIPv4(10, 0, byte(i>>8), byte(i))
@@ -107,9 +107,9 @@ func TestRateEvictionIsVerdictNeutral(t *testing.T) {
 // --- greylist ---
 
 func greyEngine() *Engine {
-	return NewEngine(Config{Greylist: &GreyConfig{
+	return New(WithGreylist(GreyConfig{
 		MinRetry: 10 * time.Second, MaxValid: time.Hour, WhitelistTTL: 2 * time.Hour,
-	}})
+	}))
 }
 
 func TestGreylistFirstContactTempfails(t *testing.T) {
@@ -164,9 +164,9 @@ func TestGreylistWindowExpiry(t *testing.T) {
 // --- reputation ---
 
 func repEngine() *Engine {
-	return NewEngine(Config{Reputation: &ReputationConfig{
+	return New(WithReputation(ReputationConfig{
 		HalfLife: time.Hour, TempfailScore: 2, RejectScore: 4,
-	}})
+	}))
 }
 
 func TestReputationAccumulatesAndRejects(t *testing.T) {
@@ -237,7 +237,7 @@ func TestReputationRejectedRcptWeighsLess(t *testing.T) {
 // --- DNSBL thresholds + hit feedback ---
 
 func TestDNSBLScoreThresholds(t *testing.T) {
-	e := NewEngine(Config{DNSBLReject: 2, DNSBLTempfail: 1})
+	e := New(WithDNSBLReject(2), WithDNSBLTempfail(1))
 	if d := e.Admit(bg, at(0), ip1, 0); d.Verdict != Allow {
 		t.Fatalf("clean: %+v", d)
 	}
@@ -251,10 +251,10 @@ func TestDNSBLScoreThresholds(t *testing.T) {
 }
 
 func TestDNSBLHitFeedsReputation(t *testing.T) {
-	e := NewEngine(Config{
-		DNSBLReject: 3,
-		Reputation:  &ReputationConfig{HalfLife: time.Hour, TempfailScore: 2, RejectScore: 40},
-	})
+	e := New(
+		WithDNSBLReject(3),
+		WithReputation(ReputationConfig{HalfLife: time.Hour, TempfailScore: 2, RejectScore: 40}),
+	)
 	// Score 1 is below the DNSBL thresholds, but the hit is remembered:
 	// 2.0 × 1.5 = 3 ≥ TempfailScore on the next visit.
 	if d := e.Admit(bg, at(0), ip1, 1); d.Verdict != Allow {
@@ -271,7 +271,7 @@ func TestDNSBLHitFeedsReputation(t *testing.T) {
 // --- engine composition and stats ---
 
 func TestEngineZeroConfigAllowsEverything(t *testing.T) {
-	e := NewEngine(Config{})
+	e := New()
 	for i := 0; i < 10; i++ {
 		if d := e.Admit(bg, at(0), ip1, 0); d.Verdict != Allow {
 			t.Fatalf("conn %d: %+v", i, d)
@@ -290,7 +290,7 @@ func TestEngineZeroConfigAllowsEverything(t *testing.T) {
 }
 
 func TestEngineStatsCountVerdicts(t *testing.T) {
-	e := NewEngine(Config{Rate: &RateConfig{ConnPerSec: 0.001, ConnBurst: 1}, DNSBLReject: 1})
+	e := New(WithRate(RateConfig{ConnPerSec: 0.001, ConnBurst: 1}), WithDNSBLReject(1))
 	e.Admit(bg, at(0), ip1, 0) // allow
 	e.Admit(bg, at(0), ip1, 0) // rate tempfail
 	e.Admit(bg, at(0), ip4, 1) // dnsbl reject
@@ -301,11 +301,11 @@ func TestEngineStatsCountVerdicts(t *testing.T) {
 }
 
 func TestEngineConcurrentUse(t *testing.T) {
-	e := NewEngine(Config{
-		Rate:       &RateConfig{ConnPerSec: 1000, ConnBurst: 1000, MailPerSec: 1000, MailBurst: 1000},
-		Greylist:   &GreyConfig{MinRetry: time.Millisecond},
-		Reputation: &ReputationConfig{},
-	})
+	e := New(
+		WithRate(RateConfig{ConnPerSec: 1000, ConnBurst: 1000, MailPerSec: 1000, MailBurst: 1000}),
+		WithGreylist(GreyConfig{MinRetry: time.Millisecond}),
+		WithReputation(ReputationConfig{}),
+	)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -350,11 +350,11 @@ func (s stubList) Lookup(context.Context, addr.IPv4) (dnsbl.Result, error) {
 }
 
 func TestScorerAccumulatesWeights(t *testing.T) {
-	s := NewScorer(ScorerConfig{Lists: []List{
-		{Name: "a", Resolver: stubList{listed: true}, Weight: 1},
-		{Name: "b", Resolver: stubList{listed: true}, Weight: 0.5},
-		{Name: "c", Resolver: stubList{listed: false}},
-	}})
+	s := NewScorer(WithLists(
+		List{Name: "a", Resolver: stubList{listed: true}, Weight: 1},
+		List{Name: "b", Resolver: stubList{listed: true}, Weight: 0.5},
+		List{Name: "c", Resolver: stubList{listed: false}},
+	))
 	if got := s.Score(bg, ip1); got != 1.5 {
 		t.Fatalf("score = %v, want 1.5", got)
 	}
@@ -365,10 +365,10 @@ func TestScorerAccumulatesWeights(t *testing.T) {
 }
 
 func TestScorerFailsOpenOnErrors(t *testing.T) {
-	s := NewScorer(ScorerConfig{Lists: []List{
-		{Name: "a", Resolver: stubList{listed: true, err: fmt.Errorf("boom")}},
-		{Name: "b", Resolver: stubList{listed: false}},
-	}})
+	s := NewScorer(WithLists(
+		List{Name: "a", Resolver: stubList{listed: true, err: fmt.Errorf("boom")}},
+		List{Name: "b", Resolver: stubList{listed: false}},
+	))
 	if got := s.Score(bg, ip1); got != 0 {
 		t.Fatalf("score = %v, want 0", got)
 	}
@@ -378,14 +378,14 @@ func TestScorerEarlyExit(t *testing.T) {
 	// Two fast condemning lists cross the threshold; the slow list would
 	// take far longer than the test allows.
 	slow := stubList{listed: true, delay: 30 * time.Second}
-	s := NewScorer(ScorerConfig{
-		Lists: []List{
-			{Name: "fast1", Resolver: stubList{listed: true}},
-			{Name: "fast2", Resolver: stubList{listed: true}},
-			{Name: "slow", Resolver: slow},
-		},
-		Threshold: 2,
-	})
+	s := NewScorer(
+		WithLists(
+			List{Name: "fast1", Resolver: stubList{listed: true}},
+			List{Name: "fast2", Resolver: stubList{listed: true}},
+			List{Name: "slow", Resolver: slow},
+		),
+		WithThreshold(2),
+	)
 	done := make(chan float64, 1)
 	go func() { done <- s.Score(bg, ip1) }()
 	select {
@@ -402,17 +402,17 @@ func TestScorerEarlyExit(t *testing.T) {
 }
 
 func TestScorerTimeoutFailsOpen(t *testing.T) {
-	s := NewScorer(ScorerConfig{
-		Lists:   []List{{Name: "slow", Resolver: stubList{listed: true, delay: time.Minute}}},
-		Timeout: 20 * time.Millisecond,
-	})
+	s := NewScorer(
+		WithLists(List{Name: "slow", Resolver: stubList{listed: true, delay: time.Minute}}),
+		WithScanTimeout(20*time.Millisecond),
+	)
 	if got := s.Score(bg, ip1); got != 0 {
 		t.Fatalf("score = %v, want 0 after timeout", got)
 	}
 }
 
 func TestScorerNoLists(t *testing.T) {
-	if got := NewScorer(ScorerConfig{}).Score(bg, ip1); got != 0 {
+	if got := NewScorer().Score(bg, ip1); got != 0 {
 		t.Fatalf("score = %v", got)
 	}
 }
@@ -420,7 +420,7 @@ func TestScorerNoLists(t *testing.T) {
 // --- ServerPolicy adapter ---
 
 func TestServerPolicyClock(t *testing.T) {
-	eng := NewEngine(Config{Greylist: &GreyConfig{MinRetry: 10 * time.Second}})
+	eng := New(WithGreylist(GreyConfig{MinRetry: 10 * time.Second}))
 	var now time.Duration
 	p := NewServerPolicy(eng, nil).withNow(func() time.Duration { return now })
 	if d := p.Rcpt(bg, "198.51.100.7", "s@x.test", "u@y.test"); d.Verdict != Tempfail {
@@ -433,7 +433,7 @@ func TestServerPolicyClock(t *testing.T) {
 }
 
 func TestServerPolicyFailsOpenOnBadAddress(t *testing.T) {
-	eng := NewEngine(Config{Rate: &RateConfig{ConnPerSec: 0.001, ConnBurst: 1}})
+	eng := New(WithRate(RateConfig{ConnPerSec: 0.001, ConnBurst: 1}))
 	p := NewServerPolicy(eng, nil)
 	for i := 0; i < 5; i++ {
 		if d := p.Connect(bg, "::1"); d.Verdict != Allow {
@@ -443,7 +443,7 @@ func TestServerPolicyFailsOpenOnBadAddress(t *testing.T) {
 }
 
 func TestServerPolicyRecordsEvents(t *testing.T) {
-	eng := NewEngine(Config{Reputation: &ReputationConfig{TempfailScore: 1, RejectScore: 100}})
+	eng := New(WithReputation(ReputationConfig{TempfailScore: 1, RejectScore: 100}))
 	p := NewServerPolicy(eng, nil)
 	p.RecordBounce("198.51.100.7")
 	if d := p.Connect(bg, "198.51.100.7"); d.Verdict != Tempfail {

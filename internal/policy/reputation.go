@@ -3,6 +3,9 @@ package policy
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/addr"
@@ -67,91 +70,110 @@ func (c ReputationConfig) withDefaults() ReputationConfig {
 // ewma is one decayed score: value as of last.
 type ewma struct {
 	value float64
-	last  time.Duration
+	last  time.Time
 }
 
-// decayed returns the score decayed to now.
-func (e *ewma) decayed(now time.Duration, halfLife time.Duration) float64 {
-	if now <= e.last {
+// decayed returns the score decayed to at.
+func (e *ewma) decayed(at time.Time, halfLife time.Duration) float64 {
+	if !at.After(e.last) {
 		return e.value
 	}
-	return e.value * math.Exp2(-float64(now-e.last)/float64(halfLife))
+	return e.value * math.Exp2(-float64(at.Sub(e.last))/float64(halfLife))
 }
 
-// add decays to now and adds w.
-func (e *ewma) add(now time.Duration, halfLife time.Duration, w float64) {
-	e.value = e.decayed(now, halfLife)
-	if now > e.last {
-		e.last = now
+// add decays to at and adds w.
+func (e *ewma) add(at time.Time, halfLife time.Duration, w float64) {
+	e.value = e.decayed(at, halfLife)
+	if at.After(e.last) {
+		e.last = at
 	}
 	e.value += w
 }
 
-// reputation is the two-level decayed score store.
-type reputation struct {
+// Reputation is the two-level decayed score store. It implements
+// ReputationStore and ReputationSync and is safe for concurrent use, so
+// several front ends — or a front end plus a gossip loop — can share
+// one instance.
+type Reputation struct {
 	cfg    ReputationConfig
+	mu     sync.Mutex
 	byIP   map[addr.IPv4]*ewma
 	byPref map[addr.Prefix]*ewma
 }
 
-func newReputation(cfg ReputationConfig) *reputation {
-	return &reputation{
+// NewReputation builds a reputation store from cfg.
+func NewReputation(cfg ReputationConfig) *Reputation {
+	return &Reputation{
 		cfg:    cfg.withDefaults(),
 		byIP:   make(map[addr.IPv4]*ewma),
 		byPref: make(map[addr.Prefix]*ewma),
 	}
 }
 
-func (r *reputation) recordBounce(now time.Duration, ip addr.IPv4) {
-	r.add(now, ip, r.cfg.BounceWeight)
+// RecordBounce implements ReputationStore.
+func (r *Reputation) RecordBounce(at time.Time, ip addr.IPv4) {
+	r.record(at, ip, r.cfg.BounceWeight)
 }
 
-func (r *reputation) recordRejectedRcpt(now time.Duration, ip addr.IPv4) {
-	r.add(now, ip, r.cfg.RejectWeight)
+// RecordRejectedRcpt implements ReputationStore.
+func (r *Reputation) RecordRejectedRcpt(at time.Time, ip addr.IPv4) {
+	r.record(at, ip, r.cfg.RejectWeight)
 }
 
-func (r *reputation) recordDNSBLHit(now time.Duration, ip addr.IPv4) {
-	r.add(now, ip, r.cfg.DNSBLWeight)
+// RecordDNSBLHit implements ReputationStore.
+func (r *Reputation) RecordDNSBLHit(at time.Time, ip addr.IPv4) {
+	r.record(at, ip, r.cfg.DNSBLWeight)
 }
 
-func (r *reputation) add(now time.Duration, ip addr.IPv4, w float64) {
+func (r *Reputation) record(at time.Time, ip addr.IPv4, w float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	ipE, ok := r.byIP[ip]
 	if !ok {
 		if len(r.byIP) >= r.cfg.MaxEntries {
-			sweepEwma(r.byIP, now, r.cfg.HalfLife)
+			sweepEwma(r.byIP, at, r.cfg.HalfLife)
 		}
-		ipE = &ewma{last: now}
+		ipE = &ewma{last: at}
 		r.byIP[ip] = ipE
 	}
-	ipE.add(now, r.cfg.HalfLife, w)
+	ipE.add(at, r.cfg.HalfLife, w)
 
 	pref := ip.Prefix25()
 	prefE, ok := r.byPref[pref]
 	if !ok {
 		if len(r.byPref) >= r.cfg.MaxEntries {
-			sweepEwma(r.byPref, now, r.cfg.HalfLife)
+			sweepEwma(r.byPref, at, r.cfg.HalfLife)
 		}
-		prefE = &ewma{last: now}
+		prefE = &ewma{last: at}
 		r.byPref[pref] = prefE
 	}
-	prefE.add(now, r.cfg.HalfLife, w)
+	prefE.add(at, r.cfg.HalfLife, w)
 }
 
-// score returns the combined decayed score: exact-IP history plus a
-// fraction of the /25 neighbourhood's.
-func (r *reputation) score(now time.Duration, ip addr.IPv4) float64 {
+// Score implements ReputationStore: the combined decayed score — the
+// exact IP's history plus a fraction of its /25 neighbourhood's.
+func (r *Reputation) Score(at time.Time, ip addr.IPv4) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.scoreLocked(at, ip)
+}
+
+func (r *Reputation) scoreLocked(at time.Time, ip addr.IPv4) float64 {
 	var s float64
 	if e, ok := r.byIP[ip]; ok {
-		s += e.decayed(now, r.cfg.HalfLife)
+		s += e.decayed(at, r.cfg.HalfLife)
 	}
 	if e, ok := r.byPref[ip.Prefix25()]; ok {
-		s += r.cfg.PrefixFactor * e.decayed(now, r.cfg.HalfLife)
+		s += r.cfg.PrefixFactor * e.decayed(at, r.cfg.HalfLife)
 	}
 	return s
 }
 
-func (r *reputation) check(now time.Duration, ip addr.IPv4) Decision {
-	s := r.score(now, ip)
+// Check implements ReputationStore.
+func (r *Reputation) Check(at time.Time, ip addr.IPv4) Decision {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.scoreLocked(at, ip)
 	switch {
 	case s >= r.cfg.RejectScore:
 		return Decision{Reject, "reputation", fmt.Sprintf("poor sending history (score %.1f)", s)}
@@ -161,13 +183,116 @@ func (r *reputation) check(now time.Duration, ip addr.IPv4) Decision {
 	return allowed
 }
 
+// Delta implements ReputationSync: every entry whose last update is at
+// or after since. A zero since returns the full snapshot.
+func (r *Reputation) Delta(since time.Time) []RepEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []RepEntry
+	for ip, e := range r.byIP {
+		if !e.last.Before(since) {
+			out = append(out, RepEntry{Key: ip.String(), Value: e.value, Last: e.last})
+		}
+	}
+	for p, e := range r.byPref {
+		if !e.last.Before(since) {
+			out = append(out, RepEntry{Key: p.String(), Value: e.value, Last: e.last})
+		}
+	}
+	return out
+}
+
+// Merge implements ReputationSync. For each remote entry, both the local
+// and remote scores are decayed to the later of the two stamps; the
+// larger decayed score wins and is stored with the winner's stamp
+// untouched. Because EWMA decay commutes with the max — decaying both
+// operands by the same interval preserves their order — this merge is
+// commutative, associative, and idempotent (a max-CRDT under decay), so
+// overlapping or repeated gossip rounds converge without inflating
+// scores. The cost is that the merged view is a lower bound on the sum
+// of what both nodes observed; DESIGN.md discusses why that is the safe
+// direction for an admission signal. Returns how many entries changed
+// local state.
+func (r *Reputation) Merge(entries []RepEntry) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	changed := 0
+	for _, re := range entries {
+		var slot *ewma
+		if strings.ContainsRune(re.Key, '/') {
+			pref, ok := parsePrefixKey(re.Key)
+			if !ok {
+				continue
+			}
+			e, ok := r.byPref[pref]
+			if !ok {
+				if len(r.byPref) >= r.cfg.MaxEntries {
+					sweepEwma(r.byPref, re.Last, r.cfg.HalfLife)
+				}
+				e = &ewma{}
+				r.byPref[pref] = e
+			}
+			slot = e
+		} else {
+			ip, err := addr.ParseIPv4(re.Key)
+			if err != nil {
+				continue
+			}
+			e, ok := r.byIP[ip]
+			if !ok {
+				if len(r.byIP) >= r.cfg.MaxEntries {
+					sweepEwma(r.byIP, re.Last, r.cfg.HalfLife)
+				}
+				e = &ewma{}
+				r.byIP[ip] = e
+			}
+			slot = e
+		}
+		ref := slot.last
+		if re.Last.After(ref) {
+			ref = re.Last
+		}
+		local := slot.decayed(ref, r.cfg.HalfLife)
+		remote := remoteDecayed(re, ref, r.cfg.HalfLife)
+		if remote > local {
+			slot.value = re.Value
+			slot.last = re.Last
+			changed++
+		}
+	}
+	return changed
+}
+
+func remoteDecayed(re RepEntry, at time.Time, halfLife time.Duration) float64 {
+	if !at.After(re.Last) {
+		return re.Value
+	}
+	return re.Value * math.Exp2(-float64(at.Sub(re.Last))/float64(halfLife))
+}
+
+func parsePrefixKey(key string) (addr.Prefix, bool) {
+	slash := strings.IndexByte(key, '/')
+	if slash < 0 {
+		return addr.Prefix{}, false
+	}
+	ip, err := addr.ParseIPv4(key[:slash])
+	if err != nil {
+		return addr.Prefix{}, false
+	}
+	bits, err := strconv.Atoi(key[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return addr.Prefix{}, false
+	}
+	return ip.PrefixN(bits), true
+}
+
 // negligibleScore is the decayed value below which an entry is
 // indistinguishable from absent.
 const negligibleScore = 1e-3
 
-func sweepEwma[K comparable](m map[K]*ewma, now time.Duration, halfLife time.Duration) {
+func sweepEwma[K comparable](m map[K]*ewma, at time.Time, halfLife time.Duration) {
 	for k, e := range m {
-		if e.decayed(now, halfLife) < negligibleScore {
+		if e.decayed(at, halfLife) < negligibleScore {
 			delete(m, k)
 		}
 	}

@@ -22,31 +22,51 @@ type List struct {
 	Weight float64
 }
 
-// ScorerConfig parameterizes a Scorer.
-type ScorerConfig struct {
-	// Lists are the blacklists to consult.
-	Lists []List
-	// Registry receives the scorer's metrics (scan counters and the
-	// policy_scan_seconds latency sample). Nil means a private registry.
-	Registry *metrics.Registry
-	// Threshold stops the scan early once the accumulated score reaches
-	// it — slower lists are never waited on when faster ones have
-	// already condemned the source. 0 waits for every list.
-	Threshold float64
-	// Timeout bounds the whole scan when the caller's context carries no
-	// deadline (default costmodel.DNSBLTimeout). Lists that miss the
-	// deadline contribute 0 — the scorer fails open, like the paper's
-	// servers: a DNSBL outage must not stop mail.
-	Timeout time.Duration
+// scorerConfig collects the scorer's tunables.
+type scorerConfig struct {
+	lists     []List
+	registry  *metrics.Registry
+	threshold float64
+	timeout   time.Duration
+}
+
+// ScorerOption configures a Scorer (see NewScorer).
+type ScorerOption func(*scorerConfig)
+
+// WithLists appends blacklists for the scorer to consult.
+func WithLists(lists ...List) ScorerOption {
+	return func(c *scorerConfig) { c.lists = append(c.lists, lists...) }
+}
+
+// WithThreshold stops a scan early once the accumulated score reaches
+// threshold — slower lists are never waited on when faster ones have
+// already condemned the source. 0 (the default) waits for every list.
+func WithThreshold(threshold float64) ScorerOption {
+	return func(c *scorerConfig) { c.threshold = threshold }
+}
+
+// WithScanTimeout bounds the whole scan when the caller's context
+// carries no deadline (default costmodel.DNSBLTimeout). Lists that miss
+// the deadline contribute 0 — the scorer fails open, like the paper's
+// servers: a DNSBL outage must not stop mail.
+func WithScanTimeout(d time.Duration) ScorerOption {
+	return func(c *scorerConfig) { c.timeout = d }
+}
+
+// WithScorerRegistry directs the scorer's metrics (scan counters and
+// the policy_scan_seconds latency sample) into r. The default is a
+// private registry.
+func WithScorerRegistry(r *metrics.Registry) ScorerOption {
+	return func(c *scorerConfig) { c.registry = r }
 }
 
 // Scorer fans one IP out to several DNSBLs concurrently and accumulates
-// a weighted listing score, exiting early once Threshold is crossed
+// a weighted listing score, exiting early once the threshold is crossed
 // (Figure 5 shows 16–50% of single-list queries exceeding 100 ms, so
 // serial consultation of several lists is untenable in an accept path).
 // It is safe for concurrent use.
 type Scorer struct {
-	cfg ScorerConfig
+	cfg scorerConfig
 	reg *metrics.Registry
 
 	scans   *metrics.Counter
@@ -55,17 +75,21 @@ type Scorer struct {
 	latency *metrics.Sample  // scan wall time in seconds
 }
 
-// NewScorer returns a scorer over the given lists.
-func NewScorer(cfg ScorerConfig) *Scorer {
-	if cfg.Timeout <= 0 {
-		cfg.Timeout = costmodel.DNSBLTimeout
+// NewScorer returns a scorer over the lists given via WithLists.
+func NewScorer(opts ...ScorerOption) *Scorer {
+	var cfg scorerConfig
+	for _, o := range opts {
+		o(&cfg)
 	}
-	for i := range cfg.Lists {
-		if cfg.Lists[i].Weight == 0 {
-			cfg.Lists[i].Weight = 1
+	if cfg.timeout <= 0 {
+		cfg.timeout = costmodel.DNSBLTimeout
+	}
+	for i := range cfg.lists {
+		if cfg.lists[i].Weight == 0 {
+			cfg.lists[i].Weight = 1
 		}
 	}
-	reg := cfg.Registry
+	reg := cfg.registry
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
@@ -94,21 +118,21 @@ type listVote struct {
 // context is cancelled as soon as the scan ends, so abandoned lookups
 // stop retrying and hedging immediately. Lookup errors score 0.
 func (s *Scorer) Score(ctx context.Context, ip addr.IPv4) float64 {
-	if len(s.cfg.Lists) == 0 {
+	if len(s.cfg.lists) == 0 {
 		return 0
 	}
 	start := time.Now()
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.timeout)
 		defer cancel()
 	} else {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithCancel(ctx)
 		defer cancel()
 	}
-	votes := make(chan listVote, len(s.cfg.Lists))
-	for _, l := range s.cfg.Lists {
+	votes := make(chan listVote, len(s.cfg.lists))
+	for _, l := range s.cfg.lists {
 		go func(l List) {
 			res, err := l.Resolver.Lookup(ctx, ip)
 			votes <- listVote{weight: l.Weight, listed: err == nil && res.Listed}
@@ -117,13 +141,13 @@ func (s *Scorer) Score(ctx context.Context, ip addr.IPv4) float64 {
 	var score float64
 	answered := 0
 scan:
-	for answered < len(s.cfg.Lists) {
+	for answered < len(s.cfg.lists) {
 		select {
 		case v := <-votes:
 			answered++
 			if v.listed {
 				score += v.weight
-				if s.cfg.Threshold > 0 && score >= s.cfg.Threshold {
+				if s.cfg.threshold > 0 && score >= s.cfg.threshold {
 					break scan
 				}
 			}
@@ -131,7 +155,7 @@ scan:
 			break scan
 		}
 	}
-	if answered < len(s.cfg.Lists) {
+	if answered < len(s.cfg.lists) {
 		s.early.Inc()
 	}
 	s.scans.Inc()

@@ -18,6 +18,7 @@ type ServerPolicy struct {
 	eng    *Engine
 	scorer *Scorer
 	epoch  time.Time
+	clock  func() time.Time
 	nowFn  func() time.Duration
 
 	reg          *metrics.Registry
@@ -45,6 +46,15 @@ func WithEventLog(log *eventlog.Log) ServerPolicyOption {
 	return func(p *ServerPolicy) { p.events = log }
 }
 
+// WithClock drives the policy off an injected absolute clock instead of
+// the process start time: offsets handed to the Engine become
+// now().Sub(eng.Epoch()), so store timestamps are real instants on the
+// injected clock — deterministic in tests, and comparable across nodes
+// whose engines share an epoch (the gossip layer requires this).
+func WithClock(now func() time.Time) ServerPolicyOption {
+	return func(p *ServerPolicy) { p.clock = now }
+}
+
 // NewServerPolicy wraps eng for wall-clock use; scorer may be nil when
 // no DNSBLs are consulted.
 func NewServerPolicy(eng *Engine, scorer *Scorer, opts ...ServerPolicyOption) *ServerPolicy {
@@ -62,7 +72,11 @@ func NewServerPolicy(eng *Engine, scorer *Scorer, opts ...ServerPolicyOption) *S
 	p.admitLatency = p.reg.Sample("policy_admit_seconds")
 	p.scanCheck = p.reg.Histogram("policy_check_seconds", metrics.LatencyBounds(), "check", "dnsbl_scan")
 	p.admitCheck = p.reg.Histogram("policy_check_seconds", metrics.LatencyBounds(), "check", "admit")
-	p.nowFn = func() time.Duration { return time.Since(p.epoch) }
+	if p.clock != nil {
+		p.nowFn = func() time.Duration { return p.clock().Sub(eng.Epoch()) }
+	} else {
+		p.nowFn = func() time.Duration { return time.Since(p.epoch) }
+	}
 	return p
 }
 

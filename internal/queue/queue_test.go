@@ -165,7 +165,7 @@ func TestSpoolLifecycle(t *testing.T) {
 		<-gate
 		return col.Deliver(item)
 	})
-	m, _ := NewManager(Config{Deliverer: gated, Spool: fs})
+	m, _ := NewManager(Config{Deliverer: gated, Store: spool.New(fs, "")})
 	defer m.Close()
 	id, err := m.Enqueue("s@a.test", []string{"r1@b.test", "r2@b.test"}, []byte("payload"))
 	if err != nil {
@@ -386,7 +386,7 @@ func TestExhaustedMailBounces(t *testing.T) {
 	})
 	m, _ := NewManager(Config{
 		Deliverer:   del,
-		Spool:       fs,
+		Store:       spool.New(fs, ""),
 		MaxAttempts: 2,
 		RetryDelay:  time.Millisecond,
 		RetryJitter: -1,
@@ -429,7 +429,7 @@ func TestDoubleBounceGoesToHold(t *testing.T) {
 	failing := DelivererFunc(func(item *Item) error { return errors.New("remote down") })
 	m, _ := NewManager(Config{
 		Deliverer:   failing,
-		Spool:       fs,
+		Store:       spool.New(fs, ""),
 		MaxAttempts: 2,
 		RetryDelay:  time.Millisecond,
 		RetryJitter: -1,
@@ -466,7 +466,7 @@ func TestKillAndReopenRecoversAll(t *testing.T) {
 	})
 	m1, err := NewManager(Config{
 		Deliverer:   blocked,
-		Spool:       fault,
+		Store:       spool.New(fault, ""),
 		ActiveLimit: 1,
 		MaxAttempts: 5,
 		RetryDelay:  time.Hour,
@@ -490,7 +490,7 @@ func TestKillAndReopenRecoversAll(t *testing.T) {
 
 	fault.Recover()
 	col := &collector{}
-	m2, err := NewManager(Config{Deliverer: col, Spool: fault})
+	m2, err := NewManager(Config{Deliverer: col, Store: spool.New(fault, "")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -540,7 +540,7 @@ func TestQueueCrashPointEnumeration(t *testing.T) {
 		col1 := &collector{failUntil: map[string]int{"Q0000000000000002": 2}}
 		m1, err := NewManager(Config{
 			Deliverer:   col1,
-			Spool:       fault,
+			Store:       spool.New(fault, ""),
 			MaxAttempts: 3,
 			RetryDelay:  time.Millisecond,
 			RetryJitter: -1,
@@ -562,7 +562,7 @@ func TestQueueCrashPointEnumeration(t *testing.T) {
 
 		fault.Recover()
 		col2 := &collector{}
-		m2, err := NewManager(Config{Deliverer: col2, Spool: fault})
+		m2, err := NewManager(Config{Deliverer: col2, Store: spool.New(fault, "")})
 		if err != nil {
 			t.Fatalf("crash@%d: reopen: %v", n, err)
 		}

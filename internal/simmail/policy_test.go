@@ -12,10 +12,10 @@ import (
 // policyOpts builds a sweep-style policy configuration: listed sources
 // rejected, first contacts greylisted, ham retries after 35 s.
 func policyOpts(listed map[addr.IPv4]bool) *PolicyOptions {
-	eng := policy.NewEngine(policy.Config{
-		Greylist:    &policy.GreyConfig{MinRetry: 30 * time.Second},
-		DNSBLReject: 1,
-	})
+	eng := policy.New(
+		policy.WithGreylist(policy.GreyConfig{MinRetry: 30 * time.Second}),
+		policy.WithDNSBLReject(1),
+	)
 	return &PolicyOptions{
 		Engine:      eng,
 		Listed:      func(c *trace.Conn) bool { return listed[c.ClientIP] },

@@ -43,9 +43,7 @@ func rcptCode(t *testing.T, c *smtp.Client, rcpt string) int {
 func TestGreylistTempfailThenAccept(t *testing.T) {
 	forEachArch(t, func(t *testing.T, arch Architecture) {
 		const minRetry = 60 * time.Millisecond
-		eng := policy.NewEngine(policy.Config{
-			Greylist: &policy.GreyConfig{MinRetry: minRetry},
-		})
+		eng := policy.New(policy.WithGreylist(policy.GreyConfig{MinRetry: minRetry}))
 		env := startServer(t, arch, WithPolicy(policy.NewServerPolicy(eng, nil)))
 
 		// First attempt: greylisted with 450; the recipient is valid, so
@@ -97,10 +95,10 @@ func TestGreylistTempfailThenAccept(t *testing.T) {
 // Hybrid it never reaches the worker pool.
 func TestPolicyConnectReject(t *testing.T) {
 	forEachArch(t, func(t *testing.T, arch Architecture) {
-		eng := policy.NewEngine(policy.Config{DNSBLReject: 1})
-		scorer := policy.NewScorer(policy.ScorerConfig{
-			Lists: []policy.List{{Name: "bl.test", Resolver: listedAll{}, Weight: 1}},
-		})
+		eng := policy.New(policy.WithDNSBLReject(1))
+		scorer := policy.NewScorer(policy.WithLists(
+			policy.List{Name: "bl.test", Resolver: listedAll{}, Weight: 1},
+		))
 		env := startServer(t, arch, WithPolicy(policy.NewServerPolicy(eng, scorer)))
 		nc, err := net.Dial("tcp", env.addr)
 		if err != nil {
@@ -125,9 +123,7 @@ func TestPolicyConnectReject(t *testing.T) {
 // second concurrent connection from the same IP draws 421.
 func TestPolicyRateLimitTempfail(t *testing.T) {
 	forEachArch(t, func(t *testing.T, arch Architecture) {
-		eng := policy.NewEngine(policy.Config{
-			Rate: &policy.RateConfig{ConnPerSec: 0.001, ConnBurst: 1},
-		})
+		eng := policy.New(policy.WithRate(policy.RateConfig{ConnPerSec: 0.001, ConnBurst: 1}))
 		env := startServer(t, arch, WithPolicy(policy.NewServerPolicy(eng, nil)))
 
 		// First connection is admitted and delivers.
@@ -162,13 +158,11 @@ func TestPolicyRateLimitTempfail(t *testing.T) {
 // all.
 func TestPolicyBounceFeedsReputation(t *testing.T) {
 	forEachArch(t, func(t *testing.T, arch Architecture) {
-		eng := policy.NewEngine(policy.Config{
-			Reputation: &policy.ReputationConfig{
-				HalfLife:      time.Hour,
-				TempfailScore: 3,   // one bounce scores ~1.95 (with the /25 echo), two ~3.9
-				RejectScore:   100, // keep the verdict at tempfail for the test
-			},
-		})
+		eng := policy.New(policy.WithReputation(policy.ReputationConfig{
+			HalfLife:      time.Hour,
+			TempfailScore: 3,   // one bounce scores ~1.95 (with the /25 echo), two ~3.9
+			RejectScore:   100, // keep the verdict at tempfail for the test
+		}))
 		env := startServer(t, arch, WithPolicy(policy.NewServerPolicy(eng, nil)))
 
 		// Two bounce connections: each records rejected RCPTs plus a

@@ -241,15 +241,6 @@ func New(enqueue Enqueue, opts ...Option) (*Server, error) {
 	return newServer(st)
 }
 
-// NewFromConfig returns an unstarted server from the pre-redesign Config
-// struct. Unlike New it has no default architecture: a zero Arch is an
-// error, as it always was.
-//
-// Deprecated: use New with functional options.
-func NewFromConfig(cfg Config) (*Server, error) {
-	return newServer(settings{Config: cfg})
-}
-
 // newServer validates, defaults, and wires the instrumentation.
 func newServer(st settings) (*Server, error) {
 	cfg := st.Config

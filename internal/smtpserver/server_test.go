@@ -326,12 +326,10 @@ func TestNewValidation(t *testing.T) {
 	if srv.cfg.Arch != Hybrid {
 		t.Fatalf("default arch = %v, want Hybrid", srv.cfg.Arch)
 	}
-	// ...while the deprecated Config path still rejects a zero Arch.
-	if _, err := NewFromConfig(Config{Enqueue: enq}); err == nil {
-		t.Fatal("NewFromConfig with zero Arch accepted")
-	}
-	if _, err := NewFromConfig(Config{Arch: Vanilla, Enqueue: enq}); err != nil {
-		t.Fatalf("NewFromConfig = %v", err)
+	// ...and an explicit zero Architecture is still rejected, not
+	// silently re-defaulted.
+	if _, err := New(enq, WithArchitecture(Architecture(0))); err == nil {
+		t.Fatal("zero Architecture accepted")
 	}
 }
 
