@@ -461,6 +461,73 @@ func BenchmarkSMTPDialog(b *testing.B) {
 	b.ReportMetric(0, "allocs/cmd")
 }
 
+// BenchmarkTraceSampledOut proves tracing is free when it loses the
+// sampling coin flip: the full per-mail call sequence — Mint at the
+// connection edge, then the NewSpan/FinishAt pair every pipeline stage
+// issues (forward, smtp, queue, delivery, store) — wrapped around the
+// same pre-trust dialog as BenchmarkSMTPDialog, with a recorder whose
+// sampling excludes every connection. Like that benchmark it is its
+// own regression gate: any allocation on the sampled-out path fails it.
+func BenchmarkTraceSampledOut(b *testing.B) {
+	script := []byte("HELO client.example\r\n" +
+		"MAIL FROM:<probe@spam.example>\r\n" +
+		"RCPT TO:<good@valid.example>\r\n" +
+		"RCPT TO:<ghost@trap.example>\r\n" +
+		"RSET\r\n")
+	const cmds = 5
+	rw := &benchLoopRW{script: script}
+	c := smtp.NewConn(rw)
+	sess := smtp.NewSession(smtp.Config{Hostname: "mx.bench.example"})
+	// 1-in-2^30 sampling: the mint counter never reaches the modulus
+	// inside the benchmark, so every dialog runs the sampled-out path.
+	rec := trace.NewMessageRecorder("bench-node", 64, 1<<30)
+	now := time.Now()
+	stages := []string{
+		trace.MStageForward, trace.MStageSMTP, trace.MStageQueue,
+		trace.MStageDelivery, trace.MStageStore,
+	}
+	run := func() {
+		tc := rec.Mint() // zero Context: connection lost the coin flip
+		for i := 0; i < cmds; i++ {
+			line, err := c.ReadLine()
+			if err != nil {
+				b.Fatalf("ReadLine: %v", err)
+			}
+			reply, _ := sess.CommandBytes(line)
+			if err := c.WriteReplyLazy(reply); err != nil {
+				b.Fatalf("WriteReplyLazy: %v", err)
+			}
+		}
+		if err := c.Flush(); err != nil {
+			b.Fatalf("Flush: %v", err)
+		}
+		// The downstream stage calls the pipeline issues per mail, all
+		// no-ops on the zero context.
+		for _, stage := range stages {
+			sp := rec.NewSpan(tc)
+			rec.FinishAt(sp, stage, now, now, "bench")
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run() // warmup: grow buffers
+	}
+	if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
+		b.Fatalf("sampled-out traced dialog allocates %.1f times per %d commands, want 0", allocs, cmds)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)*cmds/sec, "cmds/s")
+	}
+	b.ReportMetric(0, "allocs/cmd")
+	if got := len(rec.Spans()); got != 0 {
+		b.Fatalf("sampled-out run recorded %d spans, want 0", got)
+	}
+}
+
 // BenchmarkSMTPAcceptShards measures sinkhole connection turnover over
 // real TCP — connect, pipelined bounce dialog (HELO, MAIL, rejected
 // RCPT, QUIT), disconnect — against the hybrid server with 1 accept

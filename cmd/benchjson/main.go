@@ -11,9 +11,14 @@
 //
 // With -merge it instead combines several suite files into one
 // trajectory document, keyed by suite name (the file's basename without
-// the BENCH_ prefix and .json suffix):
+// the BENCH_ prefix and .json suffix). Inputs may also be prior merged
+// documents: their suites seed the map, and later arguments override
+// earlier ones suite-by-suite. That makes the committed baselines the
+// seed of the trajectory — a run that regenerates only some suites
+// still emits a complete document, with fresh results shadowing stale:
 //
-//	go run ./cmd/benchjson -merge -o BENCH_all.json BENCH_queue.json BENCH_smtp.json
+//	go run ./cmd/benchjson -merge -o BENCH_all.json \
+//	    BENCH_all.json BENCH_queue.json BENCH_smtp.json
 package main
 
 import (
@@ -98,7 +103,11 @@ func main() {
 	}
 }
 
-// mergeFiles loads suite reports and combines them keyed by suite name.
+// mergeFiles loads suite reports — single-suite files or prior merged
+// documents — and combines them keyed by suite name. Later arguments
+// win on a suite-name collision, so a previously merged baseline given
+// first seeds every suite and freshly regenerated files override only
+// the suites they cover.
 func mergeFiles(paths []string) (Merged, error) {
 	m := Merged{Suites: make(map[string]Report, len(paths))}
 	for _, path := range paths {
@@ -106,15 +115,19 @@ func mergeFiles(paths []string) (Merged, error) {
 		if err != nil {
 			return Merged{}, err
 		}
+		// A merged document folds in suite-by-suite.
+		var prior Merged
+		if err := json.Unmarshal(data, &prior); err == nil && prior.Suites != nil {
+			for name, rep := range prior.Suites {
+				m.Suites[name] = rep
+			}
+			continue
+		}
 		var rep Report
 		if err := json.Unmarshal(data, &rep); err != nil {
 			return Merged{}, fmt.Errorf("%s: %w", path, err)
 		}
-		name := suiteName(path)
-		if _, dup := m.Suites[name]; dup {
-			return Merged{}, fmt.Errorf("duplicate suite %q (from %s)", name, path)
-		}
-		m.Suites[name] = rep
+		m.Suites[suiteName(path)] = rep
 	}
 	return m, nil
 }

@@ -107,15 +107,19 @@ func TestMergeFiles(t *testing.T) {
 		t.Errorf("smtp suite parsed as %+v", s)
 	}
 
-	// Two files collapsing to the same suite key must be rejected, not
-	// silently last-writer-wins.
+	// Two files collapsing to the same suite key: the later one wins, so
+	// a freshly regenerated suite shadows the committed baseline.
 	dup := filepath.Join(dir, "sub")
 	if err := os.Mkdir(dup, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	writeJSON(filepath.Join(dup, "BENCH_queue.json"), `{"benchmarks":[]}`)
-	if _, err := mergeFiles([]string{queue, filepath.Join(dup, "BENCH_queue.json")}); err == nil {
-		t.Error("duplicate suite names must error")
+	writeJSON(filepath.Join(dup, "BENCH_queue.json"), `{"goos":"darwin","benchmarks":[]}`)
+	m2, err := mergeFiles([]string{queue, filepath.Join(dup, "BENCH_queue.json")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Suites["queue"].Goos; got != "darwin" {
+		t.Errorf("duplicate suite: later file must win, got goos=%q", got)
 	}
 	if _, err := mergeFiles([]string{filepath.Join(dir, "missing.json")}); err == nil {
 		t.Error("missing file must error")
@@ -123,5 +127,37 @@ func TestMergeFiles(t *testing.T) {
 	writeJSON(filepath.Join(dir, "BENCH_bad.json"), `not json`)
 	if _, err := mergeFiles([]string{filepath.Join(dir, "BENCH_bad.json")}); err == nil {
 		t.Error("malformed JSON must error")
+	}
+}
+
+func TestMergeSeedsFromPriorMergedDoc(t *testing.T) {
+	dir := t.TempDir()
+	writeJSON := func(path, body string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A prior trajectory doc with two suites seeds the map; a fresh
+	// single-suite file then overrides only the suite it covers.
+	prior := filepath.Join(dir, "BENCH_all.json")
+	writeJSON(prior, `{"suites":{
+		"queue":{"goos":"linux","benchmarks":[{"name":"Old","iterations":1,"ns_per_op":1}]},
+		"trace":{"goos":"linux","benchmarks":[{"name":"TraceSampledOut","iterations":1,"ns_per_op":2}]}}}`)
+	fresh := filepath.Join(dir, "BENCH_queue.json")
+	writeJSON(fresh, `{"goos":"linux","benchmarks":[{"name":"New","iterations":9,"ns_per_op":3}]}`)
+
+	m, err := mergeFiles([]string{prior, fresh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Suites) != 2 {
+		t.Fatalf("suites = %d, want 2 (queue overridden, trace carried forward)", len(m.Suites))
+	}
+	if got := m.Suites["queue"].Benchmarks[0].Name; got != "New" {
+		t.Errorf("queue suite = %q, want fresh file to override the seeded baseline", got)
+	}
+	if got := m.Suites["trace"].Benchmarks[0].Name; got != "TraceSampledOut" {
+		t.Errorf("trace suite = %q, want it carried forward from the prior doc", got)
 	}
 }

@@ -67,6 +67,9 @@ func main() {
 		dnsblZone  = flag.String("dnsbl-zone", "bl.example.org", "DNSBL zone name")
 		statsSec   = flag.Int("stats", 10, "stats period in seconds (0 disables)")
 		logLevel   = flag.String("log", "info", "echo events at or above this level to stderr")
+
+		traceSample = flag.Int("trace-sample", 0, "message-lifecycle tracing: mint a trace id for 1 in N client connections and propagate it to XTRACE-capable shards (0 disables; 1 traces everything); spans serve at /trace/{id} on -admin")
+		nodeName    = flag.String("node", "", "node name stamped on message-trace spans (default: -hostname)")
 	)
 	flag.Parse()
 
@@ -134,6 +137,15 @@ func main() {
 			policy.WithClock(time.Now))
 	}
 
+	var mtrace *trace.MessageRecorder
+	if *traceSample > 0 {
+		node := *nodeName
+		if node == "" {
+			node = *hostname
+		}
+		mtrace = trace.NewMessageRecorder(node, 65536, *traceSample)
+	}
+
 	dOpts := []director.Option{
 		director.WithHostname(*hostname),
 		director.WithVnodes(*vnodes),
@@ -141,6 +153,9 @@ func main() {
 		director.WithForwardTimeout(*fwdTimeout),
 		director.WithRegistry(reg),
 		director.WithEventLog(events),
+	}
+	if mtrace != nil {
+		dOpts = append(dOpts, director.WithMessageTracer(mtrace))
 	}
 	for _, spec := range backends {
 		name, addr, ok := strings.Cut(spec, "=")
@@ -199,7 +214,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("maildirector: admin listen: %v", err)
 		}
-		handler := admin.NewHandler(reg, trace.NewSpanRecorder(1024), admin.WithEvents(events))
+		adminOpts := []admin.HandlerOption{admin.WithEvents(events)}
+		if mtrace != nil {
+			adminOpts = append(adminOpts, admin.WithTrace(mtrace))
+		}
+		handler := admin.NewHandler(reg, trace.NewSpanRecorder(1024), adminOpts...)
 		go http.Serve(adminLn, handler) //nolint:errcheck // dies with the process
 		events.Info("director.start", 0,
 			eventlog.Str("component", "admin"), eventlog.Str("addr", adminLn.Addr().String()))

@@ -10,6 +10,14 @@
 //	mailtop -admin http://127.0.0.1:8025
 //
 // With -once it prints a single frame and exits (scripts, tests).
+//
+// Cluster mode aggregates message traces across a director tier: give
+// it every node's admin endpoint and it renders per-stage latency by
+// node, stitched from the spans each node retains (-trace-sample on
+// the servers):
+//
+//	mailtop -cluster -peers http://127.0.0.1:8025,http://127.0.0.1:8026
+//	mailtop -peers ... -trace 4f2a…   # one stitched trace as a span tree
 package main
 
 import (
@@ -26,15 +34,45 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/smtpserver"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		adminURL = flag.String("admin", "http://127.0.0.1:8025", "smtpd admin endpoint base URL")
-		interval = flag.Duration("interval", 2*time.Second, "poll interval")
-		once     = flag.Bool("once", false, "render one frame and exit")
+		adminURL  = flag.String("admin", "http://127.0.0.1:8025", "smtpd admin endpoint base URL")
+		interval  = flag.Duration("interval", 2*time.Second, "poll interval")
+		once      = flag.Bool("once", false, "render one frame and exit")
+		cluster   = flag.Bool("cluster", false, "cluster mode: aggregate message traces across -peers and render per-stage latency by node")
+		peersFlag = flag.String("peers", "", "comma-separated admin endpoints of every cluster node (directors and shards); default: just -admin")
+		traceID   = flag.String("trace", "", "fetch one trace id from the cluster, render its stitched span tree, and exit")
 	)
 	flag.Parse()
+
+	peers := strings.Split(*peersFlag, ",")
+	if *peersFlag == "" {
+		peers = []string{*adminURL}
+	}
+	if *traceID != "" {
+		agg := telemetry.NewAggregator(peers, 5*time.Second)
+		if err := renderTrace(os.Stdout, agg, *traceID); err != nil {
+			fmt.Fprintf(os.Stderr, "mailtop: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *cluster {
+		agg := telemetry.NewAggregator(peers, 5*time.Second)
+		for {
+			if !*once {
+				fmt.Print("\x1b[2J\x1b[H") // clear and home
+			}
+			renderCluster(os.Stdout, agg)
+			if *once {
+				return
+			}
+			time.Sleep(*interval)
+		}
+	}
 
 	base := strings.TrimSuffix(*adminURL, "/")
 	client := &http.Client{Timeout: 5 * time.Second}
@@ -202,6 +240,99 @@ func renderTalkers(w io.Writer, s *telemetry.Snapshot) {
 		t.AddRow(talker.IP, talker.Conns)
 	}
 	fmt.Fprint(w, t.String())
+}
+
+// renderCluster draws one cluster-mode frame: per-(node, stage) message
+// latency folded from every peer's retained spans, plus the most recent
+// trace ids with their end-to-end wall time and node fan-out.
+func renderCluster(w io.Writer, agg *telemetry.Aggregator) {
+	fmt.Fprintf(w, "mailtop cluster — %s — %d peers\n\n",
+		time.Now().Format("15:04:05"), len(agg.Peers()))
+	spans := agg.FetchAllSpans(64)
+	if len(spans) == 0 {
+		fmt.Fprintln(w, "no message traces retained (are the servers running with -trace-sample?)")
+		return
+	}
+	t := metrics.NewTable("node", "stage", "spans", "mean ms", "max ms")
+	for _, row := range telemetry.StageLatencies(spans) {
+		t.AddRow(row.Node, row.Stage, row.Count,
+			1000*row.Mean().Seconds(), 1000*row.Max.Seconds())
+	}
+	fmt.Fprint(w, t.String())
+	fmt.Fprintln(w)
+
+	byTrace := make(map[string][]trace.MessageSpan)
+	var order []string
+	for _, sp := range spans {
+		id := sp.TraceID()
+		if _, ok := byTrace[id]; !ok {
+			order = append(order, id)
+		}
+		byTrace[id] = append(byTrace[id], sp)
+	}
+	tt := metrics.NewTable("trace", "spans", "nodes", "total ms")
+	shown := 0
+	for _, id := range order {
+		if shown >= 10 {
+			break
+		}
+		ts := byTrace[id]
+		nodes := make(map[string]bool)
+		minStart, maxEnd := ts[0].Start, ts[0].End
+		for _, sp := range ts {
+			nodes[sp.Node] = true
+			if sp.Start < minStart {
+				minStart = sp.Start
+			}
+			if sp.End > maxEnd {
+				maxEnd = sp.End
+			}
+		}
+		tt.AddRow(id, len(ts), len(nodes), float64(maxEnd-minStart)/1e6)
+		shown++
+	}
+	fmt.Fprint(w, tt.String())
+	fmt.Fprintln(w, "\nmailtop -peers ... -trace <id> renders one stitched tree")
+}
+
+// renderTrace fetches one trace from every peer and prints its stitched
+// span tree, children indented under parents, offsets relative to the
+// trace's first span.
+func renderTrace(w io.Writer, agg *telemetry.Aggregator, id string) error {
+	spans, missing, err := agg.FetchTrace(id)
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("trace %s: no spans on any peer (expired from the rings, or never sampled)", id)
+	}
+	start := spans[0].Start
+	for _, sp := range spans {
+		if sp.Start < start {
+			start = sp.Start
+		}
+	}
+	fmt.Fprintf(w, "trace %s — %d spans\n", id, len(spans))
+	for _, peer := range missing {
+		fmt.Fprintf(w, "  (no answer from %s — view may be partial)\n", peer)
+	}
+	var walk func(nodes []*trace.SpanTree, depth int)
+	walk = func(nodes []*trace.SpanTree, depth int) {
+		for _, n := range nodes {
+			sp := n.Span
+			fmt.Fprintf(w, "%+9.3fms %s%-9s %8.3fms  node=%s",
+				float64(sp.Start-start)/1e6,
+				strings.Repeat("  ", depth), sp.Stage,
+				sp.Duration().Seconds()*1000, sp.Node)
+			if sp.Note != "" {
+				fmt.Fprintf(w, "  %s", sp.Note)
+			}
+			fmt.Fprintln(w)
+			walk(n.Children, depth+1)
+		}
+	}
+	walk(trace.BuildSpanTree(spans), 0)
+	return nil
 }
 
 // label returns the value of one label on a parsed metric.

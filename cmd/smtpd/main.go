@@ -68,6 +68,8 @@ func main() {
 		maxAttempts = flag.Int("max-attempts", 3, "delivery attempts before a mail bounces")
 		bounceOn    = flag.Bool("bounce", true, "synthesize DSN bounces for undeliverable mail (off: drop dead)")
 		policyOn    = flag.Bool("policy", false, "enable the pre-trust policy engine (rate limits, greylist, reputation; DNSBL scoring when -dnsbl is set)")
+		traceSample = flag.Int("trace-sample", 0, "message-lifecycle tracing: trace 1 in N accepted edge connections (0 disables; 1 traces everything); spans serve at /trace/{id} on -admin")
+		nodeName    = flag.String("node", "", "node name stamped on message-trace spans (default: the -domain MX hostname)")
 		greyRetry   = flag.Duration("grey-retry", time.Minute, "policy: greylist minimum retry window (0 disables greylisting)")
 		connRate    = flag.Float64("conn-rate", 2, "policy: connections/sec admitted per client IP (0 disables rate limiting)")
 
@@ -191,7 +193,19 @@ func main() {
 		log.Fatalf("smtpd: %v", err)
 	}
 
-	agent := delivery.NewAgent(db, store, delivery.WithRegistry(reg), delivery.WithEventLog(events))
+	// The message-trace recorder is shared by every pipeline stage in
+	// this process; nil (tracing off) makes every span call a no-op.
+	var mtrace *trace.MessageRecorder
+	if *traceSample > 0 {
+		node := *nodeName
+		if node == "" {
+			node = "mx." + *domain
+		}
+		mtrace = trace.NewMessageRecorder(node, 65536, *traceSample)
+	}
+
+	agent := delivery.NewAgent(db, store, delivery.WithRegistry(reg), delivery.WithEventLog(events),
+		delivery.WithMessageTracer(mtrace))
 	qcfg := queue.Config{
 		Deliverer:   agent,
 		Store:       spool.New(fs, *spoolDir),
@@ -199,6 +213,7 @@ func main() {
 		MaxAttempts: *maxAttempts,
 		Registry:    reg,
 		Events:      events,
+		Tracer:      mtrace,
 	}
 	if *bounceOn {
 		qcfg.Bounce = bounce.New("mx." + *domain).Synthesize
@@ -219,6 +234,11 @@ func main() {
 		smtpserver.WithRegistry(reg),
 		smtpserver.WithSpans(spans),
 		smtpserver.WithEventLog(events),
+	}
+	if mtrace != nil {
+		srvOpts = append(srvOpts,
+			smtpserver.WithMessageTracer(mtrace),
+			smtpserver.WithEnqueueTraced(qm.EnqueueTraced))
 	}
 	var dnsblClient *dnsbl.Client
 	if *dnsblAddr != "" {
@@ -303,8 +323,12 @@ func main() {
 		if err != nil {
 			log.Fatalf("smtpd: admin listen: %v", err)
 		}
-		handler := admin.NewHandler(reg, spans,
-			admin.WithEvents(events), admin.WithWorkload(tracker))
+		adminOpts := []admin.HandlerOption{
+			admin.WithEvents(events), admin.WithWorkload(tracker)}
+		if mtrace != nil {
+			adminOpts = append(adminOpts, admin.WithTrace(mtrace))
+		}
+		handler := admin.NewHandler(reg, spans, adminOpts...)
 		go func() {
 			if err := http.Serve(adminLn, handler); err != nil {
 				events.Error("smtpd.error", 0,

@@ -31,6 +31,9 @@ import (
 //	              (absent without WithEvents)
 //	/workload     the telemetry tracker's spam-weather snapshot as JSON
 //	              (absent without WithWorkload)
+//	/traces       recent message-trace ids (absent without WithTrace)
+//	/trace/{id}   one message trace's spans as mspan text lines
+//	              (absent without WithTrace)
 //
 // Construct with NewHandler; the zero value is not usable.
 type Handler struct {
@@ -97,6 +100,45 @@ func WithEvents(log *eventlog.Log) HandlerOption {
 					return // client gone mid-write
 				}
 			}
+		})
+	}
+}
+
+// WithTrace mounts the message-trace endpoints:
+//
+//	/traces       recent trace ids retained by the recorder, newest
+//	              first, one 32-hex id per line (?max= caps the count)
+//	/trace/{id}   every retained span of one trace as mspan text lines
+//	              — the unit a cluster aggregator fetches from each
+//	              node and stitches by trace id
+func WithTrace(rec *trace.MessageRecorder) HandlerOption {
+	return func(mux *http.ServeMux) {
+		mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+			max := 0
+			if s := r.URL.Query().Get("max"); s != "" {
+				n, err := strconv.Atoi(s)
+				if err != nil || n < 0 {
+					http.Error(w, "bad max", http.StatusBadRequest)
+					return
+				}
+				max = n
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, id := range rec.TraceIDs(max) {
+				if _, err := fmt.Fprintln(w, id); err != nil {
+					return // client gone mid-write
+				}
+			}
+		})
+		mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
+			id := r.URL.Path[len("/trace/"):]
+			hi, lo, ok := trace.ParseTraceID(id)
+			if !ok {
+				http.Error(w, "bad trace id (want 32 hex digits)", http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			rec.WriteTrace(w, hi, lo) //nolint:errcheck // client gone mid-write
 		})
 	}
 }

@@ -503,3 +503,39 @@ func TestDirectorScaleoutShape(t *testing.T) {
 		t.Errorf("handoff_p99_ms = %v, want > 0", m["handoff_p99_ms"])
 	}
 }
+
+func TestTracePropagationShape(t *testing.T) {
+	m := quick(t, "trace-propagation")
+	// Every mail is traced at sample 1, so every acked mail must have
+	// produced a trace whose spans span at least two processes: the
+	// director that minted the id and the shard that delivered it.
+	if m["mails_acked"] <= 0 {
+		t.Fatalf("mails_acked = %v, want > 0", m["mails_acked"])
+	}
+	if m["traces"] <= 0 {
+		t.Fatalf("traces = %v, want > 0", m["traces"])
+	}
+	if m["traces_multi_node"] <= 0 {
+		t.Fatalf("traces_multi_node = %v, want > 0 (no trace crossed the XTRACE hop)", m["traces_multi_node"])
+	}
+	// A two-recipient mail split across the ring stitches all 3 nodes.
+	if m["max_nodes_trace"] < 3 {
+		t.Errorf("max_nodes_trace = %v, want >= 3 (director + both shards)", m["max_nodes_trace"])
+	}
+	// The full stage catalog must appear: director-side pretrust and
+	// forward, shard-side smtp, queue, delivery, and store.
+	for _, stage := range []string{"pretrust", "forward", "smtp", "queue", "delivery", "store"} {
+		if m["stage_"+stage] <= 0 {
+			t.Errorf("stage_%s = %v, want > 0", stage, m["stage_"+stage])
+		}
+	}
+	// The director's stitched counter must agree that XTRACE-capable
+	// shards accepted propagated contexts.
+	if m["stitched_counter"] <= 0 {
+		t.Errorf("stitched_counter = %v, want > 0", m["stitched_counter"])
+	}
+	// A mail crashed in the spool must resume its original trace id.
+	if m["recovered_trace_ok"] != 1 {
+		t.Errorf("recovered_trace_ok = %v, want 1 (spooled trace context lost)", m["recovered_trace_ok"])
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/queue"
 	"repro/internal/smtp"
+	"repro/internal/trace"
 )
 
 // Agent is a queue.Deliverer writing into a mailbox store. It is safe
@@ -27,6 +28,7 @@ type Agent struct {
 	store  mailstore.Store
 	reg    *metrics.Registry
 	events *eventlog.Log
+	tracer *trace.MessageRecorder
 
 	mails          *metrics.Counter
 	rcptDeliveries *metrics.Counter
@@ -68,6 +70,13 @@ func WithRegistry(r *metrics.Registry) AgentOption {
 // default).
 func WithEventLog(log *eventlog.Log) AgentOption {
 	return func(a *Agent) { a.events = log }
+}
+
+// WithMessageTracer records a "store" message-lifecycle span per store
+// commit into rec, parented under the queue's delivery span riding on
+// item.Trace. Nil disables (the default).
+func WithMessageTracer(rec *trace.MessageRecorder) AgentOption {
+	return func(a *Agent) { a.tracer = rec }
 }
 
 // NewAgent returns a delivery agent writing through store, resolving
@@ -122,6 +131,8 @@ func (a *Agent) Deliver(item *queue.Item) error {
 	err := a.store.Deliver(item.ID, mailboxes, item.Data)
 	took := time.Since(start)
 	a.commitHist.ObserveDuration(took)
+	sp := a.tracer.NewSpan(item.Trace)
+	a.tracer.FinishAt(sp, trace.MStageStore, start, time.Now(), a.store.Name())
 	if err != nil {
 		a.events.Warn("delivery.failed", 0,
 			eventlog.Str("id", item.ID),

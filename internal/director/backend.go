@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/smtp"
+	"repro/internal/trace"
 )
 
 // maxIdlePerBackend bounds the pooled connections kept per shard. A
@@ -40,7 +41,9 @@ func (b *backend) get(helo string, timeout time.Duration) (*smtp.Client, bool, e
 	if err != nil {
 		return nil, false, err
 	}
-	if err := c.Helo(helo); err != nil {
+	// EHLO with HELO fallback: learning the shard's extensions here is
+	// what lets forward propagate trace contexts over XTRACE.
+	if err := c.Hello(helo); err != nil {
 		c.Abort()
 		return nil, false, err
 	}
@@ -108,16 +111,21 @@ func (b *backend) closeIdle() {
 // story: a pooled connection may simply be stale (the shard restarted,
 // the socket idled out), so its failure drains the pool and one fresh
 // dial decides whether the shard itself is sick.
-func (b *backend) forward(helo string, timeout time.Duration, sender string, rcpts []string, data []byte) (accepted int, retried bool, err error) {
+//
+// tc is the mail's trace context; when it is valid and the shard
+// advertised XTRACE it rides MAIL FROM, and traced reports that it did
+// — the caller's trace-stitched signal.
+func (b *backend) forward(helo string, timeout time.Duration, sender string, rcpts []string, data []byte, tc trace.Context) (accepted int, retried, traced bool, err error) {
 	c, pooled, err := b.get(helo, timeout)
 	if err != nil {
-		return 0, false, err
+		return 0, false, false, err
 	}
-	accepted, err = c.Send(sender, rcpts, data)
+	traced = tc.Valid() && c.Supports("XTRACE")
+	accepted, err = c.SendTraced(sender, rcpts, data, tc)
 	if err != nil {
 		c.Abort() //nolint:errcheck
 		if !pooled {
-			return 0, false, err
+			return 0, false, false, err
 		}
 		b.mu.Lock()
 		stale := b.idle
@@ -128,16 +136,17 @@ func (b *backend) forward(helo string, timeout time.Duration, sender string, rcp
 		}
 		c2, _, derr := b.get(helo, timeout)
 		if derr != nil {
-			return 0, true, derr
+			return 0, true, false, derr
 		}
-		accepted, err = c2.Send(sender, rcpts, data)
+		traced = tc.Valid() && c2.Supports("XTRACE")
+		accepted, err = c2.SendTraced(sender, rcpts, data, tc)
 		if err != nil {
 			c2.Abort() //nolint:errcheck
-			return 0, true, err
+			return 0, true, false, err
 		}
 		b.put(c2)
-		return accepted, true, nil
+		return accepted, true, traced, nil
 	}
 	b.put(c)
-	return accepted, false, nil
+	return accepted, false, traced, nil
 }

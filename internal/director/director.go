@@ -12,6 +12,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/smtp"
+	"repro/internal/trace"
 )
 
 // settings collects the director's tunables.
@@ -28,6 +29,7 @@ type settings struct {
 	cooldown       time.Duration
 	maxRcpts       int
 	maxMessage     int
+	mtrace         *trace.MessageRecorder
 }
 
 type backendSpec struct {
@@ -102,6 +104,17 @@ func WithMaxRcpts(n int) Option {
 	return func(s *settings) { s.maxRcpts = n }
 }
 
+// WithMessageTracer enables message-lifecycle tracing at the director:
+// the edge of the tier mints each sampled mail's trace id, records a
+// "pretrust" span per client dialog and a "forward" span per shard
+// replay, and propagates the context to XTRACE-capable shards as a MAIL
+// parameter so their spans stitch into the same trace. Nil disables
+// (the default); sampled-out connections carry the zero context and
+// cost no allocations.
+func WithMessageTracer(rec *trace.MessageRecorder) Option {
+	return func(s *settings) { s.mtrace = rec }
+}
+
 // Stats is a snapshot of a director's counters.
 type Stats struct {
 	Connections    int64 // accepted TCP connections
@@ -142,8 +155,10 @@ type Server struct {
 	rcptSkew       *metrics.Counter
 	preTrustClosed *metrics.Counter
 	shardDown      *metrics.Counter
+	traceStitched  *metrics.Counter
 	handoff        *metrics.Histogram // per-envelope replay wall time
 	perShard       map[string]*metrics.Counter
+	forwardSec     map[string]*metrics.Histogram // per-shard replay wall time
 }
 
 // New builds a director over at least one backend shard.
@@ -181,8 +196,10 @@ func New(opts ...Option) (*Server, error) {
 		rcptSkew:       reg.Counter("director_rcpt_skew_total"),
 		preTrustClosed: reg.Counter("director_pretrust_closed_total"),
 		shardDown:      reg.Counter("director_shard_down_total"),
+		traceStitched:  reg.Counter("director_trace_stitched_total"),
 		handoff:        reg.Histogram("director_handoff_seconds", metrics.LatencyBounds()),
 		perShard:       make(map[string]*metrics.Counter, len(st.backends)),
+		forwardSec:     make(map[string]*metrics.Histogram, len(st.backends)),
 	}
 	for _, spec := range st.backends {
 		if _, dup := s.bk[spec.name]; dup {
@@ -191,6 +208,7 @@ func New(opts ...Option) (*Server, error) {
 		s.bk[spec.name] = &backend{name: spec.name, addr: spec.addr}
 		s.ring.Add(spec.name)
 		s.perShard[spec.name] = reg.Counter("director_shard_forwarded_total", "shard", spec.name)
+		s.forwardSec[spec.name] = reg.Histogram("director_forward_seconds", metrics.LatencyBounds(), "shard", spec.name)
 	}
 	return s, nil
 }
@@ -294,10 +312,17 @@ func (s *Server) serveConn(nc net.Conn) {
 
 	sess := smtp.AcquireSession(s.sessionConfig(ip))
 	defer smtp.ReleaseSession(sess)
+	// The director is the trace edge: the id minted here follows the
+	// mail through every shard and queue it crosses. The pretrust span
+	// covers the whole client dialog; forward spans nest per replay.
+	tc := s.cfg.mtrace.Mint()
+	preStart := time.Now()
 	if err := c.WriteReply(sess.Greeting()); err != nil {
 		return
 	}
-	forwarded := s.runDialog(nc, c, sess, ip, id)
+	forwarded := s.runDialog(nc, c, sess, ip, id, tc)
+	psp := s.cfg.mtrace.NewSpan(tc)
+	s.cfg.mtrace.FinishAt(psp, trace.MStagePretrust, preStart, time.Now(), "director")
 	if forwarded == 0 {
 		s.preTrustClosed.Inc()
 		// A connection that drew 550s and forwarded nothing is the §4.1
@@ -368,7 +393,10 @@ func policyReply(d policy.Decision) *smtp.Reply {
 
 // runDialog drives the client session until QUIT or drop, replaying
 // each completed envelope to its shards. Returns envelopes forwarded.
-func (s *Server) runDialog(nc net.Conn, c *smtp.Conn, sess *smtp.Session, ip string, id uint64) int {
+// connTC is the connection's minted trace context; a context arriving
+// on the wire as an XTRACE MAIL parameter (a director upstream of this
+// one) takes precedence, so chained tiers share one trace.
+func (s *Server) runDialog(nc net.Conn, c *smtp.Conn, sess *smtp.Session, ip string, id uint64, connTC trace.Context) int {
 	forwarded := 0
 	for {
 		if err := nc.SetReadDeadline(time.Now().Add(s.cfg.idleTimeout)); err != nil {
@@ -408,7 +436,11 @@ func (s *Server) runDialog(nc net.Conn, c *smtp.Conn, sess *smtp.Session, ip str
 				return forwarded
 			}
 			env, done := sess.FinishData(body)
-			accepted, ok := s.deliver(env, id)
+			base := env.Trace
+			if !base.Valid() {
+				base = connTC
+			}
+			accepted, ok := s.deliver(env, id, base)
 			switch {
 			case !ok:
 				s.mailsFailed.Inc()
@@ -447,11 +479,11 @@ func (s *Server) runDialog(nc net.Conn, c *smtp.Conn, sess *smtp.Session, ip str
 // It returns the recipients a shard took and whether every group found
 // a live shard; ok with accepted == 0 means the shards cleanly refused
 // everything (config skew), which the caller must not ack.
-func (s *Server) deliver(env smtp.Envelope, id uint64) (accepted int, ok bool) {
+func (s *Server) deliver(env smtp.Envelope, id uint64, tc trace.Context) (accepted int, ok bool) {
 	start := time.Now()
 	ok = true
 	for shard, rcpts := range s.groupByShard(env.Rcpts) {
-		n, groupOK := s.forwardGroup(shard, env.Sender, rcpts, env.Data, id)
+		n, groupOK := s.forwardGroup(shard, env.Sender, rcpts, env.Data, id, tc)
 		accepted += n
 		if !groupOK {
 			ok = false
@@ -478,7 +510,7 @@ func (s *Server) groupByShard(rcpts []string) map[string][]string {
 // a shard takes the mail. Down shards are skipped inside their
 // cooldown unless every candidate is down — then each is probed anyway
 // rather than failing mail on a stale latch.
-func (s *Server) forwardGroup(owner, sender string, rcpts []string, data []byte, id uint64) (int, bool) {
+func (s *Server) forwardGroup(owner, sender string, rcpts []string, data []byte, id uint64, tc trace.Context) (int, bool) {
 	candidates := s.ring.Candidates(rcpts[0], len(s.ring.Nodes()))
 	now := time.Now()
 	// Pass 0 probes the candidates whose cooldown is clear. If every
@@ -499,13 +531,24 @@ func (s *Server) forwardGroup(owner, sender string, rcpts []string, data []byte,
 			if i > 0 {
 				s.forwardRetries.Inc()
 			}
-			accepted, retried, err := b.forward(s.cfg.hostname, s.cfg.forwardTimeout, sender, rcpts, data)
+			// The forward span's context crosses the wire as XTRACE, so
+			// the shard's own spans parent under this replay.
+			fsp := s.cfg.mtrace.NewSpan(tc)
+			probeStart := time.Now()
+			accepted, retried, traced, err := b.forward(s.cfg.hostname, s.cfg.forwardTimeout, sender, rcpts, data, fsp)
 			if retried {
 				s.forwardRetries.Inc()
 			}
 			if err == nil {
 				b.markUp()
 				s.perShard[name].Inc()
+				s.forwardSec[name].ObserveDuration(time.Since(probeStart))
+				s.cfg.mtrace.FinishAt(fsp, trace.MStageForward, probeStart, time.Now(), name)
+				if traced {
+					// The shard advertised XTRACE and took the context:
+					// its spans will stitch into this trace.
+					s.traceStitched.Inc()
+				}
 				if accepted < len(rcpts) {
 					// The shard refused recipients the director admitted:
 					// an access-config skew between the tiers. The

@@ -24,6 +24,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/queue"
 	"repro/internal/smtp"
+	"repro/internal/trace"
 )
 
 // MX is one mail-exchanger candidate for a destination domain.
@@ -150,6 +151,12 @@ type Config struct {
 	Registry *metrics.Registry
 	// Events, if non-nil, receives outbound.delivered / outbound.fail.
 	Events *eventlog.Log
+	// Tracer, if non-nil, records an "outbound" message-lifecycle span
+	// per SMTP transaction (note: the MX host). When the item carries a
+	// trace context and the remote peer advertises XTRACE, the context
+	// is forwarded as a MAIL parameter so the next hop's spans join the
+	// same trace; non-supporting peers see a plain MAIL FROM.
+	Tracer *trace.MessageRecorder
 	// DialFunc overrides the dialer (tests). It must return a connected,
 	// greeted client.
 	DialFunc func(addr string) (*smtp.Client, error)
@@ -222,7 +229,7 @@ func (d *Deliverer) Deliver(item *queue.Item) error {
 	var errs []string
 	for _, domain := range order {
 		rcpts := groups[domain]
-		if err := d.deliverDomain(domain, item.Sender, rcpts, item.Data); err != nil {
+		if err := d.deliverDomain(domain, item.Sender, rcpts, item.Data, item.Trace); err != nil {
 			failed = append(failed, rcpts...)
 			errs = append(errs, err.Error())
 			continue
@@ -242,7 +249,7 @@ func (d *Deliverer) Deliver(item *queue.Item) error {
 
 // deliverDomain walks domain's MX candidates in preference order and
 // runs one transaction against the first that works.
-func (d *Deliverer) deliverDomain(domain, sender string, rcpts []string, data []byte) error {
+func (d *Deliverer) deliverDomain(domain, sender string, rcpts []string, data []byte, tc trace.Context) error {
 	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.ResolveTimeout)
 	mxs, err := d.cfg.Resolver.LookupMX(ctx, domain)
 	cancel()
@@ -258,7 +265,7 @@ func (d *Deliverer) deliverDomain(domain, sender string, rcpts []string, data []
 			d.failovers.Inc()
 		}
 		d.attempts.Inc()
-		if err := d.transact(mx.Host, sender, rcpts, data); err != nil {
+		if err := d.transact(mx.Host, sender, rcpts, data, tc); err != nil {
 			last = err
 			d.fail(domain, fmt.Errorf("mx %s: %w", mx.Host, err))
 			continue
@@ -276,26 +283,32 @@ func (d *Deliverer) deliverDomain(domain, sender string, rcpts []string, data []
 	return last
 }
 
-// transact runs one SMTP transaction against host.
-func (d *Deliverer) transact(host, sender string, rcpts []string, data []byte) error {
+// transact runs one SMTP transaction against host. EHLO is tried first
+// (falling back to HELO) so the remote's extensions are known; when the
+// item is traced and the peer supports XTRACE the outbound span's
+// context crosses the wire with MAIL FROM.
+func (d *Deliverer) transact(host, sender string, rcpts []string, data []byte, tc trace.Context) error {
 	addr := host
 	if _, _, err := net.SplitHostPort(host); err != nil {
 		addr = net.JoinHostPort(host, d.cfg.Port)
 	}
+	start := time.Now()
+	sp := d.cfg.Tracer.NewSpan(tc)
 	c, err := d.cfg.DialFunc(addr)
 	if err != nil {
 		return err
 	}
-	if err := c.Helo(d.cfg.Helo); err != nil {
+	if err := c.Hello(d.cfg.Helo); err != nil {
 		_ = c.Abort()
 		return err
 	}
-	accepted, err := c.Send(sender, rcpts, data)
+	accepted, err := c.SendTraced(sender, rcpts, data, sp)
 	if err != nil {
 		_ = c.Abort()
 		return err
 	}
 	_ = c.Quit()
+	d.cfg.Tracer.Finish(sp, trace.MStageOutbound, start, host)
 	if accepted == 0 {
 		return fmt.Errorf("all %d recipients rejected by %s", len(rcpts), host)
 	}

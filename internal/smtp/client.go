@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Client speaks the client side of SMTP over any stream — the engine of
@@ -16,6 +19,9 @@ type Client struct {
 	raw        io.Closer
 	banner     Reply
 	cmdTimeout time.Duration
+	// exts holds the extension keywords the server advertised in its
+	// EHLO reply; nil until Ehlo/Hello succeeds with extensions.
+	exts map[string]bool
 }
 
 // ClientOption configures a Client at construction.
@@ -165,9 +171,62 @@ func (c *Client) Helo(name string) error {
 	return err
 }
 
+// Ehlo sends EHLO and records the extension keywords the server
+// advertises (first reply line is the hostname, each continuation one
+// keyword with optional parameters).
+func (c *Client) Ehlo(name string) error {
+	r, err := c.cmd("EHLO", "EHLO "+name, 250)
+	if err != nil {
+		return err
+	}
+	c.exts = nil
+	lines := strings.Split(r.Text, "\n")
+	for _, l := range lines[1:] {
+		fields := strings.Fields(l)
+		if len(fields) == 0 {
+			continue
+		}
+		if c.exts == nil {
+			c.exts = make(map[string]bool, len(lines)-1)
+		}
+		c.exts[strings.ToUpper(fields[0])] = true
+	}
+	return nil
+}
+
+// Hello greets the server, preferring EHLO and falling back to HELO
+// when the peer rejects it — the RFC 5321 §3.2 downgrade, so extension
+// discovery never costs interoperability with a pre-ESMTP peer.
+func (c *Client) Hello(name string) error {
+	err := c.Ehlo(name)
+	var unexpected *UnexpectedReplyError
+	if err != nil && errors.As(err, &unexpected) {
+		return c.Helo(name)
+	}
+	return err
+}
+
+// Supports reports whether the server's EHLO reply advertised ext
+// (upper-case keyword, e.g. "XTRACE").
+func (c *Client) Supports(ext string) bool { return c.exts[ext] }
+
 // Mail sends MAIL FROM. An empty sender sends the null reverse-path <>.
 func (c *Client) Mail(sender string) error {
 	_, err := c.cmd("MAIL", fmt.Sprintf("MAIL FROM:<%s>", sender), 250)
+	return err
+}
+
+// MailTraced sends MAIL FROM carrying tc as an XTRACE parameter — but
+// only when the peer advertised XTRACE and tc is a sampled context;
+// otherwise it degrades to a plain Mail, silently dropping the trace
+// so non-supporting hops see an RFC-clean command.
+func (c *Client) MailTraced(sender string, tc trace.Context) error {
+	if !tc.Valid() || !c.Supports("XTRACE") {
+		return c.Mail(sender)
+	}
+	var buf [trace.ContextTextLen]byte
+	line := fmt.Sprintf("MAIL FROM:<%s> XTRACE=%s", sender, tc.AppendText(buf[:0]))
+	_, err := c.cmd("MAIL", line, 250)
 	return err
 }
 
@@ -227,7 +286,13 @@ func (c *Client) Abort() error { return c.raw.Close() }
 // DATA phase is skipped, mirroring what real clients (and spammers
 // probing with random guesses) experience.
 func (c *Client) Send(sender string, rcpts []string, body []byte) (accepted int, err error) {
-	if err := c.Mail(sender); err != nil {
+	return c.SendTraced(sender, rcpts, body, trace.Context{})
+}
+
+// SendTraced is Send with a message trace context propagated on the
+// MAIL command (see MailTraced for the degradation rules).
+func (c *Client) SendTraced(sender string, rcpts []string, body []byte, tc trace.Context) (accepted int, err error) {
+	if err := c.MailTraced(sender, tc); err != nil {
 		return 0, err
 	}
 	for _, rcpt := range rcpts {

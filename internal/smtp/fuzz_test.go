@@ -133,12 +133,15 @@ func FuzzParsePath(f *testing.F) {
 			// parsePath is only ever called with these two keywords.
 			keyword = "FROM"
 		}
-		addr, err := parsePath([]byte(arg), keyword)
+		addr, params, err := parsePath([]byte(arg), keyword)
 		if err != nil {
 			if len(addr) != 0 {
 				t.Fatalf("parsePath(%q) returned %q alongside error %v", arg, addr, err)
 			}
 			return
+		}
+		if bytes.IndexByte(params, '<') == 0 {
+			t.Fatalf("parsePath(%q) leaked a path into params %q", arg, params)
 		}
 		if len(addr) == 0 {
 			return // the null reverse-path

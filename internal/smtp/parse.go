@@ -32,6 +32,9 @@ type Command struct {
 	Arg []byte
 	// Addr is the parsed mailbox for MAIL/RCPT/VRFY.
 	Addr []byte
+	// Params is the raw ESMTP parameter text after the path for
+	// MAIL/RCPT (e.g. "SIZE=1024 XTRACE=..."), empty when absent.
+	Params []byte
 }
 
 // ErrSyntax reports an unparseable command argument. Line is optional
@@ -132,17 +135,18 @@ func ParseCommand(line []byte) (Command, error) {
 		}
 		return cmd, nil
 	case VerbMAIL:
-		addr, err := parsePath(arg, "FROM")
+		addr, params, err := parsePath(arg, "FROM")
 		if err != nil {
 			return cmd, err
 		}
-		cmd.Addr = addr
+		cmd.Addr, cmd.Params = addr, params
 		return cmd, nil
 	case VerbRCPT:
-		addr, err := parsePath(arg, "TO")
+		addr, params, err := parsePath(arg, "TO")
 		if err != nil {
 			return cmd, err
 		}
+		cmd.Params = params
 		if cmd.Addr = addr; len(addr) == 0 {
 			// RCPT TO:<> is never valid (null path is sender-only).
 			return cmd, errSyntax
@@ -163,20 +167,23 @@ func ParseCommand(line []byte) (Command, error) {
 
 // parsePath parses "FROM:<addr> [params]" / "TO:<addr> [params]". The
 // null reverse-path <> (bounce sender) parses to an empty slice. The
-// returned address is a view into arg.
-func parsePath(arg []byte, keyword string) ([]byte, error) {
+// returned address and parameter text are views into arg; parameters a
+// session does not understand stay unparsed there and are dropped, so
+// the wire protocol stays RFC-clean for any client.
+func parsePath(arg []byte, keyword string) (addrOut, params []byte, err error) {
 	n := len(keyword)
 	if len(arg) <= n || !equalFoldASCII(arg[:n], keyword) || arg[n] != ':' {
-		return nil, errSyntax
+		return nil, nil, errSyntax
 	}
 	rest := bytes.TrimSpace(arg[n+1:])
-	// Strip optional ESMTP parameters after the path.
+	// Split optional ESMTP parameters off the path.
 	path := rest
 	if i := bytes.IndexByte(rest, ' '); i >= 0 {
 		path = rest[:i]
+		params = bytes.TrimSpace(rest[i+1:])
 	}
 	if len(path) < 2 || path[0] != '<' || path[len(path)-1] != '>' {
-		return nil, errSyntax
+		return nil, nil, errSyntax
 	}
 	addr := path[1 : len(path)-1]
 	// Drop RFC 5321 source routes ("@relay:user@dom").
@@ -186,12 +193,32 @@ func parsePath(arg []byte, keyword string) ([]byte, error) {
 		}
 	}
 	if len(addr) == 0 {
-		return nil, nil
+		return nil, params, nil
 	}
 	if !validAddress(addr) {
-		return nil, errSyntax
+		return nil, nil, errSyntax
 	}
-	return addr, nil
+	return addr, params, nil
+}
+
+// ParamValue scans ESMTP parameter text (space-separated KEY=value
+// tokens, as in Command.Params) for key and returns its value as a view
+// into params, or nil when absent. The match is ASCII-case-insensitive
+// and the scan never allocates. key must be upper-case ASCII.
+func ParamValue(params []byte, key string) []byte {
+	for len(params) > 0 {
+		tok := params
+		if i := bytes.IndexByte(params, ' '); i >= 0 {
+			tok, params = params[:i], bytes.TrimLeft(params[i+1:], " ")
+		} else {
+			params = nil
+		}
+		n := len(key)
+		if len(tok) > n && tok[n] == '=' && equalFoldASCII(tok[:n], key) {
+			return tok[n+1:]
+		}
+	}
+	return nil
 }
 
 // equalFoldASCII reports whether b matches the ASCII string s

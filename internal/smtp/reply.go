@@ -9,9 +9,15 @@
 // "550 User unknown" for the bounce mails of §4.1.
 package smtp
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
-// Reply is one SMTP server response.
+// Reply is one SMTP server response. Text may contain newlines: each
+// becomes a continuation line on the wire ("250-..."), which is how
+// the EHLO extension listing is carried while Reply stays a comparable
+// value type usable as a map key.
 type Reply struct {
 	Code int
 	Text string
@@ -65,20 +71,40 @@ func init() {
 	}
 }
 
-// appendReply appends the single-line wire form of r (code, space, text,
-// CRLF) to dst without fmt.
+// appendReply appends the wire form of r to dst without fmt. Newlines
+// in the text become RFC 5321 continuation lines ("250-first",
+// "250 last"); the common single-line reply pays one IndexByte.
 func appendReply(dst []byte, r Reply) []byte {
-	code := r.Code
-	if code >= 100 && code <= 999 {
-		dst = append(dst, byte('0'+code/100), byte('0'+code/10%10), byte('0'+code%10))
-	} else {
-		// Out-of-range codes never happen in practice; fall back to the
-		// slow path rather than emit garbage digits.
-		dst = append(dst, fmt.Sprintf("%d", code)...)
+	text := r.Text
+	for {
+		line := text
+		i := strings.IndexByte(text, '\n')
+		last := i < 0
+		if !last {
+			line, text = text[:i], text[i+1:]
+		}
+		dst = appendCode(dst, r.Code)
+		if last {
+			dst = append(dst, ' ')
+		} else {
+			dst = append(dst, '-')
+		}
+		dst = append(dst, line...)
+		dst = append(dst, '\r', '\n')
+		if last {
+			return dst
+		}
 	}
-	dst = append(dst, ' ')
-	dst = append(dst, r.Text...)
-	return append(dst, '\r', '\n')
+}
+
+// appendCode appends the 3-digit reply code without fmt.
+func appendCode(dst []byte, code int) []byte {
+	if code >= 100 && code <= 999 {
+		return append(dst, byte('0'+code/100), byte('0'+code/10%10), byte('0'+code%10))
+	}
+	// Out-of-range codes never happen in practice; fall back to the
+	// slow path rather than emit garbage digits.
+	return append(dst, fmt.Sprintf("%d", code)...)
 }
 
 // Banner returns the 220 greeting for a hostname.
@@ -89,4 +115,15 @@ func Banner(hostname string) Reply {
 // HeloReply returns the 250 response to HELO.
 func HeloReply(hostname string) Reply {
 	return Reply{250, hostname}
+}
+
+// EhloReply returns the 250 response to EHLO advertising exts as ESMTP
+// keywords, one continuation line each. With no extensions it matches
+// HeloReply. Servers build this once and reuse it via Config.Ehlo, so
+// the per-EHLO cost is the same preformatted write as every reply.
+func EhloReply(hostname string, exts ...string) Reply {
+	if len(exts) == 0 {
+		return HeloReply(hostname)
+	}
+	return Reply{250, hostname + "\n" + strings.Join(exts, "\n")}
 }

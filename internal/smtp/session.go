@@ -1,5 +1,7 @@
 package smtp
 
+import "repro/internal/trace"
+
 // State is the SMTP session state.
 type State int
 
@@ -59,6 +61,10 @@ type Config struct {
 	MaxRcpts int
 	// MaxMessageBytes caps the DATA payload (0 = MaxMessageBytes).
 	MaxMessageBytes int
+	// Ehlo, if non-nil, is the (precomputed, possibly multiline) reply
+	// to EHLO — hostname first line, one advertised extension keyword
+	// per continuation. nil answers EHLO like HELO: no extensions.
+	Ehlo *Reply
 }
 
 // Envelope is one completed mail transaction.
@@ -67,6 +73,9 @@ type Envelope struct {
 	Sender string
 	Rcpts  []string
 	Data   []byte
+	// Trace is the message trace context received as an XTRACE MAIL
+	// parameter; the zero Context when the client sent none.
+	Trace trace.Context
 }
 
 // Session is the per-connection SMTP state machine. Both architectures
@@ -95,6 +104,10 @@ type Session struct {
 	nrcpts   int
 	rcptBufs [][]byte
 	rcptIdx  rcptIndex
+
+	// xtrace is the trace context carried by the current transaction's
+	// XTRACE MAIL parameter (held by value: no allocation).
+	xtrace trace.Context
 
 	rejectedRcpts int
 	mailsDone     int
@@ -209,6 +222,9 @@ func (s *Session) CommandBytes(line []byte) (Reply, Action) {
 		s.helo = append(s.helo[:0], cmd.Arg...)
 		s.resetMail()
 		s.state = StateGreeted
+		if cmd.Verb == VerbEHLO && s.cfg.Ehlo != nil {
+			return *s.cfg.Ehlo, ActionNone
+		}
 		return HeloReply(s.cfg.Hostname), ActionNone
 	case VerbMAIL:
 		if s.state == StateStart {
@@ -224,6 +240,11 @@ func (s *Session) CommandBytes(line []byte) (Reply, Action) {
 		}
 		s.sender = append(s.sender[:0], cmd.Addr...)
 		s.senderSet = true
+		if v := ParamValue(cmd.Params, "XTRACE"); v != nil {
+			// By-value capture of the propagated trace context; a
+			// malformed value degrades to "not traced", never an error.
+			s.xtrace, _ = trace.ParseContext(v)
+		}
 		s.state = StateMail
 		return ReplyOK, ActionNone
 	case VerbRCPT:
@@ -301,6 +322,7 @@ func (s *Session) FinishData(body []byte) (Envelope, Reply) {
 		Sender: string(s.sender),
 		Rcpts:  s.Rcpts(),
 		Data:   body,
+		Trace:  s.xtrace,
 	}
 	s.mailsDone++
 	s.resetMail()
@@ -321,6 +343,7 @@ func (s *Session) resetMail() {
 	s.senderSet = false
 	s.nrcpts = 0
 	s.rcptIdx.clear()
+	s.xtrace = trace.Context{}
 }
 
 // ---------------------------------------------------------------------------

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/smtp"
+	"repro/internal/trace"
 )
 
 // outcome reports how a dialog phase ended.
@@ -25,8 +26,11 @@ const (
 // runDialog drives the session over c until QUIT, connection loss, or —
 // when stopWhen is non-nil — the predicate becomes true after a reply is
 // written. It is the single dialog loop both architectures share; the
-// phases differ only in where it runs and when it stops.
-func (s *Server) runDialog(nc net.Conn, c *smtp.Conn, sess *smtp.Session, stopWhen func(*smtp.Session) bool) outcome {
+// phases differ only in where it runs and when it stops. connTC is the
+// connection's minted message-trace context (zero when tracing is off
+// or sampled out); a context arriving on the wire as an XTRACE MAIL
+// parameter — a director upstream — takes precedence over it.
+func (s *Server) runDialog(nc net.Conn, c *smtp.Conn, sess *smtp.Session, stopWhen func(*smtp.Session) bool, connTC trace.Context) outcome {
 	for {
 		if err := nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
 			return outcomeDropped
@@ -54,6 +58,7 @@ func (s *Server) runDialog(nc net.Conn, c *smtp.Conn, sess *smtp.Session, stopWh
 		case smtp.ActionData:
 			// The 354 must reach the client before it will send the body,
 			// so this flush also drains any batched pipelined replies.
+			dataStart := time.Now()
 			if err := c.WriteReply(reply); err != nil {
 				return outcomeDropped
 			}
@@ -70,12 +75,28 @@ func (s *Server) runDialog(nc net.Conn, c *smtp.Conn, sess *smtp.Session, stopWh
 				return outcomeDropped
 			}
 			env, done := sess.FinishData(body)
-			if _, qerr := s.cfg.Enqueue(env.Sender, env.Rcpts, env.Data); qerr != nil {
+			// The mail's trace base: the context the upstream hop sent
+			// (XTRACE), else this connection's minted root. NewSpan on an
+			// invalid base is a free no-op, keeping the sampled-out path
+			// allocation-free.
+			base := env.Trace
+			if !base.Valid() {
+				base = connTC
+			}
+			sp := s.mtrace.NewSpan(base)
+			var qerr error
+			if s.enqueueTraced != nil {
+				_, qerr = s.enqueueTraced(env.Sender, env.Rcpts, env.Data, sp)
+			} else {
+				_, qerr = s.cfg.Enqueue(env.Sender, env.Rcpts, env.Data)
+			}
+			if qerr != nil {
 				s.enqueueFailures.Inc()
 				done = smtp.ReplyInsufficient
 			} else {
 				s.mailsAccepted.Inc()
 			}
+			s.mtrace.FinishAt(sp, trace.MStageSMTP, dataStart, time.Now(), s.arch)
 			if err := c.WriteReply(done); err != nil {
 				return outcomeDropped
 			}
@@ -135,8 +156,9 @@ func (s *Server) vanillaWorker(conns <-chan accepted) {
 		}
 		dialogStart := time.Now()
 		sess := smtp.AcquireSession(s.sessionConfig(ip, a.id))
+		tc := s.mtrace.Mint()
 		if err := c.WriteReply(sess.Greeting()); err == nil {
-			out := s.runDialog(nc, c, sess, nil)
+			out := s.runDialog(nc, c, sess, nil, tc)
 			if out == outcomeQuit {
 				s.sessionsServed.Inc()
 			}
@@ -178,6 +200,7 @@ func (s *Server) hybridFrontEnd(nc net.Conn, id uint64, sh *shard) {
 	}
 	preTrustStart := time.Now()
 	sess := smtp.AcquireSession(s.sessionConfig(ip, id))
+	tc := s.mtrace.Mint()
 	if err := c.WriteReply(sess.Greeting()); err != nil {
 		s.observeStage(StagePreTrust, id, preTrustStart, "dropped")
 		s.logConn(id, ip, "dropped", false, true)
@@ -187,7 +210,7 @@ func (s *Server) hybridFrontEnd(nc net.Conn, id uint64, sh *shard) {
 		smtp.ReleaseSession(sess)
 		return
 	}
-	out := s.runDialog(nc, c, sess, (*smtp.Session).HasValidRcpt)
+	out := s.runDialog(nc, c, sess, (*smtp.Session).HasValidRcpt, tc)
 	s.observeStage(StagePreTrust, id, preTrustStart, outcomeNote(out))
 	switch out {
 	case outcomeTrusted:
@@ -195,8 +218,10 @@ func (s *Server) hybridFrontEnd(nc net.Conn, id uint64, sh *shard) {
 		// A full queue blocks the front end — the finite socket buffer
 		// acting "as a natural throttle for the master process" (§5.3).
 		// Conn and Session ownership moves to the worker, which releases
-		// them back to the pools when the connection finishes.
-		sh.tasks <- &task{nc: nc, c: c, sess: sess, id: id, at: time.Now()}
+		// them back to the pools when the connection finishes. The minted
+		// trace context travels with the task so post-trust mails keep
+		// the connection's trace.
+		sh.tasks <- &task{nc: nc, c: c, sess: sess, id: id, at: time.Now(), tc: tc}
 	case outcomeQuit:
 		s.sessionsServed.Inc()
 		s.preTrustClosed.Inc()
@@ -238,7 +263,7 @@ func (s *Server) hybridWorker(tasks <-chan *task) {
 		s.observeStage(StageHandoffWait, t.id, t.at, "")
 		ip := remoteIP(t.nc)
 		dialogStart := time.Now()
-		out := s.runDialog(t.nc, t.c, t.sess, nil)
+		out := s.runDialog(t.nc, t.c, t.sess, nil, t.tc)
 		if out == outcomeQuit {
 			s.sessionsServed.Inc()
 		}

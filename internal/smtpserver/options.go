@@ -14,14 +14,21 @@ import (
 // else is optional configuration.
 type Enqueue func(sender string, rcpts []string, data []byte) (string, error)
 
+// EnqueueTraced is Enqueue carrying the mail's message trace context,
+// so the queue's spans (queue wait, delivery, store commit) attach to
+// the same trace as the SMTP dialog that accepted the mail.
+type EnqueueTraced func(sender string, rcpts []string, data []byte, tc trace.Context) (string, error)
+
 // settings is the resolved configuration New builds from its options:
 // the legacy Config plus the observability wiring that never existed on
 // the Config struct.
 type settings struct {
 	Config
-	registry *metrics.Registry
-	spans    *trace.SpanRecorder
-	events   *eventlog.Log
+	registry      *metrics.Registry
+	spans         *trace.SpanRecorder
+	events        *eventlog.Log
+	mtrace        *trace.MessageRecorder
+	enqueueTraced EnqueueTraced
 }
 
 // Option configures a Server (see New).
@@ -113,6 +120,23 @@ func WithRegistry(r *metrics.Registry) Option {
 // (the default).
 func WithSpans(rec *trace.SpanRecorder) Option {
 	return func(s *settings) { s.spans = rec }
+}
+
+// WithMessageTracer enables message-lifecycle tracing: the server
+// advertises the XTRACE extension on EHLO, adopts trace contexts from
+// incoming XTRACE MAIL parameters (a director upstream), mints fresh
+// ones for edge connections rec samples in, and records an "smtp" span
+// per accepted mail into rec. Nil disables (the default); sampled-out
+// connections carry the zero context and cost no allocations.
+func WithMessageTracer(rec *trace.MessageRecorder) Option {
+	return func(s *settings) { s.mtrace = rec }
+}
+
+// WithEnqueueTraced installs the trace-aware enqueue hook, preferred
+// over the plain Enqueue when both are set, so the queue receives each
+// mail's trace context alongside its envelope.
+func WithEnqueueTraced(f EnqueueTraced) Option {
+	return func(s *settings) { s.enqueueTraced = f }
 }
 
 // WithEventLog emits structured events into log: one smtpd.conn event

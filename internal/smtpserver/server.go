@@ -165,6 +165,13 @@ type Server struct {
 	events *eventlog.Log
 	arch   string
 
+	// Message-lifecycle tracing (nil mtrace disables): the server
+	// advertises XTRACE via the precomputed ehlo reply, adopts incoming
+	// contexts, and mints fresh ones for sampled edge connections.
+	mtrace        *trace.MessageRecorder
+	enqueueTraced EnqueueTraced
+	ehlo          *smtp.Reply
+
 	mu     sync.Mutex
 	lns    []net.Listener
 	shards []*shard
@@ -204,7 +211,8 @@ type task struct {
 	c    *smtp.Conn
 	sess *smtp.Session
 	id   uint64
-	at   time.Time // when the front end enqueued the task
+	at   time.Time     // when the front end enqueued the task
+	tc   trace.Context // the connection's minted message-trace context
 }
 
 // accepted is one connection in flight from the accept loop to a
@@ -268,12 +276,14 @@ func newServer(st settings) (*Server, error) {
 	}
 	arch := cfg.Arch.String()
 	s := &Server{
-		cfg:    cfg,
-		reg:    reg,
-		spans:  st.spans,
-		events: st.events,
-		arch:   arch,
-		conns:  make(map[net.Conn]bool),
+		cfg:           cfg,
+		reg:           reg,
+		spans:         st.spans,
+		events:        st.events,
+		arch:          arch,
+		mtrace:        st.mtrace,
+		enqueueTraced: st.enqueueTraced,
+		conns:         make(map[net.Conn]bool),
 
 		connections:     reg.Counter("smtpd_connections_total", "arch", arch),
 		blacklisted:     reg.Counter("smtpd_blacklisted_total", "arch", arch),
@@ -291,6 +301,12 @@ func newServer(st settings) (*Server, error) {
 	}
 	for _, name := range Stages() {
 		s.stage[name] = reg.Histogram(StageMetric, metrics.LatencyBounds(), "arch", arch, "stage", name)
+	}
+	if s.mtrace != nil {
+		// One preformatted multiline EHLO reply for the server's
+		// lifetime; advertising XTRACE costs nothing per connection.
+		ehlo := smtp.EhloReply(cfg.Hostname, "XTRACE")
+		s.ehlo = &ehlo
 	}
 	return s, nil
 }
@@ -596,6 +612,7 @@ func (s *Server) sessionConfig(ip string, id uint64) smtp.Config {
 		ValidateRcptBytes: s.cfg.ValidateRcptBytes,
 		MaxRcpts:          s.cfg.MaxRcpts,
 		MaxMessageBytes:   s.cfg.MaxMessageBytes,
+		Ehlo:              s.ehlo,
 	}
 	if p := s.cfg.Policy; p != nil {
 		// Mid-dialog checks are local (rate buckets, greylist); the

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/fsim"
+	"repro/internal/trace"
 )
 
 // Lane is a spool directory: the queue manager's coarse mail state.
@@ -65,6 +66,11 @@ type Envelope struct {
 	// NotBefore is the earliest next delivery time (zero: immediately);
 	// it survives restarts so recovered mail keeps its backoff position.
 	NotBefore time.Time
+	// Trace is the mail's message-trace context (trace id halves and
+	// the span new work parents under). It persists in the envelope
+	// frame so a crash-recovered mail resumes its trace; all-zero means
+	// the mail was never sampled.
+	Trace trace.Context
 }
 
 // Mail is one recovered spool entry.
@@ -128,7 +134,14 @@ func (s *Store) path(lane Lane, id string) string {
 	return s.dir + "/" + string(lane) + "/" + id
 }
 
-const envVersion = 1
+// Envelope frame versions. v1 predates message tracing; v2 appends the
+// trace context (three u64s) after the recipient list. The decoder
+// accepts both, so spools written before the upgrade recover cleanly —
+// their mails simply carry no trace.
+const (
+	envVersionV1 = 1
+	envVersion   = 2
+)
 
 // encodeEnvelope serializes env as the payload of the envelope frame.
 func encodeEnvelope(env Envelope) ([]byte, error) {
@@ -139,7 +152,7 @@ func encodeEnvelope(env Envelope) ([]byte, error) {
 	if !env.NotBefore.IsZero() {
 		nb = env.NotBefore.UnixNano()
 	}
-	buf := make([]byte, 0, 32+len(env.ID)+len(env.Sender))
+	buf := make([]byte, 0, 56+len(env.ID)+len(env.Sender))
 	buf = append(buf, envVersion)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(env.Attempts))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(nb))
@@ -158,6 +171,9 @@ func encodeEnvelope(env Envelope) ([]byte, error) {
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r)))
 		buf = append(buf, r...)
 	}
+	buf = binary.LittleEndian.AppendUint64(buf, env.Trace.Hi)
+	buf = binary.LittleEndian.AppendUint64(buf, env.Trace.Lo)
+	buf = binary.LittleEndian.AppendUint64(buf, env.Trace.Span)
 	return buf, nil
 }
 
@@ -166,7 +182,7 @@ func decodeEnvelope(p []byte) (Envelope, error) {
 	var env Envelope
 	rd := &reader{p: p}
 	ver, err := rd.byte()
-	if err != nil || ver != envVersion {
+	if err != nil || (ver != envVersionV1 && ver != envVersion) {
 		return env, fmt.Errorf("%w: bad envelope version", ErrTorn)
 	}
 	att, err := rd.u32()
@@ -198,6 +214,17 @@ func decodeEnvelope(p []byte) (Envelope, error) {
 			return env, err
 		}
 		env.Rcpts = append(env.Rcpts, r)
+	}
+	if ver >= envVersion {
+		if env.Trace.Hi, err = rd.u64(); err != nil {
+			return env, err
+		}
+		if env.Trace.Lo, err = rd.u64(); err != nil {
+			return env, err
+		}
+		if env.Trace.Span, err = rd.u64(); err != nil {
+			return env, err
+		}
 	}
 	return env, nil
 }

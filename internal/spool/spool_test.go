@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/fsim"
+	"repro/internal/trace"
 )
 
 func env(id string, attempts int) Envelope {
@@ -302,5 +303,66 @@ func TestManyMailsRecoverAcrossLanes(t *testing.T) {
 		if string(m.Body) != m.ID {
 			t.Fatalf("body mismatch for %s: %q", m.ID, m.Body)
 		}
+	}
+}
+
+func TestEnvelopeTraceRoundTrip(t *testing.T) {
+	fs := fsim.NewMem(costmodel.FSModel{})
+	s := New(fs, "queue")
+	e := env("Q1", 1)
+	e.Trace = trace.Context{Hi: 0xdeadbeefcafef00d, Lo: 0x0123456789abcdef, Span: 0xfeedface}
+	if err := s.Append(e, []byte("traced body")); err != nil {
+		t.Fatal(err)
+	}
+	mails, stats, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mails) != 1 || stats.Torn != 0 {
+		t.Fatalf("recover = %d mails, stats %+v", len(mails), stats)
+	}
+	if got := mails[0].Trace; got != e.Trace {
+		t.Fatalf("trace = %+v, want %+v", got, e.Trace)
+	}
+}
+
+func TestEnvelopeV1DecodesWithZeroTrace(t *testing.T) {
+	// A v1 frame is today's encoding minus the 24-byte trace tail, with
+	// the version byte rolled back — exactly what a spool written before
+	// the tracing upgrade holds. It must decode cleanly, trace zeroed.
+	e := env("Q7", 3)
+	e.NotBefore = time.Unix(0, 987654321)
+	e.Trace = trace.Context{Hi: 1, Lo: 2, Span: 3} // must NOT survive the downgrade
+	buf, err := encodeEnvelope(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := append([]byte(nil), buf[:len(buf)-24]...)
+	v1[0] = envVersionV1
+	got, err := decodeEnvelope(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "Q7" || got.Attempts != 3 || !got.NotBefore.Equal(e.NotBefore) ||
+		len(got.Rcpts) != 2 || got.Rcpts[1] != "r2@c.test" {
+		t.Fatalf("v1 envelope = %+v", got)
+	}
+	if got.Trace.Valid() || got.Trace.Span != 0 {
+		t.Fatalf("v1 envelope decoded with trace %+v, want zero", got.Trace)
+	}
+
+	// And the v2 tail round-trips through the raw codec too.
+	got2, err := decodeEnvelope(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Trace != e.Trace {
+		t.Fatalf("v2 trace = %+v, want %+v", got2.Trace, e.Trace)
+	}
+
+	// A v2 frame with a truncated trace tail is torn, not silently v1.
+	trunc := append([]byte(nil), buf[:len(buf)-8]...)
+	if _, err := decodeEnvelope(trunc); err == nil {
+		t.Fatal("truncated v2 trace tail must fail decode")
 	}
 }

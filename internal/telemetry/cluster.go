@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Aggregator stitches message traces across a cluster: each node's
+// admin endpoint serves only the spans that node recorded (/trace/{id},
+// /traces — see internal/admin.WithTrace), and the aggregator fans a
+// query out to every peer and merges the answers by trace id. It is the
+// cluster-wide read side of the director-tier tracing story: the
+// director mints the id, the shards append their spans, and any
+// aggregator-equipped observer (mailtop -cluster, the trace experiment)
+// can reassemble the whole lifecycle from the per-node fragments.
+//
+// The aggregator is stateless and safe for concurrent use; every query
+// hits the peers live, so it observes exactly what each node's span
+// ring still retains.
+type Aggregator struct {
+	peers  []string
+	client *http.Client
+}
+
+// NewAggregator returns an aggregator over the peers' admin base URLs
+// (e.g. "http://10.0.0.1:8025"). A scheme-less peer is assumed http.
+// timeout bounds each per-peer request (default 2s).
+func NewAggregator(peers []string, timeout time.Duration) *Aggregator {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	norm := make([]string, 0, len(peers))
+	for _, p := range peers {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p == "" {
+			continue
+		}
+		if !strings.Contains(p, "://") {
+			p = "http://" + p
+		}
+		norm = append(norm, p)
+	}
+	return &Aggregator{peers: norm, client: &http.Client{Timeout: timeout}}
+}
+
+// Peers returns the normalized peer base URLs.
+func (a *Aggregator) Peers() []string { return append([]string(nil), a.peers...) }
+
+// fetchLines GETs one peer endpoint and returns the response body.
+// Unreachable peers are soft errors — a cluster query degrades to the
+// nodes that answer rather than failing outright.
+func (a *Aggregator) fetchBody(peer, path string) (io.ReadCloser, error) {
+	resp, err := a.client.Get(peer + path)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("telemetry: %s%s: status %d", peer, path, resp.StatusCode)
+	}
+	return resp.Body, nil
+}
+
+// FetchTrace fans /trace/{id} out to every peer and returns the
+// stitched, time-ordered span set. Peers that are down or do not serve
+// the endpoint are skipped; their names are returned in missing so the
+// caller can flag a partial view. An error is returned only when the id
+// is malformed.
+func (a *Aggregator) FetchTrace(id string) (spans []trace.MessageSpan, missing []string, err error) {
+	if _, _, ok := trace.ParseTraceID(id); !ok {
+		return nil, nil, fmt.Errorf("telemetry: bad trace id %q (want 32 hex digits)", id)
+	}
+	for _, peer := range a.peers {
+		body, ferr := a.fetchBody(peer, "/trace/"+id)
+		if ferr != nil {
+			missing = append(missing, peer)
+			continue
+		}
+		got, perr := trace.ParseMessageSpans(body)
+		body.Close()
+		if perr != nil {
+			missing = append(missing, peer)
+			continue
+		}
+		spans = append(spans, got...)
+	}
+	return trace.StitchSpans(spans), missing, nil
+}
+
+// RecentTraces merges every peer's /traces listing into one
+// deduplicated id list, most-recently-seen first, capped at max (0: no
+// cap). Ordering across nodes is approximate — each peer reports
+// newest-first and the merge interleaves peers in order — but the
+// director's ids lead in practice because every trace starts there.
+func (a *Aggregator) RecentTraces(max int) []string {
+	seen := make(map[string]bool)
+	perPeer := make([][]string, 0, len(a.peers))
+	for _, peer := range a.peers {
+		body, err := a.fetchBody(peer, "/traces")
+		if err != nil {
+			continue
+		}
+		data, rerr := io.ReadAll(io.LimitReader(body, 1<<20))
+		body.Close()
+		if rerr != nil {
+			continue
+		}
+		var ids []string
+		for _, ln := range strings.Split(string(data), "\n") {
+			ln = strings.TrimSpace(ln)
+			if ln != "" {
+				ids = append(ids, ln)
+			}
+		}
+		perPeer = append(perPeer, ids)
+	}
+	// Round-robin across peers so one chatty node cannot crowd the
+	// others out of a capped listing.
+	var out []string
+	for i := 0; ; i++ {
+		advanced := false
+		for _, ids := range perPeer {
+			if i >= len(ids) {
+				continue
+			}
+			advanced = true
+			if !seen[ids[i]] {
+				seen[ids[i]] = true
+				out = append(out, ids[i])
+				if max > 0 && len(out) >= max {
+					return out
+				}
+			}
+		}
+		if !advanced {
+			return out
+		}
+	}
+}
+
+// StageLatency is one node's observed latency for one message stage,
+// extracted from its retained spans.
+type StageLatency struct {
+	Node  string
+	Stage string
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average span duration.
+func (s StageLatency) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// StageLatencies folds a span set into per-(node, stage) latency rows,
+// sorted by node then by the canonical stage order — the table mailtop
+// -cluster renders.
+func StageLatencies(spans []trace.MessageSpan) []StageLatency {
+	type key struct{ node, stage string }
+	acc := make(map[key]*StageLatency)
+	for _, sp := range spans {
+		k := key{sp.Node, sp.Stage}
+		row, ok := acc[k]
+		if !ok {
+			row = &StageLatency{Node: sp.Node, Stage: sp.Stage}
+			acc[k] = row
+		}
+		d := sp.Duration()
+		row.Count++
+		row.Total += d
+		if d > row.Max {
+			row.Max = d
+		}
+	}
+	stageRank := make(map[string]int, len(trace.MessageStages()))
+	for i, st := range trace.MessageStages() {
+		stageRank[st] = i
+	}
+	out := make([]StageLatency, 0, len(acc))
+	for _, row := range acc {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		ri, iok := stageRank[out[i].Stage]
+		rj, jok := stageRank[out[j].Stage]
+		if iok != jok {
+			return iok // known stages before ad-hoc ones
+		}
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// FetchAllSpans fans /trace/{id} out for every id RecentTraces reports,
+// returning the union span set — the feed for a cluster-wide stage
+// latency table. maxTraces caps how many traces are fetched (0: 32).
+func (a *Aggregator) FetchAllSpans(maxTraces int) []trace.MessageSpan {
+	if maxTraces <= 0 {
+		maxTraces = 32
+	}
+	var all []trace.MessageSpan
+	for _, id := range a.RecentTraces(maxTraces) {
+		spans, _, err := a.FetchTrace(id)
+		if err != nil {
+			continue
+		}
+		all = append(all, spans...)
+	}
+	return trace.StitchSpans(all)
+}
